@@ -1,0 +1,47 @@
+// Calibration helper (not a paper figure): runs each workload with an
+// effectively unbounded memory store and reports the peak cached working set
+// and baseline runtime, which informs the per-workload capacities baked into
+// bench/harness.cc. Skipped unless BLAZE_CALIBRATE=1, so the bench sweep
+// stays fast.
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "src/cache/policies.h"
+#include "src/cache/policy_coordinator.h"
+#include "src/common/stopwatch.h"
+#include "src/common/units.h"
+#include "src/metrics/report.h"
+#include "src/workloads/workload.h"
+
+int main() {
+  using namespace blaze;
+  if (const char* env = std::getenv("BLAZE_CALIBRATE"); env == nullptr || env[0] != '1') {
+    std::cout << "bench_calibrate: set BLAZE_CALIBRATE=1 to run the calibration sweep\n";
+    return 0;
+  }
+  TextTable table;
+  table.AddRow({"workload", "peak cached", "per-exec peak", "ACT (uncached-pressure-free)"});
+  for (const std::string& name : AllWorkloadNames()) {
+    auto workload = MakeWorkload(name);
+    EngineConfig config;
+    config.num_executors = 4;
+    config.threads_per_executor = 2;
+    config.memory_capacity_per_executor = GiB(2);
+    EngineContext engine(config);
+    engine.SetCoordinator(std::make_unique<PolicyCoordinator>(&engine, MakePolicy("lru"),
+                                                              EvictionMode::kMemAndDisk));
+    Stopwatch act;
+    workload->MakeDriver(workload->DefaultParams())(engine);
+    uint64_t peak = 0;
+    uint64_t max_exec = 0;
+    for (size_t e = 0; e < engine.num_executors(); ++e) {
+      const uint64_t p = engine.block_manager(e).memory().peak_bytes();
+      peak += p;
+      max_exec = std::max(max_exec, p);
+    }
+    table.AddRow({name, FormatBytes(peak), FormatBytes(max_exec), FormatMillis(act.ElapsedMillis())});
+  }
+  std::cout << table.Render("Calibration: peak cached working sets");
+  return 0;
+}

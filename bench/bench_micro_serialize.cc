@@ -1,0 +1,89 @@
+// Micro-benchmarks for the serialization substrate: per-type encode/decode
+// throughput. FactorVec (SVD++) is intentionally several times slower per
+// byte than LabeledPoint, reproducing the paper's §7.2 observation that
+// SVD++ partitions serialize 2.5-6.4x slower.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/serialize/codec.h"
+#include "src/workloads/element_types.h"
+
+namespace blaze {
+namespace {
+
+std::vector<std::pair<uint32_t, double>> MakePairs(size_t n) {
+  Rng rng(3);
+  std::vector<std::pair<uint32_t, double>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.emplace_back(static_cast<uint32_t>(rng.NextU64()), rng.NextDouble());
+  }
+  return out;
+}
+
+std::vector<LabeledPoint> MakePoints(size_t n, uint32_t dim) {
+  Rng rng(4);
+  std::vector<LabeledPoint> out(n);
+  for (auto& p : out) {
+    p.label = rng.NextDouble();
+    p.features.resize(dim);
+    for (double& f : p.features) {
+      f = rng.NextDouble();
+    }
+  }
+  return out;
+}
+
+std::vector<FactorVec> MakeFactors(size_t n, uint32_t rank) {
+  Rng rng(5);
+  std::vector<FactorVec> out(n);
+  for (auto& f : out) {
+    f.values.resize(rank);
+    for (double& v : f.values) {
+      v = rng.NextDouble();
+    }
+    f.bias = rng.NextDouble();
+    f.weight = rng.NextDouble();
+  }
+  return out;
+}
+
+template <typename T>
+void RoundTripBench(benchmark::State& state, const std::vector<T>& data) {
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    ByteSink sink;
+    Encode(data, sink);
+    bytes = sink.size();
+    ByteSource src(sink.data());
+    auto back = Decode<std::vector<T>>(src);
+    benchmark::DoNotOptimize(back.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations() * 2);
+}
+
+void BM_EncodePairs(benchmark::State& state) { RoundTripBench(state, MakePairs(10000)); }
+BENCHMARK(BM_EncodePairs);
+
+void BM_EncodeLabeledPoints(benchmark::State& state) {
+  RoundTripBench(state, MakePoints(1000, 32));
+}
+BENCHMARK(BM_EncodeLabeledPoints);
+
+void BM_EncodeFactorVecs(benchmark::State& state) {
+  RoundTripBench(state, MakeFactors(4000, 8));
+}
+BENCHMARK(BM_EncodeFactorVecs);
+
+void BM_ByteSizeEstimation(benchmark::State& state) {
+  const auto points = MakePoints(1000, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApproxByteSize(points));
+  }
+}
+BENCHMARK(BM_ByteSizeEstimation);
+
+}  // namespace
+}  // namespace blaze
+
+BENCHMARK_MAIN();

@@ -1,0 +1,193 @@
+#include "bench/harness.h"
+
+#include <cstdlib>
+#include <memory>
+
+#include "src/blaze/blaze_runner.h"
+#include "src/cache/alluxio_coordinator.h"
+#include "src/cache/policies.h"
+#include "src/cache/policy_coordinator.h"
+#include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+#include "src/common/units.h"
+#include "src/workloads/workload.h"
+
+namespace blaze {
+
+namespace {
+
+// Per-workload memory-store capacity per executor (4 executors), calibrated
+// with bench_calibrate so each workload's peak cached working set is roughly
+// 2-4x the aggregate capacity — the paper's operative regime (§7.1 sets the
+// Spark store to 170 GB against working sets that peak well above it).
+uint64_t CapacityFor(const std::string& workload) {
+  // Calibrated peaks (bench_calibrate, scale 1.0, 4 executors, MiB aggregate):
+  // pr 17.2, cc 15.8, lr 44, kmeans 42.7, gbt 18, svdpp 15. Capacities are set
+  // so the *reused* working set (adjacency + live iterates / the training set)
+  // fits while the blindly-annotated per-iteration intermediates do not.
+  if (workload == "pr") {
+    return MiB(1) + KiB(768);
+  }
+  if (workload == "cc") {
+    return MiB(1) + KiB(768);
+  }
+  if (workload == "lr") {
+    // LR's actually-reused points (~11.5 MiB) fit in 4 x 4 MiB; the annotated
+    // scored intermediates don't (paper: Blaze incurs no evictions at all).
+    return MiB(3);
+  }
+  if (workload == "kmeans") {
+    return MiB(3);
+  }
+  if (workload == "gbt") {
+    return MiB(1) + KiB(768);
+  }
+  if (workload == "svdpp") {
+    return MiB(1) + KiB(512);
+  }
+  BLAZE_LOG(kFatal) << "unknown workload " << workload;
+  return MiB(8);
+}
+
+constexpr uint64_t kDiskThroughput = 32ULL << 20;  // gp2-class effective MB/s
+
+bool IsBlazeSystem(const std::string& system) { return system.rfind("blaze", 0) == 0; }
+
+BlazeOptions OptionsFor(const std::string& system) {
+  if (system == "blaze" || system == "blaze-noprofile") {
+    return BlazeOptions::Full();
+  }
+  if (system == "blaze-auto") {
+    return BlazeOptions::AutoCacheOnly();
+  }
+  if (system == "blaze-costaware") {
+    return BlazeOptions::CostAware();
+  }
+  if (system == "blaze-mem") {
+    return BlazeOptions::MemoryOnly();
+  }
+  BLAZE_LOG(kFatal) << "unknown blaze system " << system;
+  return BlazeOptions::Full();
+}
+
+void InstallBaseline(EngineContext& engine, const std::string& system) {
+  if (system == "spark-mem") {
+    engine.SetCoordinator(std::make_unique<PolicyCoordinator>(&engine, MakePolicy("lru"),
+                                                              EvictionMode::kMemOnly));
+  } else if (system == "spark-memdisk") {
+    engine.SetCoordinator(std::make_unique<PolicyCoordinator>(&engine, MakePolicy("lru"),
+                                                              EvictionMode::kMemAndDisk));
+  } else if (system == "alluxio") {
+    engine.SetCoordinator(std::make_unique<AlluxioCoordinator>(&engine));
+  } else if (system == "lrc") {
+    engine.SetCoordinator(std::make_unique<PolicyCoordinator>(&engine, MakePolicy("lrc"),
+                                                              EvictionMode::kMemAndDisk));
+  } else if (system == "mrd") {
+    engine.SetCoordinator(std::make_unique<PolicyCoordinator>(&engine, MakePolicy("mrd"),
+                                                              EvictionMode::kMemAndDisk));
+  } else if (system == "lrc-mem") {
+    engine.SetCoordinator(std::make_unique<PolicyCoordinator>(&engine, MakePolicy("lrc"),
+                                                              EvictionMode::kMemOnly));
+  } else if (system == "mrd-mem") {
+    engine.SetCoordinator(std::make_unique<PolicyCoordinator>(&engine, MakePolicy("mrd"),
+                                                              EvictionMode::kMemOnly));
+  } else {
+    BLAZE_LOG(kFatal) << "unknown system " << system;
+  }
+}
+
+}  // namespace
+
+double GlobalBenchScale() {
+  const char* env = std::getenv("BLAZE_BENCH_SCALE");
+  if (env == nullptr) {
+    return 1.0;
+  }
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+std::vector<std::string> HeadlineSystems() {
+  return {"spark-mem", "spark-memdisk", "alluxio", "lrc", "mrd", "blaze"};
+}
+
+std::string SystemLabel(const std::string& system) {
+  if (system == "spark-mem") {
+    return "Spark (MEM)";
+  }
+  if (system == "spark-memdisk") {
+    return "Spark (MEM+DISK)";
+  }
+  if (system == "alluxio") {
+    return "Spark+Alluxio";
+  }
+  if (system == "lrc") {
+    return "LRC";
+  }
+  if (system == "mrd") {
+    return "MRD";
+  }
+  if (system == "lrc-mem") {
+    return "LRC (MEM)";
+  }
+  if (system == "mrd-mem") {
+    return "MRD (MEM)";
+  }
+  if (system == "blaze") {
+    return "Blaze";
+  }
+  if (system == "blaze-auto") {
+    return "+AutoCache";
+  }
+  if (system == "blaze-costaware") {
+    return "+CostAware";
+  }
+  if (system == "blaze-mem") {
+    return "Blaze (MEM)";
+  }
+  if (system == "blaze-noprofile") {
+    return "Blaze w/o Profiling";
+  }
+  return system;
+}
+
+BenchResult RunBench(const RunSpec& spec) {
+  auto workload = MakeWorkload(spec.workload);
+  WorkloadParams params = workload->DefaultParams();
+  params.scale = spec.scale * GlobalBenchScale();
+  if (spec.iterations_override > 0) {
+    params.iterations = spec.iterations_override;
+  }
+
+  EngineConfig config;
+  config.num_executors = 4;
+  config.threads_per_executor = 2;
+  config.memory_capacity_per_executor =
+      static_cast<uint64_t>(static_cast<double>(CapacityFor(spec.workload)) * params.scale);
+  const bool memory_only = spec.system == "spark-mem" || spec.system == "lrc-mem" ||
+                           spec.system == "mrd-mem" || spec.system == "blaze-mem";
+  config.disk_throughput_bytes_per_sec = memory_only ? 0 : kDiskThroughput;
+  EngineContext engine(config);
+
+  BenchResult result;
+  result.spec = spec;
+
+  Stopwatch act;
+  if (IsBlazeSystem(spec.system)) {
+    BlazeRunConfig run_config;
+    run_config.options = OptionsFor(spec.system);
+    if (spec.system != "blaze-noprofile") {
+      const WorkloadParams profiling_params = params.ForProfiling();
+      run_config.profiling_driver = workload->MakeDriver(profiling_params);
+    }
+    RunWithBlaze(engine, run_config, workload->MakeDriver(params));
+  } else {
+    InstallBaseline(engine, spec.system);
+    workload->MakeDriver(params)(engine);
+  }
+  result.act_ms = act.ElapsedMillis();
+  result.metrics = engine.metrics().Snapshot();
+  return result;
+}
+
+}  // namespace blaze

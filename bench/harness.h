@@ -1,0 +1,55 @@
+// Shared benchmark harness: runs one (workload, system) pair in a fresh
+// engine and reports ACT plus the full metric snapshot. Every paper-figure
+// binary is a thin driver over this.
+#ifndef BENCH_HARNESS_H_
+#define BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/metrics/run_metrics.h"
+
+namespace blaze {
+
+// System under test. Labels follow the paper's figures.
+//   spark-mem      MEM_ONLY Spark (LRU, recompute on miss)
+//   spark-memdisk  MEM+DISK Spark (LRU, spill/reload)
+//   alluxio        Spark+Alluxio (serialized tiered store)
+//   lrc / mrd      dependency-aware policies on MEM+DISK Spark
+//   lrc-mem / mrd-mem   the same on MEM_ONLY Spark (Fig. 12)
+//   blaze          full Blaze with dependency-extraction profiling
+//   blaze-auto     +AutoCache ablation (Fig. 11)
+//   blaze-costaware+CostAware ablation (Fig. 11)
+//   blaze-mem      Blaze without the disk tier (Fig. 12)
+//   blaze-noprofile full Blaze without the profiling phase (Fig. 13)
+struct RunSpec {
+  std::string workload;  // pr, cc, lr, kmeans, gbt, svdpp
+  std::string system;
+  // Scale multiplier applied on top of the benchmark defaults
+  // (BLAZE_BENCH_SCALE env var also multiplies in).
+  double scale = 1.0;
+  int iterations_override = 0;  // 0 = workload default
+};
+
+struct BenchResult {
+  RunSpec spec;
+  double act_ms = 0.0;  // end-to-end application completion time
+  RunMetricsSnapshot metrics;
+};
+
+// Runs the spec in a fresh engine configured with the benchmark defaults
+// (4 executors x 2 threads, per-workload memory capacity, throttled disk).
+BenchResult RunBench(const RunSpec& spec);
+
+// All systems of the paper's headline comparison (Fig. 9/10), in order.
+std::vector<std::string> HeadlineSystems();
+
+// Reads BLAZE_BENCH_SCALE (default 1.0); lets CI shrink every figure run.
+double GlobalBenchScale();
+
+// Human label used in the tables ("Spark (MEM)", "Blaze", ...).
+std::string SystemLabel(const std::string& system);
+
+}  // namespace blaze
+
+#endif  // BENCH_HARNESS_H_

@@ -1,0 +1,548 @@
+#include "src/blaze/blaze_coordinator.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+#include "src/dataflow/task_context.h"
+#include "src/solver/mckp.h"
+
+namespace blaze {
+
+BlazeCoordinator::BlazeCoordinator(EngineContext* engine, BlazeOptions options)
+    : engine_(engine), options_(options) {
+  for (size_t e = 0; e < engine->num_executors(); ++e) {
+    executor_mu_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+void BlazeCoordinator::SeedProfile(const LineageProfile& profile) {
+  lineage_.SeedFromProfile(profile);
+}
+
+ShuffleAvailabilityFn BlazeCoordinator::MakeShuffleAvailability() const {
+  if (engine_->config().shuffle_retention_jobs == 0) {
+    return nullptr;  // outputs persist for the whole run
+  }
+  EngineContext* engine = engine_;
+  return [engine](RddId role) {
+    auto rdd = engine->FindRdd(role);
+    if (rdd == nullptr) {
+      return true;
+    }
+    for (const Dependency& dep : rdd->dependencies()) {
+      if (dep.is_shuffle &&
+          !engine->shuffle().HasAllOutputs(dep.shuffle_id, dep.parent->num_partitions(),
+                                           dep.num_reduce)) {
+        return false;
+      }
+    }
+    return true;
+  };
+}
+
+double BlazeCoordinator::DiskThroughput() const {
+  // Profiled at runtime from the real disk stores (paper §5.3); executor 0 is
+  // representative since all stores share the configured device profile.
+  return engine_->block_manager(0).disk().ObservedThroughput();
+}
+
+void BlazeCoordinator::OnJobStart(const JobInfo& job) {
+  lineage_.ObserveJobStart(job);
+  if (options_.ilp) {
+    Stopwatch watch;
+    RunIlpPlan(job.job_id);
+    engine_->metrics().RecordSolve(watch.ElapsedMillis());
+  }
+}
+
+void BlazeCoordinator::OnStageComplete(const StageInfo& stage) {
+  (void)stage;
+  if (options_.auto_cache) {
+    AutoUnpersist();
+  }
+}
+
+std::optional<BlockPtr> BlazeCoordinator::Lookup(const RddBase& rdd, uint32_t partition,
+                                                 TaskContext& tc) {
+  const BlockId id{rdd.id(), partition};
+  BlockManager& bm = engine_->block_manager(engine_->ExecutorFor(partition));
+  if (auto hit = bm.memory().Get(id)) {
+    engine_->metrics().RecordCacheHit(/*from_memory=*/true);
+    return hit;
+  }
+  if (options_.use_disk) {
+    double read_ms = 0.0;
+    if (auto bytes = bm.ReadFromDisk(id, &read_ms)) {
+      Stopwatch decode_watch;
+      ByteSource src(*bytes);
+      BlockPtr block = rdd.DecodeBlock(src);
+      tc.metrics().cache_disk_ms += read_ms + decode_watch.ElapsedMillis();
+      tc.metrics().cache_disk_bytes_read += bytes->size();
+      engine_->metrics().RecordCacheHit(/*from_memory=*/false);
+      return block;
+    }
+  }
+  return std::nullopt;
+}
+
+double BlazeCoordinator::VictimCost(CostEstimator& estimator, const BlockId& id) const {
+  if (options_.ilp &&
+      lineage_.FutureRefCount(id.rdd_id, lineage_.current_job(),
+                              /*include_current=*/false) == 0) {
+    // No accesses after the current job: the recovery cost can never be paid
+    // (Eq. 5 only prices partitions used by upcoming jobs), so this block is
+    // a free victim.
+    return 0.0;
+  }
+  const BlockCost cost = estimator.Estimate(id.rdd_id, id.partition);
+  if (options_.ilp) {
+    return cost.recovery_ms;  // full Blaze: min(disk, recompute)
+  }
+  if (options_.cost_aware_eviction) {
+    return cost.cost_d_ms;  // +CostAware: smallest disk-access cost first
+  }
+  return 0.0;  // +AutoCache: cost-agnostic (LRU below)
+}
+
+bool BlazeCoordinator::DiskHasRoom(size_t executor, uint64_t bytes) const {
+  if (options_.disk_capacity_bytes == 0) {
+    return true;  // abundant disk (the paper's default assumption)
+  }
+  return engine_->block_manager(executor).disk().used_bytes() + bytes <=
+         options_.disk_capacity_bytes;
+}
+
+void BlazeCoordinator::EvictBlock(size_t executor, const MemoryEntry& victim, bool spill,
+                                  TaskContext* tc) {
+  BlockManager& bm = engine_->block_manager(executor);
+  spill = spill && DiskHasRoom(executor, victim.size_bytes);
+  if (spill && options_.use_disk) {
+    if (!bm.disk().Contains(victim.id)) {
+      const double ms = bm.SpillToDisk(victim.id, *victim.data);
+      if (tc != nullptr) {
+        tc->metrics().cache_disk_ms += ms;
+        tc->metrics().cache_disk_bytes_written += victim.size_bytes;
+      }
+    }
+    lineage_.SetState(victim.id.rdd_id, victim.id.partition, PartitionState::kDisk);
+  } else {
+    lineage_.SetState(victim.id.rdd_id, victim.id.partition, PartitionState::kNone);
+  }
+  bm.memory().Remove(victim.id);
+  engine_->metrics().RecordEviction(executor, victim.size_bytes,
+                                    /*to_disk=*/spill && options_.use_disk);
+}
+
+bool BlazeCoordinator::EnsureSpace(size_t executor, uint64_t needed, double incoming_cost,
+                                   TaskContext& tc) {
+  BlockManager& bm = engine_->block_manager(executor);
+  if (bm.memory().capacity_bytes() < needed) {
+    return false;
+  }
+  uint64_t free_bytes = bm.memory().capacity_bytes() - bm.memory().used_bytes();
+  if (free_bytes >= needed) {
+    return true;
+  }
+
+  std::vector<MemoryEntry> entries = bm.memory().Entries();
+  CostEstimator estimator(&lineage_, DiskThroughput(), options_.use_disk,
+                          MakeShuffleAvailability());
+
+  // Rank victims: cheapest potential recovery first (cost-aware modes) or LRU
+  // (+AutoCache). Then take victims until the incoming block fits.
+  std::vector<std::pair<double, size_t>> order;
+  order.reserve(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const double cost = options_.cost_aware_eviction
+                            ? VictimCost(estimator, entries[i].id)
+                            : static_cast<double>(entries[i].last_access_seq);
+    order.emplace_back(cost, i);
+  }
+  std::sort(order.begin(), order.end());
+
+  std::vector<size_t> victims;
+  uint64_t reclaimed = 0;
+  double displaced_cost = 0.0;
+  for (const auto& [cost, index] : order) {
+    if (free_bytes + reclaimed >= needed) {
+      break;
+    }
+    victims.push_back(index);
+    reclaimed += entries[index].size_bytes;
+    if (options_.cost_aware_eviction) {
+      displaced_cost += VictimCost(estimator, entries[index].id);
+    }
+  }
+  if (free_bytes + reclaimed < needed) {
+    return false;
+  }
+  // Paper §4.1: cache only if the incoming block's potential cost exceeds what
+  // the eviction would expose (full Blaze only).
+  if (options_.ilp && displaced_cost >= incoming_cost) {
+    return false;
+  }
+
+  for (size_t index : victims) {
+    const MemoryEntry& victim = entries[index];
+    bool spill = options_.use_disk;
+    if (options_.ilp && spill) {
+      // Unified recovery choice: write to disk only when reloading would be
+      // cheaper than recomputing (paper §4.2).
+      const BlockCost cost = estimator.Estimate(victim.id.rdd_id, victim.id.partition);
+      spill = cost.cost_d_ms < cost.cost_r_ms;
+    }
+    EvictBlock(executor, victim, spill, &tc);
+  }
+  return true;
+}
+
+void BlazeCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
+                                     const BlockPtr& block, double compute_ms,
+                                     TaskContext& tc) {
+  lineage_.ObserveBlockComputed(rdd.id(), partition, block->SizeBytes(), compute_ms);
+
+  // Candidate selection: future references (auto mode) or user annotation.
+  if (options_.auto_cache) {
+    if (lineage_.FutureRefCount(rdd.id(), lineage_.current_job(), /*include_current=*/true) ==
+        0) {
+      return;
+    }
+  } else if (rdd.storage_level() == StorageLevel::kNone) {
+    return;
+  }
+
+  const BlockId id{rdd.id(), partition};
+  const size_t executor = engine_->ExecutorFor(partition);
+
+  PartitionState desired = PartitionState::kMemory;
+  bool planned = false;
+  if (options_.ilp) {
+    std::lock_guard<std::mutex> lock(desired_mu_);
+    auto it = desired_.find(id);
+    if (it != desired_.end()) {
+      desired = it->second;
+      planned = true;
+    }
+  }
+  if (desired == PartitionState::kNone) {
+    return;
+  }
+
+  std::lock_guard<std::mutex> lock(*executor_mu_[executor]);
+  BlockManager& bm = engine_->block_manager(executor);
+  if (bm.memory().Contains(id)) {
+    return;
+  }
+  const uint64_t size = block->SizeBytes();
+
+  CostEstimator estimator(&lineage_, DiskThroughput(), options_.use_disk,
+                          MakeShuffleAvailability());
+  const BlockCost cost = estimator.Estimate(rdd.id(), partition);
+
+  // A memory placement decided by the ILP plan was already justified against
+  // the whole executor's universe, so the local admission comparison is
+  // bypassed (incoming cost treated as unbeatable).
+  const double admission_cost =
+      planned ? std::numeric_limits<double>::infinity() : cost.recovery_ms;
+  const bool want_memory = desired == PartitionState::kMemory;
+  if (want_memory && EnsureSpace(executor, size, admission_cost, tc)) {
+    bm.memory().Put(id, block, size);
+    lineage_.SetState(rdd.id(), partition, PartitionState::kMemory);
+    return;
+  }
+
+  // Not admitted to memory: choose the disk tier only when it pays off and
+  // the (optionally constrained) disk budget allows it.
+  bool spill = options_.use_disk && DiskHasRoom(executor, size);
+  if (spill && options_.ilp && desired != PartitionState::kDisk) {
+    spill = cost.cost_d_ms < cost.cost_r_ms;
+  }
+  if (spill && !bm.disk().Contains(id)) {
+    tc.metrics().cache_disk_ms += bm.SpillToDisk(id, *block);
+    tc.metrics().cache_disk_bytes_written += size;
+    lineage_.SetState(rdd.id(), partition, PartitionState::kDisk);
+    engine_->metrics().RecordEviction(executor, size, /*to_disk=*/true);
+  }
+}
+
+bool BlazeCoordinator::IsManaged(const RddBase& rdd) const {
+  if (!options_.auto_cache) {
+    return rdd.storage_level() != StorageLevel::kNone;
+  }
+  // Managed = the lineage has ever predicted a reuse for this dataset's class.
+  return lineage_.FutureRefCount(rdd.id(), -1, /*include_current=*/false) > 0;
+}
+
+void BlazeCoordinator::UnpersistRdd(const RddBase& rdd) {
+  if (options_.auto_cache) {
+    return;  // Blaze manages lifetimes itself; user annotations are ignored.
+  }
+  for (uint32_t p = 0; p < rdd.num_partitions(); ++p) {
+    const size_t executor = engine_->ExecutorFor(p);
+    std::lock_guard<std::mutex> lock(*executor_mu_[executor]);
+    BlockManager& bm = engine_->block_manager(executor);
+    bm.RemoveFromMemory(BlockId{rdd.id(), p});
+    bm.RemoveFromDisk(BlockId{rdd.id(), p});
+    lineage_.SetState(rdd.id(), p, PartitionState::kNone);
+  }
+}
+
+void BlazeCoordinator::AutoUnpersist() {
+  const int now = lineage_.current_job();
+  for (size_t e = 0; e < engine_->num_executors(); ++e) {
+    std::lock_guard<std::mutex> lock(*executor_mu_[e]);
+    BlockManager& bm = engine_->block_manager(e);
+    for (const MemoryEntry& entry : bm.memory().Entries()) {
+      if (lineage_.FutureRefCount(entry.id.rdd_id, now, /*include_current=*/true) == 0) {
+        bm.memory().Remove(entry.id);
+        lineage_.SetState(entry.id.rdd_id, entry.id.partition, PartitionState::kNone);
+        engine_->metrics().RecordUnpersist();
+      }
+    }
+    for (const BlockId& id : bm.disk().Blocks()) {
+      if (lineage_.FutureRefCount(id.rdd_id, now, /*include_current=*/true) == 0) {
+        bm.RemoveFromDisk(id);
+        lineage_.SetState(id.rdd_id, id.partition, PartitionState::kNone);
+        engine_->metrics().RecordUnpersist();
+      }
+    }
+  }
+}
+
+void BlazeCoordinator::RunIlpPlan(int job_id) {
+  // Universe: cache-candidate partitions referenced in the window plus
+  // everything resident. Single-use transients (no future references) are
+  // excluded — they are never cached, so letting them occupy zero-cost memory
+  // choices would only crowd out the real candidates (Eq. 5 optimizes over
+  // the partitions "to be used in our upcoming jobs").
+  std::vector<RddId> window_roles;
+  for (int j = job_id; j < job_id + options_.window_jobs; ++j) {
+    for (RddId role : lineage_.RolesReferencedIn(j)) {
+      if (lineage_.FutureRefCount(role, job_id, /*include_current=*/true) > 0) {
+        window_roles.push_back(role);
+      }
+    }
+  }
+  std::sort(window_roles.begin(), window_roles.end());
+  window_roles.erase(std::unique(window_roles.begin(), window_roles.end()),
+                     window_roles.end());
+
+  std::unordered_map<BlockId, PartitionState, BlockIdHash> new_desired;
+
+  for (size_t e = 0; e < engine_->num_executors(); ++e) {
+    std::lock_guard<std::mutex> lock(*executor_mu_[e]);
+    BlockManager& bm = engine_->block_manager(e);
+
+    // Assemble the per-executor universe.
+    std::vector<BlockId> universe;
+    std::unordered_map<BlockId, PartitionState, BlockIdHash> current_state;
+    for (const MemoryEntry& entry : bm.memory().Entries()) {
+      universe.push_back(entry.id);
+      current_state[entry.id] = PartitionState::kMemory;
+    }
+    for (const BlockId& id : bm.disk().Blocks()) {
+      if (!current_state.contains(id)) {
+        universe.push_back(id);
+        current_state[id] = PartitionState::kDisk;
+      }
+    }
+    for (RddId role : window_roles) {
+      const LineageNode* node = lineage_.GetNode(role);
+      if (node == nullptr) {
+        continue;
+      }
+      for (uint32_t p = 0; p < node->num_partitions; ++p) {
+        if (engine_->ExecutorFor(p) != e) {
+          continue;
+        }
+        const BlockId id{role, p};
+        if (!current_state.contains(id)) {
+          universe.push_back(id);
+          current_state[id] = PartitionState::kNone;
+        }
+      }
+    }
+    if (universe.empty()) {
+      continue;
+    }
+
+    // Build and solve the MCKP: one group per partition with (memory, disk,
+    // unpersist) choices (paper Eq. 5-6; see src/solver/mckp.h for the
+    // reduction). Two fixed-point rounds: the second round re-prices cost_r
+    // as if the first round's plan were applied, so chained recomputation
+    // costs of co-dropped partitions are visible (paper §5.5).
+    CostEstimator round_estimator(&lineage_, DiskThroughput(), options_.use_disk,
+                                  MakeShuffleAvailability());
+    // Residents whose last reference is the current job will be auto-
+    // unpersisted before the window's later accesses happen: price downstream
+    // recomputations as if they were already gone.
+    for (const auto& [resident_id, state] : current_state) {
+      if (state != PartitionState::kNone &&
+          lineage_.FutureRefCount(resident_id.rdd_id, job_id,
+                                  /*include_current=*/false) == 0) {
+        round_estimator.OverrideState(resident_id.rdd_id, resident_id.partition,
+                                      PartitionState::kNone);
+      }
+    }
+    MckpSolution solution;
+    std::vector<BlockId> group_ids;
+    std::vector<uint64_t> group_sizes;
+    std::vector<double> group_d_cost;
+    std::vector<double> group_u_cost;
+    constexpr int kFixedPointRounds = 2;
+    for (int round = 0; round < kFixedPointRounds; ++round) {
+      std::vector<MckpGroup> groups;
+      groups.reserve(universe.size());
+      group_ids.clear();
+      group_sizes.clear();
+      group_d_cost.clear();
+      group_u_cost.clear();
+      for (const BlockId& id : universe) {
+        const auto info = lineage_.GetPartition(id.rdd_id, id.partition);
+        if (!info || info->size_bytes == 0) {
+          continue;  // no size estimate yet; leave to admission-time handling
+        }
+        const BlockCost cost = round_estimator.Estimate(id.rdd_id, id.partition);
+        MckpGroup group;
+        group.choices.push_back({0.0, static_cast<double>(info->size_bytes)});  // m
+        if (options_.use_disk) {
+          // Writing to disk costs an extra pass when the copy does not exist yet.
+          const double write_factor =
+              current_state[id] == PartitionState::kDisk ? 1.0 : 2.0;
+          group.choices.push_back({cost.cost_d_ms * write_factor, 0.0});  // d
+        }
+        group.choices.push_back({cost.cost_r_ms, 0.0});  // u
+        groups.push_back(std::move(group));
+        group_ids.push_back(id);
+        group_sizes.push_back(info->size_bytes);
+        group_d_cost.push_back(cost.cost_d_ms);
+        group_u_cost.push_back(cost.cost_r_ms);
+      }
+      if (groups.empty()) {
+        break;
+      }
+      // Latency-bounded solve: a 0.2% optimality gap and node cap keep each
+      // per-job decision round in the low milliseconds (paper's ILP budget).
+      solution = SolveMckp(groups, static_cast<double>(bm.memory().capacity_bytes()),
+                           /*max_nodes=*/4000, /*relative_gap=*/0.002);
+      if (solution.status == MckpStatus::kInfeasible || round + 1 == kFixedPointRounds) {
+        break;
+      }
+      for (size_t g = 0; g < group_ids.size(); ++g) {
+        PartitionState planned_state = PartitionState::kNone;
+        if (solution.choice[g] == 0) {
+          planned_state = PartitionState::kMemory;
+        } else if (options_.use_disk && solution.choice[g] == 1) {
+          planned_state = PartitionState::kDisk;
+        }
+        round_estimator.OverrideState(group_ids[g].rdd_id, group_ids[g].partition,
+                                      planned_state);
+      }
+    }
+    if (group_ids.empty() || solution.status == MckpStatus::kInfeasible) {
+      continue;
+    }
+
+    // Eq. 6's extension constraint: when the disk tier is budgeted, demote
+    // the d-choices with the smallest regret (cost_r - cost_d) to unpersist
+    // until the planned disk bytes fit the budget.
+    if (options_.use_disk && options_.disk_capacity_bytes > 0) {
+      uint64_t planned_disk = 0;
+      for (size_t g = 0; g < group_ids.size(); ++g) {
+        if (solution.choice[g] == 1) {
+          planned_disk += group_sizes[g];
+        }
+      }
+      while (planned_disk > options_.disk_capacity_bytes) {
+        size_t best = group_ids.size();
+        double best_regret = std::numeric_limits<double>::infinity();
+        for (size_t g = 0; g < group_ids.size(); ++g) {
+          if (solution.choice[g] != 1) {
+            continue;
+          }
+          const double regret = group_u_cost[g] - group_d_cost[g];
+          if (regret < best_regret) {
+            best_regret = regret;
+            best = g;
+          }
+        }
+        if (best == group_ids.size()) {
+          break;
+        }
+        solution.choice[best] = 2;  // u
+        planned_disk -= group_sizes[best];
+      }
+    }
+
+    // Decode choices back to states and apply the transitions. Demotions run
+    // before promotions so the capacity plan is respected.
+    std::vector<std::pair<BlockId, PartitionState>> plan;
+    for (size_t g = 0; g < group_ids.size(); ++g) {
+      PartitionState state = PartitionState::kNone;
+      const int choice = solution.choice[g];
+      if (choice == 0) {
+        state = PartitionState::kMemory;
+      } else if (options_.use_disk && choice == 1) {
+        state = PartitionState::kDisk;
+      }
+      plan.emplace_back(group_ids[g], state);
+    }
+    std::stable_sort(plan.begin(), plan.end(), [](const auto& a, const auto& b) {
+      return (a.second == PartitionState::kMemory) < (b.second == PartitionState::kMemory);
+    });
+
+    for (const auto& [id, state] : plan) {
+      const PartitionState current = current_state[id];
+      if (current == state) {
+        continue;
+      }
+      if (current == PartitionState::kMemory) {
+        auto data = bm.memory().Peek(id);
+        if (!data) {
+          continue;
+        }
+        MemoryEntry victim;
+        victim.id = id;
+        victim.data = *data;
+        victim.size_bytes = (*data)->SizeBytes();
+        EvictBlock(e, victim, /*spill=*/state == PartitionState::kDisk, nullptr);
+      } else if (current == PartitionState::kDisk) {
+        if (state == PartitionState::kNone) {
+          bm.RemoveFromDisk(id);
+          lineage_.SetState(id.rdd_id, id.partition, PartitionState::kNone);
+          engine_->metrics().RecordUnpersist();
+        } else {
+          // d -> m prefetch: reload if the dataset is still alive and it fits.
+          auto rdd = engine_->FindRdd(id.rdd_id);
+          if (rdd == nullptr) {
+            continue;
+          }
+          double read_ms = 0.0;
+          auto bytes = bm.ReadFromDisk(id, &read_ms);
+          if (!bytes) {
+            continue;
+          }
+          ByteSource src(*bytes);
+          BlockPtr block = rdd->DecodeBlock(src);
+          const uint64_t size = block->SizeBytes();
+          if (bm.memory().used_bytes() + size <= bm.memory().capacity_bytes()) {
+            bm.memory().Put(id, std::move(block), size);
+            bm.RemoveFromDisk(id);
+            lineage_.SetState(id.rdd_id, id.partition, PartitionState::kMemory);
+          }
+        }
+      } else {
+        // Absent: remember the plan; admission applies it on materialization.
+        new_desired[id] = state;
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(desired_mu_);
+  desired_ = std::move(new_desired);
+}
+
+}  // namespace blaze

@@ -1,0 +1,50 @@
+// Convenience entry point that wires the full Blaze pipeline together:
+// dependency extraction on sampled input -> seed the CostLineage -> install
+// the unified decision layer -> run the real driver.
+#ifndef SRC_BLAZE_BLAZE_RUNNER_H_
+#define SRC_BLAZE_BLAZE_RUNNER_H_
+
+#include <functional>
+
+#include "src/blaze/blaze_coordinator.h"
+#include "src/dataflow/engine_context.h"
+
+namespace blaze {
+
+struct BlazeRunConfig {
+  BlazeOptions options;
+  // Driver bound to sampled (profiling) input; leave empty to skip the
+  // dependency-extraction phase (the paper's "Blaze w/o profiling", §7.5).
+  std::function<void(EngineContext&)> profiling_driver;
+};
+
+// Installs a BlazeCoordinator on `engine` (optionally seeded by a profiling
+// run, whose time is added to the run metrics) and executes `driver`.
+// Returns the coordinator for inspection; it stays owned by the engine.
+inline BlazeCoordinator* RunWithBlaze(EngineContext& engine, const BlazeRunConfig& config,
+                                      const std::function<void(EngineContext&)>& driver);
+
+}  // namespace blaze
+
+#include "src/blaze/profiler.h"
+
+namespace blaze {
+
+inline BlazeCoordinator* RunWithBlaze(EngineContext& engine, const BlazeRunConfig& config,
+                                      const std::function<void(EngineContext&)>& driver) {
+  auto coordinator = std::make_unique<BlazeCoordinator>(&engine, config.options);
+  BlazeCoordinator* handle = coordinator.get();
+  if (config.profiling_driver) {
+    const ProfilingResult profiling =
+        ExtractDependencies(config.profiling_driver, engine.num_executors());
+    handle->SeedProfile(profiling.profile);
+    engine.metrics().RecordProfiling(profiling.elapsed_ms);
+  }
+  engine.SetCoordinator(std::move(coordinator));
+  driver(engine);
+  return handle;
+}
+
+}  // namespace blaze
+
+#endif  // SRC_BLAZE_BLAZE_RUNNER_H_

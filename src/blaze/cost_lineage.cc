@@ -1,0 +1,304 @@
+#include "src/blaze/cost_lineage.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/logging.h"
+#include "src/dataflow/rdd_base.h"
+
+namespace blaze {
+
+namespace {
+
+// Least-squares fit y = a*x + b; falls back to the mean for degenerate inputs.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+
+  double At(double x) const { return slope * x + intercept; }
+};
+
+LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys) {
+  LinearFit fit;
+  const size_t n = xs.size();
+  if (n == 0) {
+    return fit;
+  }
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum_x += xs[i];
+    sum_y += ys[i];
+  }
+  const double mean_x = sum_x / static_cast<double>(n);
+  const double mean_y = sum_y / static_cast<double>(n);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sxx += (xs[i] - mean_x) * (xs[i] - mean_x);
+    sxy += (xs[i] - mean_x) * (ys[i] - mean_y);
+  }
+  if (sxx < 1e-12) {
+    fit.intercept = mean_y;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  return fit;
+}
+
+}  // namespace
+
+void CostLineage::SeedFromProfile(const LineageProfile& profile) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const LineageNode& node : profile.nodes) {
+    LineageNode copy = node;
+    // Metrics from the profiling run are measured on <1 MB of data: keep the
+    // structure, drop the numbers; the real run's early iterations feed the
+    // regression instead (paper §5.3).
+    copy.parts.assign(copy.num_partitions, PartitionInfo{});
+    nodes_[copy.role] = copy;
+    if (copy.producer_job >= 0) {
+      job_new_roles_[copy.producer_job].push_back(copy.role);
+    }
+  }
+  for (auto& [job, roles] : job_new_roles_) {
+    std::sort(roles.begin(), roles.end());
+  }
+  class_ref_offsets_ = profile.class_ref_offsets;
+  profiled_jobs_ = profile.num_jobs;
+}
+
+void CostLineage::ObserveJobStart(const JobInfo& job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ObserveJobStartLocked(job);
+}
+
+void CostLineage::ObserveJobStartLocked(const JobInfo& job) {
+  current_job_ = job.job_id;
+  std::vector<RddId> new_roles;
+
+  for (const JobRddInfo& info : job.rdds) {
+    const RddId role = info.rdd->id();
+    auto it = nodes_.find(role);
+    if (it == nodes_.end()) {
+      LineageNode node;
+      node.role = role;
+      node.name = info.rdd->name();
+      node.num_partitions = info.rdd->num_partitions();
+      node.producer_job = job.job_id;
+      node.class_id = role;
+      node.parts.assign(node.num_partitions, PartitionInfo{});
+      for (const Dependency& dep : info.rdd->dependencies()) {
+        if (dep.is_shuffle) {
+          node.shuffle_parents.push_back(dep.parent->id());
+        } else {
+          node.narrow_parents.push_back(dep.parent->id());
+        }
+      }
+      nodes_.emplace(role, std::move(node));
+      new_roles.push_back(role);
+    }
+  }
+
+  if (!new_roles.empty()) {
+    std::sort(new_roles.begin(), new_roles.end());
+    job_new_roles_[job.job_id] = new_roles;
+    // Congruence detection: identical (name, partition-count) sequences of new
+    // datasets mean the jobs came from the same loop body, so corresponding
+    // datasets share a class. Lookback of 2 covers loop bodies that submit two
+    // differently-shaped jobs per iteration (e.g. fit + update).
+    for (int lookback = 1; lookback <= 2; ++lookback) {
+      auto prev = job_new_roles_.find(job.job_id - lookback);
+      if (prev == job_new_roles_.end() || prev->second.size() != new_roles.size()) {
+        continue;
+      }
+      bool congruent = true;
+      for (size_t k = 0; k < new_roles.size(); ++k) {
+        const LineageNode& a = nodes_.at(prev->second[k]);
+        const LineageNode& b = nodes_.at(new_roles[k]);
+        if (a.name != b.name || a.num_partitions != b.num_partitions) {
+          congruent = false;
+          break;
+        }
+      }
+      if (congruent) {
+        for (size_t k = 0; k < new_roles.size(); ++k) {
+          nodes_.at(new_roles[k]).class_id = nodes_.at(prev->second[k]).class_id;
+        }
+        break;
+      }
+    }
+  }
+
+  // Record reference offsets (job - producer_job) per congruence class.
+  // A dataset counts as *referenced* by this job only if it is a direct
+  // parent of a dataset the job creates (or the job's action target): deep
+  // ancestors appear in the job DAG through lineage but are only consulted on
+  // cache misses, so they carry no caching benefit of their own.
+  std::set<RddId> referenced;
+  for (const RddId role : new_roles) {
+    const LineageNode& node = nodes_.at(role);
+    for (RddId parent : node.narrow_parents) {
+      referenced.insert(parent);
+    }
+    for (RddId parent : node.shuffle_parents) {
+      referenced.insert(parent);
+    }
+  }
+  if (job.target != nullptr) {
+    referenced.insert(job.target->id());
+  }
+  for (const RddId role : referenced) {
+    auto it = nodes_.find(role);
+    if (it == nodes_.end()) {
+      continue;
+    }
+    const int offset = job.job_id - it->second.producer_job;
+    if (offset > 0) {
+      class_ref_offsets_[it->second.class_id].insert(offset);
+    }
+  }
+}
+
+void CostLineage::ObserveBlockComputed(RddId role, uint32_t partition, uint64_t size_bytes,
+                                       double compute_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(role);
+  if (it == nodes_.end() || partition >= it->second.parts.size()) {
+    return;
+  }
+  PartitionInfo& part = it->second.parts[partition];
+  part.size_bytes = size_bytes;
+  part.compute_ms = compute_ms;
+  part.observed = true;
+}
+
+void CostLineage::SetState(RddId role, uint32_t partition, PartitionState state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(role);
+  if (it == nodes_.end() || partition >= it->second.parts.size()) {
+    return;
+  }
+  it->second.parts[partition].state = state;
+}
+
+int CostLineage::FutureRefCount(RddId role, int job, bool include_current) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FutureRefCountLocked(role, job, include_current);
+}
+
+int CostLineage::FutureRefCountLocked(RddId role, int job, bool include_current) const {
+  auto it = nodes_.find(role);
+  if (it == nodes_.end()) {
+    return 0;
+  }
+  auto offsets = class_ref_offsets_.find(it->second.class_id);
+  if (offsets == class_ref_offsets_.end()) {
+    return 0;
+  }
+  int count = 0;
+  for (int offset : offsets->second) {
+    const int ref_job = it->second.producer_job + offset;
+    if (ref_job > job || (include_current && ref_job == job)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<RddId> CostLineage::RolesReferencedIn(int job) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RddId> out;
+  for (const auto& [role, node] : nodes_) {
+    if (node.producer_job == job) {
+      out.push_back(role);
+      continue;
+    }
+    auto offsets = class_ref_offsets_.find(node.class_id);
+    if (offsets != class_ref_offsets_.end() &&
+        offsets->second.contains(job - node.producer_job)) {
+      out.push_back(role);
+    }
+  }
+  return out;
+}
+
+std::optional<PartitionInfo> CostLineage::GetPartition(RddId role, uint32_t partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(role);
+  if (it == nodes_.end() || partition >= it->second.parts.size()) {
+    return std::nullopt;
+  }
+  const PartitionInfo& part = it->second.parts[partition];
+  if (part.observed) {
+    return part;
+  }
+  return InducePartitionLocked(it->second, partition);
+}
+
+PartitionInfo CostLineage::InducePartitionLocked(const LineageNode& node,
+                                                 uint32_t partition) const {
+  // Regress this partition index's metrics over the class members' iteration
+  // (producer job) and evaluate at this node's own producer job.
+  std::vector<double> xs;
+  std::vector<double> sizes;
+  std::vector<double> computes;
+  for (const auto& [role, other] : nodes_) {
+    if (other.class_id != node.class_id || partition >= other.parts.size()) {
+      continue;
+    }
+    const PartitionInfo& part = other.parts[partition];
+    if (!part.observed) {
+      continue;
+    }
+    xs.push_back(static_cast<double>(other.producer_job));
+    sizes.push_back(static_cast<double>(part.size_bytes));
+    computes.push_back(part.compute_ms);
+  }
+  PartitionInfo out;
+  out.state = node.parts[partition].state;
+  out.observed = false;
+  if (xs.empty()) {
+    return out;
+  }
+  const double x = static_cast<double>(node.producer_job);
+  out.size_bytes = static_cast<uint64_t>(std::max(0.0, FitLine(xs, sizes).At(x)));
+  out.compute_ms = std::max(0.0, FitLine(xs, computes).At(x));
+  return out;
+}
+
+const LineageNode* CostLineage::GetNode(RddId role) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(role);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+PartitionState CostLineage::GetState(RddId role, uint32_t partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(role);
+  if (it == nodes_.end() || partition >= it->second.parts.size()) {
+    return PartitionState::kNone;
+  }
+  return it->second.parts[partition].state;
+}
+
+std::vector<RddId> CostLineage::NarrowParents(RddId role) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(role);
+  return it == nodes_.end() ? std::vector<RddId>{} : it->second.narrow_parents;
+}
+
+LineageProfile CostLineage::ExportProfile() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LineageProfile profile;
+  profile.nodes.reserve(nodes_.size());
+  for (const auto& [role, node] : nodes_) {
+    profile.nodes.push_back(node);
+  }
+  profile.class_ref_offsets = class_ref_offsets_;
+  profile.num_jobs = current_job_ + 1;
+  return profile;
+}
+
+}  // namespace blaze

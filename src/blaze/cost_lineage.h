@@ -1,0 +1,119 @@
+// CostLineage (paper §5.3): the cross-job merged view of the workload's
+// datasets, their dependencies, and dynamically tracked per-partition metrics.
+//
+// Key ideas reproduced:
+//  * Datasets from different jobs that play the same role (same code site in
+//    the driver loop) are merged into *congruence classes*, detected by
+//    fingerprinting each job's newly created datasets against the previous
+//    job's (the paper's "simple pattern searching" over the job sequence).
+//  * Future references are predicted per class as *offsets* from the dataset's
+//    producing job: if iteration datasets of a class were historically
+//    referenced one and two jobs after creation, a new member of the class is
+//    predicted to be referenced at the same offsets. A dependency-extraction
+//    profiling run (src/blaze/profiler.h) seeds complete offsets up front;
+//    without it the offsets accumulate on the fly (paper §7.5's ablation).
+//  * Unobserved partition metrics (sizes/compute times of datasets the
+//    current job is about to produce) are induced by per-class least-squares
+//    regression over the iteration index (the paper's "inductive regression").
+#ifndef SRC_BLAZE_COST_LINEAGE_H_
+#define SRC_BLAZE_COST_LINEAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/dataflow/events.h"
+#include "src/dataflow/types.h"
+#include "src/storage/block.h"
+
+namespace blaze {
+
+// Where a partition's cached copy currently lives.
+enum class PartitionState { kNone, kMemory, kDisk };
+
+struct PartitionInfo {
+  uint64_t size_bytes = 0;
+  double compute_ms = 0.0;  // exclusive cost of the producing edge
+  PartitionState state = PartitionState::kNone;
+  bool observed = false;  // measured (true) vs induced (false)
+};
+
+struct LineageNode {
+  RddId role = 0;
+  std::string name;
+  size_t num_partitions = 0;
+  std::vector<RddId> narrow_parents;
+  std::vector<RddId> shuffle_parents;
+  int producer_job = -1;  // job in which first seen
+  RddId class_id = 0;     // congruence class (earliest member's role)
+  std::vector<PartitionInfo> parts;
+};
+
+// Structure-only export of a lineage (what the profiling run hands over).
+struct LineageProfile {
+  // Nodes in creation order; role ids are creation indices in both runs.
+  std::vector<LineageNode> nodes;
+  // Per class: set of reference offsets (job - producer_job, offset >= 0).
+  std::map<RddId, std::set<int>> class_ref_offsets;
+  int num_jobs = 0;
+};
+
+class CostLineage {
+ public:
+  CostLineage() = default;
+
+  // Seeds structure and reference offsets from a profiling run.
+  void SeedFromProfile(const LineageProfile& profile);
+
+  // --- observation (called from the coordinator) -----------------------------------
+  void ObserveJobStart(const JobInfo& job);
+  void ObserveBlockComputed(RddId role, uint32_t partition, uint64_t size_bytes,
+                            double compute_ms);
+  void SetState(RddId role, uint32_t partition, PartitionState state);
+
+  // --- queries ----------------------------------------------------------------------
+  // Number of predicted references of `role` strictly after job `job` (plus
+  // same-job references when `include_current` — used while the job runs).
+  int FutureRefCount(RddId role, int job, bool include_current) const;
+
+  // Roles predicted to be referenced in `job` (existing roles only).
+  std::vector<RddId> RolesReferencedIn(int job) const;
+
+  // Size/compute metrics for a partition; induced via class regression when
+  // unobserved. nullopt if the role is unknown.
+  std::optional<PartitionInfo> GetPartition(RddId role, uint32_t partition) const;
+
+  const LineageNode* GetNode(RddId role) const;
+  PartitionState GetState(RddId role, uint32_t partition) const;
+
+  // Narrow parents of a role (empty if unknown). Thread-safe copy, used by the
+  // cost model's recomputation recursion.
+  std::vector<RddId> NarrowParents(RddId role) const;
+
+  // Exports the structural profile (used by the profiling run).
+  LineageProfile ExportProfile() const;
+
+  int current_job() const { return current_job_; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  void ObserveJobStartLocked(const JobInfo& job);
+  PartitionInfo InducePartitionLocked(const LineageNode& node, uint32_t partition) const;
+  int FutureRefCountLocked(RddId role, int job, bool include_current) const;
+
+  mutable std::mutex mu_;
+  std::map<RddId, LineageNode> nodes_;
+  std::map<RddId, std::set<int>> class_ref_offsets_;
+  // New roles per job, in role order (for congruence detection).
+  std::map<int, std::vector<RddId>> job_new_roles_;
+  int current_job_ = -1;
+  int profiled_jobs_ = 0;
+};
+
+}  // namespace blaze
+
+#endif  // SRC_BLAZE_COST_LINEAGE_H_

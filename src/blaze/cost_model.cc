@@ -1,0 +1,120 @@
+#include "src/blaze/cost_model.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace blaze {
+
+namespace {
+
+uint64_t MemoKey(RddId role, uint32_t partition) {
+  return (static_cast<uint64_t>(role) << 32) | partition;
+}
+
+constexpr int kMaxDepth = 256;  // lineage chains are bounded by iteration count
+
+}  // namespace
+
+CostEstimator::CostEstimator(const CostLineage* lineage, double disk_throughput_bytes_per_sec,
+                             bool use_disk, ShuffleAvailabilityFn shuffle_available)
+    : lineage_(lineage),
+      throughput_(std::max(1.0, disk_throughput_bytes_per_sec)),
+      use_disk_(use_disk),
+      shuffle_available_(std::move(shuffle_available)) {}
+
+double CostEstimator::DiskCost(uint64_t size_bytes) const {
+  return static_cast<double>(size_bytes) / throughput_ * 1000.0;
+}
+
+void CostEstimator::OverrideState(RddId role, uint32_t partition, PartitionState state) {
+  state_overlay_[MemoKey(role, partition)] = state;
+  recompute_memo_.clear();
+}
+
+PartitionState CostEstimator::EffectiveState(RddId role, uint32_t partition,
+                                             const PartitionInfo& info) const {
+  auto it = state_overlay_.find(MemoKey(role, partition));
+  return it == state_overlay_.end() ? info.state : it->second;
+}
+
+BlockCost CostEstimator::Estimate(RddId role, uint32_t partition) {
+  BlockCost cost;
+  const auto info = lineage_->GetPartition(role, partition);
+  if (info) {
+    cost.cost_d_ms = DiskCost(info->size_bytes);
+  }
+  cost.cost_r_ms = RecomputeCost(role, partition, 0);
+  cost.recovery_ms = use_disk_ ? std::min(cost.cost_d_ms, cost.cost_r_ms) : cost.cost_r_ms;
+  return cost;
+}
+
+double CostEstimator::RecomputeCost(RddId role, uint32_t partition, int depth) {
+  if (depth > kMaxDepth) {
+    return 0.0;
+  }
+  const uint64_t key = MemoKey(role, partition);
+  auto memo = recompute_memo_.find(key);
+  if (memo != recompute_memo_.end()) {
+    return memo->second;
+  }
+  recompute_memo_[key] = 0.0;  // cycle guard (the lineage is a DAG; defensive)
+
+  const auto info = lineage_->GetPartition(role, partition);
+  double cost = info ? info->compute_ms : 0.0;
+
+  // Eq. 4: the longest recovery path over narrow parents that are not in
+  // memory. (Shuffle parents are served by persisted shuffle outputs.)
+  double worst_parent = 0.0;
+  for (RddId parent : lineage_->NarrowParents(role)) {
+    const auto parent_node_info = lineage_->GetPartition(parent, partition);
+    if (!parent_node_info) {
+      continue;
+    }
+    const PartitionState parent_state = EffectiveState(parent, partition, *parent_node_info);
+    if (parent_state == PartitionState::kMemory) {
+      continue;  // (1 - m_k) zeroes the term
+    }
+    double parent_cost = RecomputeCost(parent, partition, depth + 1);
+    if (use_disk_ && parent_state == PartitionState::kDisk) {
+      parent_cost = std::min(parent_cost, DiskCost(parent_node_info->size_bytes));
+    }
+    worst_parent = std::max(worst_parent, parent_cost);
+  }
+  cost += worst_parent;
+
+  // Shuffle parents: free while the map outputs persist; otherwise the
+  // recovering task rebuilds every map partition serially, so their recovery
+  // costs *sum* (unlike the max over narrow paths).
+  if (shuffle_available_ && !shuffle_available_(role)) {
+    const LineageNode* node = lineage_->GetNode(role);
+    if (node != nullptr) {
+      for (RddId parent : node->shuffle_parents) {
+        const LineageNode* parent_node = lineage_->GetNode(parent);
+        if (parent_node == nullptr) {
+          continue;
+        }
+        for (uint32_t m = 0; m < parent_node->num_partitions; ++m) {
+          const auto parent_info = lineage_->GetPartition(parent, m);
+          if (!parent_info) {
+            continue;
+          }
+          const PartitionState state = EffectiveState(parent, m, *parent_info);
+          if (state == PartitionState::kMemory) {
+            continue;
+          }
+          double rebuild = RecomputeCost(parent, m, depth + 1);
+          if (use_disk_ && state == PartitionState::kDisk) {
+            rebuild = std::min(rebuild, DiskCost(parent_info->size_bytes));
+          }
+          cost += rebuild;
+        }
+      }
+    }
+  }
+
+  recompute_memo_[key] = cost;
+  return cost;
+}
+
+}  // namespace blaze

@@ -1,0 +1,71 @@
+// Potential-recovery cost estimation (paper §5.4, Eq. 2-4).
+//
+//   cost_d(p) = size(p) / throughput_disk                               (Eq. 3)
+//   cost_r(p) = compute(p) + max over narrow parents k not in memory of
+//               min(cost_d(k), cost_r(k))                               (Eq. 4)
+//   cost(p)   = min(cost_d(p), cost_r(p))                               (Eq. 2)
+//
+// Shuffle parents normally contribute nothing to cost_r: shuffle outputs
+// persist in the shuffle service (as Spark's shuffle files persist on local
+// disk), so regenerating a shuffled partition is a re-aggregation, whose cost
+// is the partition's own compute edge. When the engine runs with aggressive
+// shuffle retention, a dropped shuffle forces the rebuild of *every* map
+// partition within the recovering task; a ShuffleAvailabilityFn lets the
+// coordinator surface that, and the model then adds the summed map-side
+// rebuild cost. Costs are memoized per Estimator instance; create a fresh
+// Estimator per decision round so state changes are picked up.
+#ifndef SRC_BLAZE_COST_MODEL_H_
+#define SRC_BLAZE_COST_MODEL_H_
+
+#include <functional>
+#include <unordered_map>
+
+#include "src/blaze/cost_lineage.h"
+
+namespace blaze {
+
+struct BlockCost {
+  double cost_d_ms = 0.0;  // potential disk read-back cost
+  double cost_r_ms = 0.0;  // potential recomputation cost
+  // Potential recovery cost if not in memory (Eq. 2). When the disk tier is
+  // disabled this equals cost_r.
+  double recovery_ms = 0.0;
+};
+
+// Whether the shuffle feeding `shuffled_role` still has complete map outputs.
+using ShuffleAvailabilityFn = std::function<bool(RddId shuffled_role)>;
+
+class CostEstimator {
+ public:
+  // `disk_throughput_bytes_per_sec` is the profiled disk throughput; pass
+  // use_disk=false for the memory-only variant (paper §7.4).
+  // `shuffle_available` defaults to "always" (the engine's retain-everything
+  // default).
+  CostEstimator(const CostLineage* lineage, double disk_throughput_bytes_per_sec,
+                bool use_disk, ShuffleAvailabilityFn shuffle_available = nullptr);
+
+  BlockCost Estimate(RddId role, uint32_t partition);
+
+  double DiskCost(uint64_t size_bytes) const;
+
+  // Hypothetical state overrides used by the ILP's fixed-point rounds
+  // (paper §5.5): costs are re-estimated as if the previous round's plan had
+  // already been applied. Clears the memo.
+  void OverrideState(RddId role, uint32_t partition, PartitionState state);
+
+ private:
+  double RecomputeCost(RddId role, uint32_t partition, int depth);
+  PartitionState EffectiveState(RddId role, uint32_t partition,
+                                const PartitionInfo& info) const;
+
+  const CostLineage* lineage_;
+  double throughput_;
+  bool use_disk_;
+  ShuffleAvailabilityFn shuffle_available_;
+  std::unordered_map<uint64_t, double> recompute_memo_;
+  std::unordered_map<uint64_t, PartitionState> state_overlay_;
+};
+
+}  // namespace blaze
+
+#endif  // SRC_BLAZE_COST_MODEL_H_

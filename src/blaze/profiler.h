@@ -1,0 +1,33 @@
+// Dependency-extraction phase (paper §5.1 step ① / §5.3 / §7.5).
+//
+// Blaze first executes the workload's driver program on a miniature sample of
+// the input (< 1 MB in the paper) inside a scratch engine whose coordinator
+// records every job's structure into a CostLineage. Dataset creation order is
+// deterministic for a given driver, so the roles captured here map one-to-one
+// onto the real run's dataset ids; the exported LineageProfile seeds the real
+// run's BlazeCoordinator with the complete reference schedule.
+#ifndef SRC_BLAZE_PROFILER_H_
+#define SRC_BLAZE_PROFILER_H_
+
+#include <functional>
+
+#include "src/blaze/cost_lineage.h"
+#include "src/dataflow/engine_context.h"
+
+namespace blaze {
+
+struct ProfilingResult {
+  LineageProfile profile;
+  double elapsed_ms = 0.0;
+  int jobs_observed = 0;
+};
+
+// Runs `driver` (a workload driver bound to *sampled* input parameters) on a
+// scratch in-memory engine and captures the lineage. `num_executors` should
+// match the real run so partition->executor mapping assumptions carry over.
+ProfilingResult ExtractDependencies(const std::function<void(EngineContext&)>& driver,
+                                    size_t num_executors, size_t threads_per_executor = 1);
+
+}  // namespace blaze
+
+#endif  // SRC_BLAZE_PROFILER_H_

@@ -1,0 +1,41 @@
+// Alluxio-style external tiered cache (paper's "Spark+Alluxio" baseline, also
+// standing in for MEMORY_AND_DISK_SER / OFF_HEAP): cached blocks are kept
+// *serialized* in a dedicated memory tier backed by the executor disk store.
+// Memory is saved (serialized blocks are smaller than live objects), but every
+// single cache hit pays deserialization and every store pays serialization —
+// the trade-off the paper's Fig. 9/10 LR discussion highlights.
+#ifndef SRC_CACHE_ALLUXIO_COORDINATOR_H_
+#define SRC_CACHE_ALLUXIO_COORDINATOR_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/dataflow/cache_coordinator.h"
+#include "src/dataflow/engine_context.h"
+#include "src/storage/memory_store.h"
+
+namespace blaze {
+
+class AlluxioCoordinator : public CacheCoordinator {
+ public:
+  explicit AlluxioCoordinator(EngineContext* engine);
+
+  std::optional<BlockPtr> Lookup(const RddBase& rdd, uint32_t partition,
+                                 TaskContext& tc) override;
+  void BlockComputed(const RddBase& rdd, uint32_t partition, const BlockPtr& block,
+                     double compute_ms, TaskContext& tc) override;
+  bool IsManaged(const RddBase& rdd) const override;
+  void UnpersistRdd(const RddBase& rdd) override;
+
+ private:
+  EngineContext* engine_;
+  // Serialized memory tier, one per executor (same capacity as the Spark
+  // memory store, per the paper's Alluxio configuration).
+  std::vector<std::unique_ptr<MemoryStore>> mem_tier_;
+  std::vector<std::unique_ptr<std::mutex>> executor_mu_;
+};
+
+}  // namespace blaze
+
+#endif  // SRC_CACHE_ALLUXIO_COORDINATOR_H_

@@ -1,0 +1,195 @@
+#include "src/cache/policy_coordinator.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+#include "src/dataflow/task_context.h"
+
+namespace blaze {
+
+PolicyCoordinator::PolicyCoordinator(EngineContext* engine,
+                                     std::unique_ptr<EvictionPolicy> policy, EvictionMode mode)
+    : engine_(engine), policy_(std::move(policy)), mode_(mode) {
+  executor_mu_.reserve(engine->num_executors());
+  for (size_t e = 0; e < engine->num_executors(); ++e) {
+    executor_mu_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+void PolicyCoordinator::OnJobStart(const JobInfo& job) {
+  std::lock_guard<std::mutex> lock(digest_mu_);
+  digest_.ref_count.clear();
+  digest_.next_use_stage.clear();
+  digest_.current_stage = 0;
+  for (const JobRddInfo& info : job.rdds) {
+    digest_.ref_count[info.rdd->id()] = info.num_dependents_in_job;
+    if (info.first_consumer_stage >= 0) {
+      digest_.next_use_stage[info.rdd->id()] = info.first_consumer_stage;
+    }
+  }
+}
+
+void PolicyCoordinator::OnStageStart(const StageInfo& stage) {
+  {
+    std::lock_guard<std::mutex> lock(digest_mu_);
+    digest_.current_stage = stage.stage_index;
+  }
+  if (!policy_->WantsPrefetch()) {
+    return;
+  }
+  // MRD prefetch: pull disk-resident blocks the imminent stage will reference
+  // back into memory, overlapping with task execution (no evictions for this).
+  DependencyDigest digest_copy;
+  {
+    std::lock_guard<std::mutex> lock(digest_mu_);
+    digest_copy = digest_;
+  }
+  if (prefetcher_ == nullptr) {
+    prefetcher_ = std::make_unique<ThreadPool>(1, "mrd-prefetch");
+  }
+  prefetcher_->Submit(
+      [this, digest_copy = std::move(digest_copy)] { PrefetchSweep(digest_copy); });
+}
+
+void PolicyCoordinator::PrefetchSweep(DependencyDigest digest_copy) {
+  for (size_t e = 0; e < engine_->num_executors(); ++e) {
+    std::lock_guard<std::mutex> lock(*executor_mu_[e]);
+    BlockManager& bm = engine_->block_manager(e);
+    // Candidate ids: every block on this executor's disk store is tracked via
+    // the registry of datasets touched in this job.
+    for (const auto& [rdd_id, next_stage] : digest_copy.next_use_stage) {
+      auto rdd = engine_->FindRdd(rdd_id);
+      if (rdd == nullptr || !policy_->ShouldPrefetch(rdd_id, digest_copy)) {
+        continue;
+      }
+      for (uint32_t p = 0; p < rdd->num_partitions(); ++p) {
+        if (engine_->ExecutorFor(p) != e) {
+          continue;
+        }
+        const BlockId id{rdd_id, p};
+        if (bm.memory().Contains(id) || !bm.disk().Contains(id)) {
+          continue;
+        }
+        double read_ms = 0.0;
+        auto bytes = bm.ReadFromDisk(id, &read_ms);
+        if (!bytes) {
+          continue;
+        }
+        ByteSource src(*bytes);
+        BlockPtr block = rdd->DecodeBlock(src);
+        const uint64_t size = block->SizeBytes();
+        if (bm.memory().used_bytes() + size > bm.memory().capacity_bytes()) {
+          break;  // no free room on this executor; stop prefetching here
+        }
+        bm.memory().Put(id, std::move(block), size);
+      }
+    }
+  }
+}
+
+void PolicyCoordinator::OnStageComplete(const StageInfo& stage) {
+  std::lock_guard<std::mutex> lock(digest_mu_);
+  digest_.current_stage = stage.stage_index + 1;
+}
+
+std::optional<BlockPtr> PolicyCoordinator::Lookup(const RddBase& rdd, uint32_t partition,
+                                                  TaskContext& tc) {
+  const BlockId id{rdd.id(), partition};
+  BlockManager& bm = engine_->block_manager(engine_->ExecutorFor(partition));
+  if (auto hit = bm.memory().Get(id)) {
+    engine_->metrics().RecordCacheHit(/*from_memory=*/true);
+    return hit;
+  }
+  if (mode_ == EvictionMode::kMemAndDisk) {
+    double read_ms = 0.0;
+    if (auto bytes = bm.ReadFromDisk(id, &read_ms)) {
+      Stopwatch decode_watch;
+      ByteSource src(*bytes);
+      BlockPtr block = rdd.DecodeBlock(src);
+      tc.metrics().cache_disk_ms += read_ms + decode_watch.ElapsedMillis();
+      tc.metrics().cache_disk_bytes_read += bytes->size();
+      engine_->metrics().RecordCacheHit(/*from_memory=*/false);
+      return block;
+    }
+  }
+  // Full miss: learning policies observe it as potential regret. (The policy
+  // state is guarded by the digest mutex, like SelectVictim calls.)
+  {
+    std::lock_guard<std::mutex> lock(digest_mu_);
+    policy_->OnCacheMiss(id);
+  }
+  return std::nullopt;
+}
+
+bool PolicyCoordinator::EnsureSpace(size_t executor, uint64_t needed, RddId incoming_rdd,
+                                    TaskContext& tc) {
+  BlockManager& bm = engine_->block_manager(executor);
+  while (bm.memory().capacity_bytes() - bm.memory().used_bytes() < needed) {
+    std::vector<MemoryEntry> candidates;
+    for (MemoryEntry& entry : bm.memory().Entries()) {
+      if (entry.id.rdd_id != incoming_rdd) {
+        candidates.push_back(std::move(entry));
+      }
+    }
+    if (candidates.empty()) {
+      return false;
+    }
+    size_t victim_index = 0;
+    {
+      std::lock_guard<std::mutex> lock(digest_mu_);
+      victim_index = policy_->SelectVictim(candidates, digest_);
+    }
+    const MemoryEntry& victim = candidates[victim_index];
+    const bool to_disk = mode_ == EvictionMode::kMemAndDisk;
+    if (to_disk && !bm.disk().Contains(victim.id)) {
+      tc.metrics().cache_disk_ms += bm.SpillToDisk(victim.id, *victim.data);
+      tc.metrics().cache_disk_bytes_written += victim.size_bytes;
+    }
+    bm.memory().Remove(victim.id);
+    engine_->metrics().RecordEviction(executor, victim.size_bytes, to_disk);
+  }
+  return true;
+}
+
+void PolicyCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
+                                      const BlockPtr& block, double /*compute_ms*/,
+                                      TaskContext& tc) {
+  if (rdd.storage_level() == StorageLevel::kNone) {
+    return;  // not annotated: transient data
+  }
+  const BlockId id{rdd.id(), partition};
+  const size_t executor = engine_->ExecutorFor(partition);
+  BlockManager& bm = engine_->block_manager(executor);
+  std::lock_guard<std::mutex> lock(*executor_mu_[executor]);
+  if (bm.memory().Contains(id)) {
+    return;
+  }
+  const uint64_t size = block->SizeBytes();
+  if (size <= bm.memory().capacity_bytes() && EnsureSpace(executor, size, rdd.id(), tc)) {
+    bm.memory().Put(id, block, size);
+    return;
+  }
+  // Does not fit in memory at all: MEM_AND_DISK stores it straight on disk.
+  if (mode_ == EvictionMode::kMemAndDisk && !bm.disk().Contains(id)) {
+    tc.metrics().cache_disk_ms += bm.SpillToDisk(id, *block);
+    tc.metrics().cache_disk_bytes_written += size;
+    engine_->metrics().RecordEviction(executor, size, /*to_disk=*/true);
+  }
+}
+
+bool PolicyCoordinator::IsManaged(const RddBase& rdd) const {
+  return rdd.storage_level() != StorageLevel::kNone;
+}
+
+void PolicyCoordinator::UnpersistRdd(const RddBase& rdd) {
+  for (uint32_t p = 0; p < rdd.num_partitions(); ++p) {
+    const size_t executor = engine_->ExecutorFor(p);
+    std::lock_guard<std::mutex> lock(*executor_mu_[executor]);
+    BlockManager& bm = engine_->block_manager(executor);
+    bm.RemoveFromMemory(BlockId{rdd.id(), p});
+    bm.RemoveFromDisk(BlockId{rdd.id(), p});
+  }
+}
+
+}  // namespace blaze

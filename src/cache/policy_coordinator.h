@@ -1,0 +1,61 @@
+// The Spark-baseline cache coordinator: blindly follows user Cache()/
+// Unpersist() annotations at dataset granularity, evicts under memory
+// pressure according to a pluggable policy, and recovers evicted data either
+// by recomputation (MEM_ONLY) or from the per-executor disk store
+// (MEM_AND_DISK) — exactly the three separate operational layers the paper's
+// §2.3/§3 describe.
+#ifndef SRC_CACHE_POLICY_COORDINATOR_H_
+#define SRC_CACHE_POLICY_COORDINATOR_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/cache/eviction_policy.h"
+#include "src/dataflow/cache_coordinator.h"
+#include "src/dataflow/engine_context.h"
+
+namespace blaze {
+
+class PolicyCoordinator : public CacheCoordinator {
+ public:
+  PolicyCoordinator(EngineContext* engine, std::unique_ptr<EvictionPolicy> policy,
+                    EvictionMode mode);
+
+  void OnJobStart(const JobInfo& job) override;
+  void OnStageStart(const StageInfo& stage) override;
+  void OnStageComplete(const StageInfo& stage) override;
+
+  std::optional<BlockPtr> Lookup(const RddBase& rdd, uint32_t partition,
+                                 TaskContext& tc) override;
+  void BlockComputed(const RddBase& rdd, uint32_t partition, const BlockPtr& block,
+                     double compute_ms, TaskContext& tc) override;
+  bool IsManaged(const RddBase& rdd) const override;
+  void UnpersistRdd(const RddBase& rdd) override;
+
+ private:
+  // Frees at least `needed` bytes on the executor by evicting policy-chosen
+  // victims (spilled to disk in MEM_AND_DISK mode, discarded in MEM_ONLY).
+  // Blocks of `incoming_rdd` are never victims (Spark's same-RDD guard).
+  // Returns false if the space cannot be freed. Caller holds the executor lock;
+  // spill time is charged to `tc`.
+  bool EnsureSpace(size_t executor, uint64_t needed, RddId incoming_rdd, TaskContext& tc);
+
+  // Runs one prefetch sweep (MRD); executed on the background prefetcher.
+  void PrefetchSweep(DependencyDigest digest);
+
+  EngineContext* engine_;
+  std::unique_ptr<EvictionPolicy> policy_;
+  EvictionMode mode_;
+  std::vector<std::unique_ptr<std::mutex>> executor_mu_;
+  mutable std::mutex digest_mu_;
+  DependencyDigest digest_;
+  // Prefetching overlaps with task execution (MRD's prefetcher is a
+  // background component); one thread keeps sweeps ordered.
+  std::unique_ptr<ThreadPool> prefetcher_;
+};
+
+}  // namespace blaze
+
+#endif  // SRC_CACHE_POLICY_COORDINATOR_H_

@@ -1,0 +1,75 @@
+// Minimal leveled logging and assertion macros for the Blaze engine.
+//
+// The engine is multi-threaded; every log line is assembled in a thread-local
+// stream and emitted with a single write so lines never interleave.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace blaze {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Global minimum level; messages below it are discarded. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Collects one log statement and emits it (and aborts for kFatal) when destroyed.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define BLAZE_LOG(level)                                                              \
+  if (::blaze::LogLevel::level < ::blaze::GetLogLevel()) {                            \
+  } else                                                                              \
+    ::blaze::internal::LogMessage(::blaze::LogLevel::level, __FILE__, __LINE__).stream()
+
+#define BLAZE_CHECK(cond)                                                             \
+  if (cond) {                                                                         \
+  } else                                                                              \
+    ::blaze::internal::LogMessage(::blaze::LogLevel::kFatal, __FILE__, __LINE__)      \
+        .stream()                                                                     \
+        << "Check failed: " #cond " "
+
+#define BLAZE_CHECK_EQ(a, b) BLAZE_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define BLAZE_CHECK_NE(a, b) BLAZE_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define BLAZE_CHECK_LT(a, b) BLAZE_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define BLAZE_CHECK_LE(a, b) BLAZE_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define BLAZE_CHECK_GT(a, b) BLAZE_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define BLAZE_CHECK_GE(a, b) BLAZE_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+}  // namespace blaze
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,99 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace blaze {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextU64(uint64_t bound) {
+  BLAZE_CHECK_GT(bound, 0u);
+  // Rejection sampling to remove modulo bias (only matters for huge bounds).
+  const uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+double Rng::NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+double Rng::NextDouble(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+double Rng::NextGaussian() {
+  if (have_gaussian_) {
+    have_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  have_gaussian_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+uint64_t Rng::NextPowerLaw(uint64_t n, double alpha) {
+  BLAZE_CHECK_GT(n, 0u);
+  if (n == 1) {
+    return 0;
+  }
+  // Inverse-CDF of a continuous Pareto truncated to [1, n+1), then floored.
+  // P(X > x) ~ x^(1-alpha); alpha == 1 degenerates to log-uniform.
+  const double u = NextDouble();
+  double x = 0.0;
+  if (std::abs(alpha - 1.0) < 1e-9) {
+    x = std::exp(u * std::log(static_cast<double>(n) + 1.0));
+  } else {
+    const double one_minus = 1.0 - alpha;
+    const double hi = std::pow(static_cast<double>(n) + 1.0, one_minus);
+    x = std::pow(1.0 + u * (hi - 1.0), 1.0 / one_minus);
+  }
+  uint64_t rank = static_cast<uint64_t>(x) - 1;
+  if (rank >= n) {
+    rank = n - 1;
+  }
+  return rank;
+}
+
+}  // namespace blaze

@@ -1,0 +1,60 @@
+// Deterministic, seedable pseudo-random number generation used everywhere the
+// engine or a data generator needs randomness. Engine runs must be reproducible
+// across machines, so we use our own xoshiro256** implementation instead of the
+// standard library distributions (whose outputs differ across toolchains).
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace blaze {
+
+// xoshiro256** by Blackman & Vigna (public domain algorithm), reimplemented.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Uniform over all 64-bit values.
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextU64(uint64_t bound);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+  // True with probability p.
+  bool NextBool(double p);
+
+  // Zipf-like power-law sample in [0, n): probability of rank r proportional to
+  // (r + 1)^(-alpha). Uses inverse-CDF over a precomputation-free approximation
+  // (rejection-inversion would be overkill at this scale).
+  uint64_t NextPowerLaw(uint64_t n, double alpha);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextU64(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  bool have_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace blaze
+
+#endif  // SRC_COMMON_RNG_H_

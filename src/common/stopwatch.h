@@ -1,0 +1,42 @@
+// Wall-clock stopwatch used for all task/stage/disk timing in the engine.
+#ifndef SRC_COMMON_STOPWATCH_H_
+#define SRC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace blaze {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+  double ElapsedSeconds() const { return ElapsedMillis() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Adds the scope's elapsed milliseconds into *sink on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) : sink_(sink) {}
+  ~ScopedTimer() { *sink_ += watch_.ElapsedMillis(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  Stopwatch watch_;
+};
+
+}  // namespace blaze
+
+#endif  // SRC_COMMON_STOPWATCH_H_

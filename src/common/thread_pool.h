@@ -1,0 +1,46 @@
+// Fixed-size worker pool. Each simulated executor owns one pool, which models
+// the executor's task slots ("cores" in Spark terms).
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace blaze {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads, std::string name = "pool");
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues work. Never blocks; tasks run FIFO across the worker threads.
+  void Submit(std::function<void()> fn);
+
+  // Blocks until every submitted task has finished and the queue is empty.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signalled when work arrives or shutting down
+  std::condition_variable idle_cv_;   // signalled when the pool may have drained
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::string name_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace blaze
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

@@ -1,0 +1,32 @@
+#include "src/common/units.h"
+
+#include <cstdio>
+
+namespace blaze {
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[32];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= GiB(1)) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", b / static_cast<double>(GiB(1)));
+  } else if (bytes >= MiB(1)) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", b / static_cast<double>(MiB(1)));
+  } else if (bytes >= KiB(1)) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", b / static_cast<double>(KiB(1)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatMillis(double ms) {
+  char buf[32];
+  if (ms >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", ms / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ms);
+  }
+  return buf;
+}
+
+}  // namespace blaze

@@ -1,0 +1,22 @@
+// Byte-size and duration helpers shared across the engine.
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace blaze {
+
+constexpr uint64_t KiB(uint64_t n) { return n * 1024ULL; }
+constexpr uint64_t MiB(uint64_t n) { return n * 1024ULL * 1024ULL; }
+constexpr uint64_t GiB(uint64_t n) { return n * 1024ULL * 1024ULL * 1024ULL; }
+
+// "12.3 MiB"-style rendering for reports.
+std::string FormatBytes(uint64_t bytes);
+
+// "1.234 s" / "56.7 ms"-style rendering for reports.
+std::string FormatMillis(double ms);
+
+}  // namespace blaze
+
+#endif  // SRC_COMMON_UNITS_H_

@@ -1,0 +1,247 @@
+#include "src/dataflow/dag_scheduler.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+#include "src/dataflow/engine_context.h"
+#include "src/dataflow/task_context.h"
+
+namespace blaze {
+
+namespace {
+
+// Deterministic fault-injection decision for one task attempt: hashes
+// (job, stage, partition, attempt) into [0, 1) and compares with the rate.
+bool ShouldInjectFailure(double rate, int job, int stage, uint32_t partition, int attempt) {
+  if (rate <= 0.0) {
+    return false;
+  }
+  uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (uint64_t v : {static_cast<uint64_t>(job), static_cast<uint64_t>(stage),
+                     static_cast<uint64_t>(partition), static_cast<uint64_t>(attempt)}) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 31;
+  }
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+// Datasets materialized by a stage: the narrow closure from its terminal
+// (walking parents but never crossing a shuffle dependency).
+std::vector<const RddBase*> NarrowClosure(const RddBase* terminal) {
+  std::vector<const RddBase*> out;
+  std::unordered_set<const RddBase*> seen;
+  std::vector<const RddBase*> work{terminal};
+  while (!work.empty()) {
+    const RddBase* rdd = work.back();
+    work.pop_back();
+    if (!seen.insert(rdd).second) {
+      continue;
+    }
+    out.push_back(rdd);
+    for (const Dependency& dep : rdd->dependencies()) {
+      if (!dep.is_shuffle) {
+        work.push_back(dep.parent.get());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<DagScheduler::StagePlan> DagScheduler::PlanStages(
+    const std::shared_ptr<RddBase>& target) const {
+  // Collect shuffle dependencies reachable from the target, then order the map
+  // stages so that a stage runs after every shuffle stage it reads from.
+  std::vector<StagePlan> plans;
+  std::unordered_set<int> planned;        // shuffle ids already planned
+  std::unordered_set<const RddBase*> visited;  // diamond guard: visit each node once
+
+  // DFS producing postorder over shuffle dependencies.
+  std::function<void(const RddBase*)> visit = [&](const RddBase* rdd) {
+    if (!visited.insert(rdd).second) {
+      return;
+    }
+    for (const Dependency& dep : rdd->dependencies()) {
+      if (dep.is_shuffle) {
+        if (planned.insert(dep.shuffle_id).second) {
+          visit(dep.parent.get());  // the map stage's own upstream shuffles first
+          StagePlan plan;
+          plan.shuffle_dep = &dep;
+          plan.terminal = dep.parent;
+          plans.push_back(plan);
+        }
+      } else {
+        visit(dep.parent.get());
+      }
+    }
+  };
+  visit(target.get());
+
+  StagePlan result_stage;
+  result_stage.terminal = target;
+  plans.push_back(result_stage);
+  for (size_t i = 0; i < plans.size(); ++i) {
+    plans[i].stage_index = static_cast<int>(i);
+  }
+  return plans;
+}
+
+JobInfo DagScheduler::AnalyzeJob(const std::shared_ptr<RddBase>& target, int job_id) const {
+  JobInfo info;
+  info.job_id = job_id;
+  info.target = target.get();
+
+  const std::vector<StagePlan> plans = PlanStages(target);
+  info.num_stages = static_cast<int>(plans.size());
+
+  // Stage index where each dataset is materialized (min across stages).
+  std::unordered_map<const RddBase*, int> producer_stage;
+  for (const StagePlan& plan : plans) {
+    for (const RddBase* rdd : NarrowClosure(plan.terminal.get())) {
+      auto it = producer_stage.find(rdd);
+      if (it == producer_stage.end()) {
+        producer_stage.emplace(rdd, plan.stage_index);
+      }
+    }
+  }
+
+  // Full closure (crossing shuffles) with dependent counts and consumer stages.
+  std::unordered_map<const RddBase*, JobRddInfo> infos;
+  std::unordered_set<const RddBase*> seen;
+  std::vector<const RddBase*> work{target.get()};
+  infos[target.get()].rdd = target.get();
+  while (!work.empty()) {
+    const RddBase* rdd = work.back();
+    work.pop_back();
+    if (!seen.insert(rdd).second) {
+      continue;
+    }
+    auto ps = producer_stage.find(rdd);
+    const int consumer_stage = ps != producer_stage.end() ? ps->second : info.num_stages - 1;
+    for (const Dependency& dep : rdd->dependencies()) {
+      JobRddInfo& parent_info = infos[dep.parent.get()];
+      parent_info.rdd = dep.parent.get();
+      ++parent_info.num_dependents_in_job;
+      // A narrow parent is consumed in the stage that materializes the child;
+      // a shuffle parent is consumed by its own map stage (where its buckets
+      // are written).
+      int consume_at = consumer_stage;
+      if (dep.is_shuffle) {
+        auto pps = producer_stage.find(dep.parent.get());
+        if (pps != producer_stage.end()) {
+          consume_at = pps->second;
+        }
+      }
+      if (parent_info.first_consumer_stage < 0 ||
+          consume_at < parent_info.first_consumer_stage) {
+        parent_info.first_consumer_stage = consume_at;
+      }
+      work.push_back(dep.parent.get());
+    }
+  }
+  info.rdds.reserve(infos.size());
+  for (auto& [rdd, rinfo] : infos) {
+    info.rdds.push_back(rinfo);
+  }
+  return info;
+}
+
+std::vector<std::any> DagScheduler::RunJob(
+    const std::shared_ptr<RddBase>& target,
+    const std::function<std::any(const BlockPtr&)>& process) {
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  EngineContext& engine = *engine_;
+  const int job_id = next_job_id_.fetch_add(1);
+
+  const JobInfo job_info = AnalyzeJob(target, job_id);
+  engine.coordinator().OnJobStart(job_info);
+
+  const std::vector<StagePlan> plans = PlanStages(target);
+  std::vector<std::any> results(target->num_partitions());
+  for (const StagePlan& plan : plans) {
+    if (plan.shuffle_dep != nullptr) {
+      engine.shuffle().MarkUsed(plan.shuffle_dep->shuffle_id, job_id);
+    }
+    const bool is_result = plan.shuffle_dep == nullptr;
+    if (!is_result &&
+        engine.shuffle().HasAllOutputs(plan.shuffle_dep->shuffle_id,
+                                       plan.terminal->num_partitions(),
+                                       plan.shuffle_dep->num_reduce)) {
+      continue;  // stage skipping: map outputs persist across jobs
+    }
+
+    StageInfo stage_info;
+    stage_info.job_id = job_id;
+    stage_info.stage_index = plan.stage_index;
+    stage_info.terminal = plan.terminal.get();
+    for (const RddBase* rdd : NarrowClosure(plan.terminal.get())) {
+      stage_info.rdds_computed.push_back(rdd->id());
+    }
+    engine.coordinator().OnStageStart(stage_info);
+    RunStageTasks(plan, job_id, is_result ? &process : nullptr, is_result ? &results : nullptr);
+    engine.coordinator().OnStageComplete(stage_info);
+  }
+
+  engine.coordinator().OnJobEnd(job_id);
+  if (engine.config().shuffle_retention_jobs > 0) {
+    engine.shuffle().DropStale(job_id, engine.config().shuffle_retention_jobs);
+  }
+  return results;
+}
+
+void DagScheduler::RunStageTasks(const StagePlan& stage, int job_id,
+                                 const std::function<std::any(const BlockPtr&)>* process,
+                                 std::vector<std::any>* results) {
+  EngineContext& engine = *engine_;
+  const RddBase& terminal = *stage.terminal;
+  const size_t num_partitions = terminal.num_partitions();
+  std::mutex results_mu;
+
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    const size_t executor = engine.ExecutorFor(p);
+    engine.worker_pool(executor).Submit([&, p, executor] {
+      // Task attempts: injected launch failures are retried, as Spark's
+      // TaskSetManager re-offers failed tasks (fault-injection testing hook).
+      int attempt = 0;
+      while (ShouldInjectFailure(engine.config().task_failure_rate, job_id,
+                                 stage.stage_index, p, attempt)) {
+        engine.metrics().RecordTaskFailure();
+        ++attempt;
+        BLAZE_CHECK_LT(attempt, engine.config().max_task_attempts)
+            << "task " << p << " of stage " << stage.stage_index << " exhausted retries";
+      }
+      TaskContext tc(&engine, job_id, stage.stage_index, p, executor);
+      Stopwatch task_watch;
+      const BlockPtr block = tc.GetBlock(terminal, p);
+      if (stage.shuffle_dep != nullptr) {
+        std::vector<BlockPtr> buckets =
+            stage.shuffle_dep->bucketizer(block, stage.shuffle_dep->num_reduce);
+        BLAZE_CHECK_EQ(buckets.size(), stage.shuffle_dep->num_reduce);
+        for (uint32_t r = 0; r < buckets.size(); ++r) {
+          engine.shuffle().PutBucket(stage.shuffle_dep->shuffle_id, p, r,
+                                     std::move(buckets[r]));
+        }
+      }
+      if (process != nullptr) {
+        std::any result = (*process)(block);
+        std::lock_guard<std::mutex> lock(results_mu);
+        (*results)[p] = std::move(result);
+      }
+      tc.metrics().compute_ms = task_watch.ElapsedMillis() - tc.metrics().cache_disk_ms -
+                                tc.metrics().ilp_wait_ms;
+      engine.metrics().AddTask(tc.metrics());
+    });
+  }
+  for (size_t e = 0; e < engine.num_executors(); ++e) {
+    engine.worker_pool(e).Wait();
+  }
+}
+
+}  // namespace blaze

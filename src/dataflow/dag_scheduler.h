@@ -1,0 +1,65 @@
+// Stage-oriented DAG scheduler.
+//
+// A job (triggered by an action) is cut into stages at shuffle dependencies,
+// exactly as in Spark: every shuffle dependency gets a map stage that
+// materializes the dependency's parent partitions and writes hash buckets to
+// the shuffle service; the action itself runs as the final result stage. Map
+// stages whose shuffle outputs already exist are skipped (Spark's stage
+// skipping). Tasks are dispatched to the executor that owns their partition
+// (partition % num_executors), modeling Spark's locality-aware scheduling of
+// cached partitions.
+#ifndef SRC_DATAFLOW_DAG_SCHEDULER_H_
+#define SRC_DATAFLOW_DAG_SCHEDULER_H_
+
+#include <any>
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/dataflow/events.h"
+#include "src/dataflow/rdd_base.h"
+
+namespace blaze {
+
+class EngineContext;
+
+class DagScheduler {
+ public:
+  explicit DagScheduler(EngineContext* engine) : engine_(engine) {}
+
+  // Runs one action job; returns one result per partition of `target`.
+  std::vector<std::any> RunJob(const std::shared_ptr<RddBase>& target,
+                               const std::function<std::any(const BlockPtr&)>& process);
+
+  int jobs_run() const { return next_job_id_.load(); }
+
+  // Builds the JobInfo (reachable datasets, per-dataset dependent counts and
+  // first-consumer stages) without running anything. Exposed for tests and
+  // for Blaze's dependency-extraction phase.
+  JobInfo AnalyzeJob(const std::shared_ptr<RddBase>& target, int job_id) const;
+
+ private:
+  struct StagePlan {
+    // nullptr dep => result stage.
+    const Dependency* shuffle_dep = nullptr;
+    std::shared_ptr<RddBase> terminal;  // dataset materialized by this stage
+    int stage_index = 0;
+  };
+
+  // Topologically ordered map stages followed by the result stage.
+  std::vector<StagePlan> PlanStages(const std::shared_ptr<RddBase>& target) const;
+
+  void RunStageTasks(const StagePlan& stage, int job_id,
+                     const std::function<std::any(const BlockPtr&)>* process,
+                     std::vector<std::any>* results);
+
+  EngineContext* engine_;
+  std::mutex run_mu_;  // one job at a time, as in a single-driver Spark app
+  std::atomic<int> next_job_id_{0};
+};
+
+}  // namespace blaze
+
+#endif  // SRC_DATAFLOW_DAG_SCHEDULER_H_

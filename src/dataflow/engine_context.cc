@@ -1,0 +1,110 @@
+#include "src/dataflow/engine_context.h"
+
+#include <random>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/dataflow/dag_scheduler.h"
+
+namespace blaze {
+
+namespace {
+
+// Default coordinator: caches nothing. Real deployments install the
+// annotation-following policy coordinator (src/cache) or Blaze (src/blaze).
+class NoopCoordinator : public CacheCoordinator {
+ public:
+  std::optional<BlockPtr> Lookup(const RddBase&, uint32_t, TaskContext&) override {
+    return std::nullopt;
+  }
+  void BlockComputed(const RddBase&, uint32_t, const BlockPtr&, double, TaskContext&) override {}
+  bool IsManaged(const RddBase&) const override { return false; }
+  void UnpersistRdd(const RddBase&) override {}
+};
+
+std::filesystem::path MakeUniqueDiskRoot() {
+  std::random_device rd;
+  const auto tag = static_cast<uint64_t>(rd()) << 32 | rd();
+  return std::filesystem::temp_directory_path() / ("blaze_engine_" + std::to_string(tag));
+}
+
+}  // namespace
+
+EngineContext::EngineContext(const EngineConfig& config)
+    : config_(config), metrics_(config.num_executors) {
+  BLAZE_CHECK_GT(config.num_executors, 0u);
+  if (config.disk_root.empty()) {
+    disk_root_ = MakeUniqueDiskRoot();
+    owns_disk_root_ = true;
+  } else {
+    disk_root_ = config.disk_root;
+  }
+  executors_.reserve(config.num_executors);
+  for (size_t e = 0; e < config.num_executors; ++e) {
+    BlockManagerConfig bm_config;
+    bm_config.memory_capacity_bytes = config.memory_capacity_per_executor;
+    bm_config.disk_dir = disk_root_ / ("executor_" + std::to_string(e));
+    bm_config.disk_throughput_bytes_per_sec = config.disk_throughput_bytes_per_sec;
+    executors_.push_back(
+        std::make_unique<Executor>(e, bm_config, &metrics_, config.threads_per_executor));
+  }
+  checkpoint_store_ = std::make_unique<DiskStore>(disk_root_ / "checkpoints",
+                                                  config.disk_throughput_bytes_per_sec);
+  coordinator_ = std::make_unique<NoopCoordinator>();
+  scheduler_ = std::make_unique<DagScheduler>(this);
+}
+
+EngineContext::~EngineContext() {
+  executors_.clear();  // drains pools and removes per-executor disk dirs
+  if (owns_disk_root_) {
+    std::error_code ec;
+    std::filesystem::remove_all(disk_root_, ec);
+  }
+}
+
+void EngineContext::SetCoordinator(std::unique_ptr<CacheCoordinator> coordinator) {
+  BLAZE_CHECK(coordinator != nullptr);
+  coordinator_ = std::move(coordinator);
+}
+
+void EngineContext::RegisterRdd(const std::shared_ptr<RddBase>& rdd) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  registry_[rdd->id()] = rdd;
+}
+
+void EngineContext::UnregisterRdd(RddId id) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  registry_.erase(id);
+}
+
+std::shared_ptr<RddBase> EngineContext::FindRdd(RddId id) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = registry_.find(id);
+  return it == registry_.end() ? nullptr : it->second.lock();
+}
+
+bool EngineContext::WasComputedBefore(const BlockId& id) const {
+  std::lock_guard<std::mutex> lock(computed_mu_);
+  return computed_.contains(id);
+}
+
+void EngineContext::MarkComputed(const BlockId& id) {
+  std::lock_guard<std::mutex> lock(computed_mu_);
+  computed_.insert(id);
+}
+
+std::vector<std::any> EngineContext::RunJob(
+    const std::shared_ptr<RddBase>& target,
+    const std::function<std::any(const BlockPtr&)>& process) {
+  return scheduler_->RunJob(target, process);
+}
+
+uint64_t EngineContext::TotalMemoryUsed() const {
+  uint64_t total = 0;
+  for (const auto& executor : executors_) {
+    total += executor->block_manager.memory().used_bytes();
+  }
+  return total;
+}
+
+}  // namespace blaze

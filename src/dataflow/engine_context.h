@@ -1,0 +1,125 @@
+// EngineContext: the driver-side handle that owns the whole miniature
+// cluster — executors (worker pools + block managers), the shuffle service,
+// the DAG scheduler, the cache coordinator, and run metrics.
+#ifndef SRC_DATAFLOW_ENGINE_CONTEXT_H_
+#define SRC_DATAFLOW_ENGINE_CONTEXT_H_
+
+#include <any>
+#include <atomic>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/dataflow/cache_coordinator.h"
+#include "src/dataflow/rdd_base.h"
+#include "src/dataflow/shuffle.h"
+#include "src/metrics/run_metrics.h"
+#include "src/storage/block_manager.h"
+
+namespace blaze {
+
+class DagScheduler;
+
+struct EngineConfig {
+  size_t num_executors = 4;
+  size_t threads_per_executor = 2;
+  uint64_t memory_capacity_per_executor = 64ULL << 20;
+  uint64_t disk_throughput_bytes_per_sec = 0;  // 0 = unthrottled
+  EvictionMode eviction_mode = EvictionMode::kMemAndDisk;
+  // Root for per-executor disk stores; empty = unique directory under /tmp.
+  std::filesystem::path disk_root;
+  // Shuffle outputs untouched for this many jobs are dropped at job end
+  // (0 = retain for the whole run, like Spark's shuffle files while their
+  // dependency is reachable). Dropped outputs are rebuilt through the lineage
+  // on access — the aggressive-cleanup design ablation.
+  int shuffle_retention_jobs = 0;
+  // Fault injection: probability that a task attempt fails at launch
+  // (deterministic per (job, stage, partition, attempt)); the scheduler
+  // retries up to max_task_attempts, as Spark's TaskSetManager does.
+  double task_failure_rate = 0.0;
+  int max_task_attempts = 4;
+};
+
+class EngineContext {
+ public:
+  explicit EngineContext(const EngineConfig& config);
+  ~EngineContext();
+
+  EngineContext(const EngineContext&) = delete;
+  EngineContext& operator=(const EngineContext&) = delete;
+
+  const EngineConfig& config() const { return config_; }
+  size_t num_executors() const { return executors_.size(); }
+  size_t ExecutorFor(uint32_t partition) const { return partition % executors_.size(); }
+
+  BlockManager& block_manager(size_t executor) { return executors_[executor]->block_manager; }
+  ThreadPool& worker_pool(size_t executor) { return executors_[executor]->pool; }
+  ShuffleService& shuffle() { return shuffle_; }
+  // Reliable storage for RddBase::Checkpoint(); outside the cache tiers.
+  DiskStore& checkpoint_store() { return *checkpoint_store_; }
+  RunMetrics& metrics() { return metrics_; }
+  DagScheduler& scheduler() { return *scheduler_; }
+
+  CacheCoordinator& coordinator() { return *coordinator_; }
+  // Replaces the coordinator (default: annotation-following LRU). Must not be
+  // called while a job is running.
+  void SetCoordinator(std::unique_ptr<CacheCoordinator> coordinator);
+
+  // --- dataset registry -----------------------------------------------------------
+  RddId AllocateRddId() { return next_rdd_id_++; }
+  void RegisterRdd(const std::shared_ptr<RddBase>& rdd);
+  void UnregisterRdd(RddId id);
+  std::shared_ptr<RddBase> FindRdd(RddId id) const;
+
+  // --- recomputation attribution ---------------------------------------------------
+  // A block's second materialization is a recovery (the recompute cost the
+  // paper's Figs. 5/12 measure); the engine tracks first materializations here.
+  bool WasComputedBefore(const BlockId& id) const;
+  void MarkComputed(const BlockId& id);
+
+  // Runs an action job: computes every partition of `target` and applies
+  // `process` to each materialized block, returning per-partition results
+  // (indexed by partition). Delegates to the DAG scheduler.
+  std::vector<std::any> RunJob(const std::shared_ptr<RddBase>& target,
+                               const std::function<std::any(const BlockPtr&)>& process);
+
+  // Total memory-store bytes currently cached across executors (diagnostics).
+  uint64_t TotalMemoryUsed() const;
+
+ private:
+  struct Executor {
+    // Destruction order matters: the pool must drain before the stores die.
+    BlockManager block_manager;
+    ThreadPool pool;
+    Executor(size_t id, const BlockManagerConfig& bm_config, RunMetrics* metrics,
+             size_t threads)
+        : block_manager(id, bm_config, metrics),
+          pool(threads, "executor-" + std::to_string(id)) {}
+  };
+
+  EngineConfig config_;
+  RunMetrics metrics_;
+  std::filesystem::path disk_root_;
+  bool owns_disk_root_ = false;
+  std::vector<std::unique_ptr<Executor>> executors_;
+  std::unique_ptr<DiskStore> checkpoint_store_;
+  ShuffleService shuffle_;
+  std::unique_ptr<CacheCoordinator> coordinator_;
+  std::unique_ptr<DagScheduler> scheduler_;
+
+  std::atomic<RddId> next_rdd_id_{0};
+  mutable std::mutex registry_mu_;
+  std::unordered_map<RddId, std::weak_ptr<RddBase>> registry_;
+
+  mutable std::mutex computed_mu_;
+  std::unordered_set<BlockId, BlockIdHash> computed_;
+};
+
+}  // namespace blaze
+
+#endif  // SRC_DATAFLOW_ENGINE_CONTEXT_H_

@@ -1,0 +1,51 @@
+// Engine event structs delivered to cache coordinators and metric listeners.
+#ifndef SRC_DATAFLOW_EVENTS_H_
+#define SRC_DATAFLOW_EVENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dataflow/types.h"
+
+namespace blaze {
+
+class RddBase;
+
+// One logical dataset inside a submitted job's DAG.
+struct JobRddInfo {
+  const RddBase* rdd = nullptr;
+  // Number of dependent datasets inside this job (dependency-aware policies
+  // such as LRC derive reference counts from this).
+  int num_dependents_in_job = 0;
+  // Stage index (within the job's topological stage order) where this dataset
+  // is first consumed, for reference-distance policies such as MRD.
+  int first_consumer_stage = -1;
+};
+
+struct JobInfo {
+  int job_id = 0;
+  const RddBase* target = nullptr;
+  std::vector<JobRddInfo> rdds;  // every dataset reachable from the target
+  int num_stages = 0;
+};
+
+struct StageInfo {
+  int job_id = 0;
+  int stage_index = 0;  // topological position within the job
+  const RddBase* terminal = nullptr;
+  std::vector<RddId> rdds_computed;  // datasets materialized by this stage
+};
+
+struct BlockComputedEvent {
+  RddId rdd_id = 0;
+  uint32_t partition = 0;
+  uint64_t size_bytes = 0;
+  // Time to produce this block from already-available parents, excluding the
+  // time spent fetching/recomputing the parents (the CostLineage edge weight).
+  double exclusive_compute_ms = 0.0;
+  int job_id = 0;
+};
+
+}  // namespace blaze
+
+#endif  // SRC_DATAFLOW_EVENTS_H_

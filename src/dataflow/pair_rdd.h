@@ -1,0 +1,317 @@
+// Key-value dataset operations: shuffles (reduceByKey / groupByKey /
+// aggregateByKey), narrow value maps, and co-partitioned joins.
+//
+// Shuffle outputs are hash-partitioned by key with KeyPartition(); any two
+// datasets with the same number of partitions that were produced that way are
+// co-partitioned, so joins between them are narrow (Spark's partitioner-aware
+// join) — the pattern GraphX-style iterative workloads rely on.
+#ifndef SRC_DATAFLOW_PAIR_RDD_H_
+#define SRC_DATAFLOW_PAIR_RDD_H_
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/dataflow/rdd.h"
+
+namespace blaze {
+
+// The one hash used for all key partitioning (sources that pre-partition data
+// must use it to be co-partitioned with shuffle outputs).
+template <typename K>
+uint32_t KeyPartition(const K& key, size_t num_partitions) {
+  // splitmix-style finalizer over std::hash for better low-bit diffusion.
+  uint64_t h = std::hash<K>{}(key);
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return static_cast<uint32_t>(h % num_partitions);
+}
+
+// Reduce-side dataset of a shuffle: combines per-key values pushed by the map
+// stage into one combiner of type C per key.
+template <typename K, typename V, typename C>
+class ShuffledRdd final : public Rdd<std::pair<K, C>> {
+ public:
+  using CreateFn = std::function<C(const V&)>;
+  using MergeFn = std::function<void(C&, const V&)>;
+  // Maps a key to its reduce partition; nullptr = hash partitioning.
+  using PartitionerFn = std::function<uint32_t(const K&, size_t)>;
+
+  ShuffledRdd(EngineContext* ctx, std::string name, RddPtr<std::pair<K, V>> parent,
+              size_t num_reduce, CreateFn create, MergeFn merge,
+              PartitionerFn partitioner = nullptr)
+      : Rdd<std::pair<K, C>>(ctx, std::move(name), num_reduce,
+                             MakeDeps(ctx, parent, num_reduce, partitioner)),
+        num_map_(parent->num_partitions()),
+        create_(std::move(create)),
+        merge_(std::move(merge)) {
+    // Custom partitioners (e.g. range partitioning for sorts) are not
+    // co-partitionable with hash-partitioned datasets.
+    this->set_hash_partitioned(partitioner == nullptr);
+    shuffle_id_ = this->dependencies()[0].shuffle_id;
+  }
+
+  BlockPtr Compute(uint32_t index, TaskContext& tc) const override {
+    std::vector<BlockPtr> buckets = tc.ReadOrRebuildShuffleBuckets(*this, index);
+    std::unordered_map<K, C> agg;
+    for (const BlockPtr& bucket : buckets) {
+      for (const auto& [key, value] : RowsOf<std::pair<K, V>>(bucket)) {
+        auto it = agg.find(key);
+        if (it == agg.end()) {
+          agg.emplace(key, create_(value));
+        } else {
+          merge_(it->second, value);
+        }
+      }
+    }
+    std::vector<std::pair<K, C>> rows;
+    rows.reserve(agg.size());
+    for (auto& [key, combiner] : agg) {
+      rows.emplace_back(key, std::move(combiner));
+    }
+    // Sorted output keeps runs bit-reproducible regardless of hash-map order.
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return MakeBlock(std::move(rows));
+  }
+
+ private:
+  static std::vector<Dependency> MakeDeps(EngineContext* ctx,
+                                          const RddPtr<std::pair<K, V>>& parent,
+                                          size_t num_reduce, PartitionerFn partitioner) {
+    Dependency dep;
+    dep.parent = parent;
+    dep.is_shuffle = true;
+    dep.shuffle_id = ctx->shuffle().NewShuffleId();
+    dep.num_reduce = num_reduce;
+    dep.bucketizer = [partitioner = std::move(partitioner)](const BlockPtr& block,
+                                                            size_t reduce_count) {
+      const auto& rows = RowsOf<std::pair<K, V>>(block);
+      std::vector<std::vector<std::pair<K, V>>> buckets(reduce_count);
+      for (const auto& row : rows) {
+        const uint32_t bucket = partitioner ? partitioner(row.first, reduce_count)
+                                            : KeyPartition(row.first, reduce_count);
+        buckets[bucket].push_back(row);
+      }
+      std::vector<BlockPtr> out;
+      out.reserve(reduce_count);
+      for (auto& bucket : buckets) {
+        out.push_back(MakeBlock(std::move(bucket)));
+      }
+      return out;
+    };
+    return {std::move(dep)};
+  }
+
+  int shuffle_id_;
+  size_t num_map_;
+  CreateFn create_;
+  MergeFn merge_;
+};
+
+// --- shuffle transformations ---------------------------------------------------------
+
+template <typename K, typename V, typename C>
+RddPtr<std::pair<K, C>> AggregateByKey(RddPtr<std::pair<K, V>> parent,
+                                       typename ShuffledRdd<K, V, C>::CreateFn create,
+                                       typename ShuffledRdd<K, V, C>::MergeFn merge,
+                                       size_t num_reduce, std::string name = "aggregateByKey") {
+  return NewRdd<ShuffledRdd<K, V, C>>(parent->context(), std::move(name), parent, num_reduce,
+                                      std::move(create), std::move(merge));
+}
+
+template <typename K, typename V>
+RddPtr<std::pair<K, V>> ReduceByKey(RddPtr<std::pair<K, V>> parent,
+                                    std::function<V(const V&, const V&)> fn, size_t num_reduce,
+                                    std::string name = "reduceByKey") {
+  return AggregateByKey<K, V, V>(
+      parent, [](const V& v) { return v; },
+      [fn](V& acc, const V& v) { acc = fn(acc, v); }, num_reduce, std::move(name));
+}
+
+template <typename K, typename V>
+RddPtr<std::pair<K, std::vector<V>>> GroupByKey(RddPtr<std::pair<K, V>> parent,
+                                                size_t num_reduce,
+                                                std::string name = "groupByKey") {
+  return AggregateByKey<K, V, std::vector<V>>(
+      parent, [](const V& v) { return std::vector<V>{v}; },
+      [](std::vector<V>& acc, const V& v) { acc.push_back(v); }, num_reduce, std::move(name));
+}
+
+// --- narrow pair transformations -------------------------------------------------------
+
+// Applies fn to values, preserving keys and partitioning.
+template <typename K, typename V, typename F>
+auto MapValues(RddPtr<std::pair<K, V>> parent, F fn, std::string name = "mapValues")
+    -> RddPtr<std::pair<K, std::invoke_result_t<F, const V&>>> {
+  using U = std::invoke_result_t<F, const V&>;
+  auto result = NewRdd<TransformRdd<std::pair<K, U>>>(
+      parent->context(), std::move(name), parent->num_partitions(),
+      std::vector<Dependency>{Dependency{parent}},
+      [parent, fn](TaskContext& tc, uint32_t index) {
+        const BlockPtr parent_block = tc.GetBlock(*parent, index);
+        const auto& rows = RowsOf<std::pair<K, V>>(parent_block);
+        std::vector<std::pair<K, U>> out;
+        out.reserve(rows.size());
+        for (const auto& [key, value] : rows) {
+          out.emplace_back(key, fn(value));
+        }
+        return out;
+      });
+  result->set_hash_partitioned(parent->hash_partitioned());
+  return result;
+}
+
+// Inner join of two co-partitioned datasets: a narrow, per-partition hash
+// join (Spark's partitioner-aware join). Both inputs must be hash-partitioned
+// with the same partition count.
+template <typename K, typename V, typename W>
+RddPtr<std::pair<K, std::pair<V, W>>> JoinCoPartitioned(RddPtr<std::pair<K, V>> left,
+                                                        RddPtr<std::pair<K, W>> right,
+                                                        std::string name = "join") {
+  BLAZE_CHECK_EQ(left->num_partitions(), right->num_partitions());
+  BLAZE_CHECK(left->hash_partitioned() && right->hash_partitioned())
+      << "JoinCoPartitioned requires hash-partitioned inputs";
+  auto result = NewRdd<TransformRdd<std::pair<K, std::pair<V, W>>>>(
+      left->context(), std::move(name), left->num_partitions(),
+      std::vector<Dependency>{Dependency{left}, Dependency{right}},
+      [left, right](TaskContext& tc, uint32_t index) {
+        const BlockPtr left_block = tc.GetBlock(*left, index);
+        const auto& left_rows = RowsOf<std::pair<K, V>>(left_block);
+        const BlockPtr right_block = tc.GetBlock(*right, index);
+        const auto& right_rows = RowsOf<std::pair<K, W>>(right_block);
+        std::unordered_map<K, std::vector<const W*>> right_index;
+        for (const auto& [key, value] : right_rows) {
+          right_index[key].push_back(&value);
+        }
+        std::vector<std::pair<K, std::pair<V, W>>> out;
+        for (const auto& [key, value] : left_rows) {
+          auto it = right_index.find(key);
+          if (it == right_index.end()) {
+            continue;
+          }
+          for (const W* w : it->second) {
+            out.emplace_back(key, std::pair<V, W>(value, *w));
+          }
+        }
+        return out;
+      });
+  result->set_hash_partitioned(true);
+  return result;
+}
+
+// Co-group of two co-partitioned datasets: per key, the values from both
+// sides (including keys present on only one side — unlike the inner join).
+template <typename K, typename V, typename W>
+RddPtr<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroupCoPartitioned(
+    RddPtr<std::pair<K, V>> left, RddPtr<std::pair<K, W>> right,
+    std::string name = "cogroup") {
+  BLAZE_CHECK_EQ(left->num_partitions(), right->num_partitions());
+  BLAZE_CHECK(left->hash_partitioned() && right->hash_partitioned())
+      << "CoGroupCoPartitioned requires hash-partitioned inputs";
+  using Groups = std::pair<std::vector<V>, std::vector<W>>;
+  auto result = NewRdd<TransformRdd<std::pair<K, Groups>>>(
+      left->context(), std::move(name), left->num_partitions(),
+      std::vector<Dependency>{Dependency{left}, Dependency{right}},
+      [left, right](TaskContext& tc, uint32_t index) {
+        const BlockPtr left_block = tc.GetBlock(*left, index);
+        const BlockPtr right_block = tc.GetBlock(*right, index);
+        std::unordered_map<K, Groups> groups;
+        for (const auto& [key, value] : RowsOf<std::pair<K, V>>(left_block)) {
+          groups[key].first.push_back(value);
+        }
+        for (const auto& [key, value] : RowsOf<std::pair<K, W>>(right_block)) {
+          groups[key].second.push_back(value);
+        }
+        std::vector<std::pair<K, Groups>> out;
+        out.reserve(groups.size());
+        for (auto& [key, group] : groups) {
+          out.emplace_back(key, std::move(group));
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        return out;
+      });
+  result->set_hash_partitioned(true);
+  return result;
+}
+
+// Globally sorts a keyed dataset: samples the keys to pick balanced range
+// boundaries (an eager sampling job, as in Spark's sortByKey), then
+// range-shuffles so partition i holds keys <= partition i+1's, each sorted.
+template <typename K, typename V>
+RddPtr<std::pair<K, V>> SortByKey(RddPtr<std::pair<K, V>> parent, size_t num_partitions,
+                                  uint64_t sample_seed = 17, std::string name = "sortByKey") {
+  // Eager boundary computation from a small sample of the keys.
+  auto sampled = parent->Sample(0.1, sample_seed, name + ".sample");
+  std::vector<K> keys;
+  for (const auto& [key, value] : sampled->Collect()) {
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  auto boundaries = std::make_shared<std::vector<K>>();
+  for (size_t b = 1; b < num_partitions; ++b) {
+    if (keys.empty()) {
+      break;
+    }
+    boundaries->push_back(keys[keys.size() * b / num_partitions]);
+  }
+  typename ShuffledRdd<K, V, std::vector<V>>::PartitionerFn partitioner =
+      [boundaries](const K& key, size_t count) {
+        const auto it = std::upper_bound(boundaries->begin(), boundaries->end(), key);
+        const auto bucket = static_cast<uint32_t>(it - boundaries->begin());
+        return std::min(bucket, static_cast<uint32_t>(count - 1));
+      };
+  auto grouped = NewRdd<ShuffledRdd<K, V, std::vector<V>>>(
+      parent->context(), name + ".range", parent, num_partitions,
+      [](const V& v) { return std::vector<V>{v}; },
+      [](std::vector<V>& acc, const V& v) { acc.push_back(v); }, partitioner);
+  // The shuffled output is sorted by key per partition; flatten multiplicities.
+  return NewRdd<TransformRdd<std::pair<K, V>>>(
+      parent->context(), std::move(name), num_partitions,
+      std::vector<Dependency>{Dependency{grouped}},
+      [grouped](TaskContext& tc, uint32_t index) {
+        const BlockPtr block = tc.GetBlock(*grouped, index);
+        std::vector<std::pair<K, V>> out;
+        for (const auto& [key, values] : RowsOf<std::pair<K, std::vector<V>>>(block)) {
+          for (const V& value : values) {
+            out.emplace_back(key, value);
+          }
+        }
+        return out;
+      });
+}
+
+// Keys a dataset and hash-partitions it in one shuffle (repartition by key).
+template <typename K, typename V>
+RddPtr<std::pair<K, V>> PartitionByKey(RddPtr<std::pair<K, V>> parent, size_t num_reduce,
+                                       std::string name = "partitionBy") {
+  // groupByKey would change the value type; instead aggregate into a vector
+  // and flatten back out, preserving multiplicity.
+  auto grouped = GroupByKey<K, V>(parent, num_reduce, name + ".group");
+  auto result = NewRdd<TransformRdd<std::pair<K, V>>>(
+      parent->context(), std::move(name), num_reduce,
+      std::vector<Dependency>{Dependency{grouped}},
+      [grouped](TaskContext& tc, uint32_t index) {
+        const BlockPtr grouped_block = tc.GetBlock(*grouped, index);
+        const auto& rows = RowsOf<std::pair<K, std::vector<V>>>(grouped_block);
+        std::vector<std::pair<K, V>> out;
+        for (const auto& [key, values] : rows) {
+          for (const V& value : values) {
+            out.emplace_back(key, value);
+          }
+        }
+        return out;
+      });
+  result->set_hash_partitioned(true);
+  return result;
+}
+
+}  // namespace blaze
+
+#endif  // SRC_DATAFLOW_PAIR_RDD_H_

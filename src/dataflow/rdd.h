@@ -1,0 +1,304 @@
+// Typed dataset API: transformations, sources, and actions.
+//
+// Mirrors the Spark RDD programming model: transformations are lazy (they
+// only build DAG nodes); actions submit a job through the DAG scheduler.
+// Key-based operations (shuffles, joins) live in src/dataflow/pair_rdd.h.
+#ifndef SRC_DATAFLOW_RDD_H_
+#define SRC_DATAFLOW_RDD_H_
+
+#include <any>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/dataflow/engine_context.h"
+#include "src/dataflow/rdd_base.h"
+#include "src/dataflow/task_context.h"
+#include "src/dataflow/typed_block.h"
+
+namespace blaze {
+
+template <typename T>
+class Rdd;
+
+template <typename T>
+using RddPtr = std::shared_ptr<Rdd<T>>;
+
+// Creates and registers a dataset node. All dataset construction goes through
+// here so the engine's registry can hand out live references by id.
+template <typename R, typename... Args>
+std::shared_ptr<R> NewRdd(Args&&... args) {
+  auto rdd = std::make_shared<R>(std::forward<Args>(args)...);
+  rdd->context()->RegisterRdd(rdd);
+  return rdd;
+}
+
+template <typename T>
+class Rdd : public RddBase {
+ public:
+  using ElementType = T;
+  using RddBase::RddBase;
+
+  BlockPtr DecodeBlock(ByteSource& src) const override {
+    return TypedBlock<T>::DecodeFrom(src);
+  }
+
+  RddPtr<T> SharedThis() {
+    return std::static_pointer_cast<Rdd<T>>(this->shared_from_this());
+  }
+
+  // --- transformations (lazy) -------------------------------------------------------
+  template <typename F>
+  auto Map(F fn, std::string name = "map") -> RddPtr<std::invoke_result_t<F, const T&>>;
+
+  template <typename F>
+  auto FlatMap(F fn, std::string name = "flatMap")
+      -> RddPtr<typename std::invoke_result_t<F, const T&>::value_type>;
+
+  RddPtr<T> Filter(std::function<bool(const T&)> pred, std::string name = "filter");
+
+  // fn: (partition_index, const rows&) -> new rows (possibly of another type).
+  template <typename F>
+  auto MapPartitions(F fn, std::string name = "mapPartitions")
+      -> RddPtr<typename std::invoke_result_t<F, uint32_t, const std::vector<T>&>::value_type>;
+
+  // Bernoulli sample of each partition (deterministic per seed).
+  RddPtr<T> Sample(double fraction, uint64_t seed, std::string name = "sample");
+
+  // --- actions (eager) ---------------------------------------------------------------
+  std::vector<T> Collect();
+  size_t Count();
+
+  // Generic aggregate: per-partition fold then driver-side merge.
+  template <typename A>
+  A Aggregate(A zero, std::function<void(A&, const T&)> seq_op,
+              std::function<void(A&, const A&)> comb_op);
+
+  // Associative reduce; nullopt on an empty dataset.
+  std::optional<T> Reduce(std::function<T(const T&, const T&)> fn);
+};
+
+// Dataset computed by a user function over parent partitions. One generic node
+// covers every narrow transformation (map/filter/join-co-partitioned/zip).
+template <typename U>
+class TransformRdd final : public Rdd<U> {
+ public:
+  using ComputeFn = std::function<std::vector<U>(TaskContext&, uint32_t)>;
+
+  TransformRdd(EngineContext* ctx, std::string name, size_t num_partitions,
+               std::vector<Dependency> deps, ComputeFn fn)
+      : Rdd<U>(ctx, std::move(name), num_partitions, std::move(deps)), fn_(std::move(fn)) {}
+
+  BlockPtr Compute(uint32_t index, TaskContext& tc) const override {
+    return MakeBlock(fn_(tc, index));
+  }
+
+ private:
+  ComputeFn fn_;
+};
+
+// Source dataset: partitions produced by a generator function (models reading
+// an input; re-invoked when lineage recomputation reaches the source).
+template <typename T>
+class SourceRdd final : public Rdd<T> {
+ public:
+  using GeneratorFn = std::function<std::vector<T>(uint32_t)>;
+
+  SourceRdd(EngineContext* ctx, std::string name, size_t num_partitions, GeneratorFn gen)
+      : Rdd<T>(ctx, std::move(name), num_partitions, {}), gen_(std::move(gen)) {}
+
+  BlockPtr Compute(uint32_t index, TaskContext&) const override {
+    return MakeBlock(gen_(index));
+  }
+
+ private:
+  GeneratorFn gen_;
+};
+
+// --- factory helpers ---------------------------------------------------------------
+
+template <typename T>
+RddPtr<T> Generate(EngineContext* ctx, std::string name, size_t num_partitions,
+                   typename SourceRdd<T>::GeneratorFn gen) {
+  return NewRdd<SourceRdd<T>>(ctx, std::move(name), num_partitions, std::move(gen));
+}
+
+template <typename T>
+RddPtr<T> Parallelize(EngineContext* ctx, std::string name, std::vector<T> data,
+                      size_t num_partitions) {
+  auto shared = std::make_shared<std::vector<T>>(std::move(data));
+  return Generate<T>(ctx, std::move(name), num_partitions,
+                     [shared, num_partitions](uint32_t index) {
+                       const size_t n = shared->size();
+                       const size_t begin = n * index / num_partitions;
+                       const size_t end = n * (index + 1) / num_partitions;
+                       return std::vector<T>(shared->begin() + begin, shared->begin() + end);
+                     });
+}
+
+// --- Rdd<T> member definitions -------------------------------------------------------
+
+template <typename T>
+template <typename F>
+auto Rdd<T>::Map(F fn, std::string name) -> RddPtr<std::invoke_result_t<F, const T&>> {
+  using U = std::invoke_result_t<F, const T&>;
+  auto parent = SharedThis();
+  return NewRdd<TransformRdd<U>>(
+      this->context(), std::move(name), this->num_partitions(),
+      std::vector<Dependency>{Dependency{parent}},
+      [parent, fn](TaskContext& tc, uint32_t index) {
+        const BlockPtr parent_block = tc.GetBlock(*parent, index);
+        const std::vector<T>& rows = RowsOf<T>(parent_block);
+        std::vector<U> out;
+        out.reserve(rows.size());
+        for (const T& row : rows) {
+          out.push_back(fn(row));
+        }
+        return out;
+      });
+}
+
+template <typename T>
+template <typename F>
+auto Rdd<T>::FlatMap(F fn, std::string name)
+    -> RddPtr<typename std::invoke_result_t<F, const T&>::value_type> {
+  using U = typename std::invoke_result_t<F, const T&>::value_type;
+  auto parent = SharedThis();
+  return NewRdd<TransformRdd<U>>(
+      this->context(), std::move(name), this->num_partitions(),
+      std::vector<Dependency>{Dependency{parent}},
+      [parent, fn](TaskContext& tc, uint32_t index) {
+        const BlockPtr parent_block = tc.GetBlock(*parent, index);
+        const std::vector<T>& rows = RowsOf<T>(parent_block);
+        std::vector<U> out;
+        for (const T& row : rows) {
+          for (auto& v : fn(row)) {
+            out.push_back(std::move(v));
+          }
+        }
+        return out;
+      });
+}
+
+template <typename T>
+RddPtr<T> Rdd<T>::Filter(std::function<bool(const T&)> pred, std::string name) {
+  auto parent = SharedThis();
+  auto result = NewRdd<TransformRdd<T>>(
+      this->context(), std::move(name), this->num_partitions(),
+      std::vector<Dependency>{Dependency{parent}},
+      [parent, pred](TaskContext& tc, uint32_t index) {
+        const BlockPtr parent_block = tc.GetBlock(*parent, index);
+        const std::vector<T>& rows = RowsOf<T>(parent_block);
+        std::vector<T> out;
+        for (const T& row : rows) {
+          if (pred(row)) {
+            out.push_back(row);
+          }
+        }
+        return out;
+      });
+  result->set_hash_partitioned(this->hash_partitioned());
+  return result;
+}
+
+template <typename T>
+template <typename F>
+auto Rdd<T>::MapPartitions(F fn, std::string name)
+    -> RddPtr<typename std::invoke_result_t<F, uint32_t, const std::vector<T>&>::value_type> {
+  using U = typename std::invoke_result_t<F, uint32_t, const std::vector<T>&>::value_type;
+  auto parent = SharedThis();
+  return NewRdd<TransformRdd<U>>(
+      this->context(), std::move(name), this->num_partitions(),
+      std::vector<Dependency>{Dependency{parent}},
+      [parent, fn](TaskContext& tc, uint32_t index) {
+        const BlockPtr parent_block = tc.GetBlock(*parent, index);
+        return fn(index, RowsOf<T>(parent_block));
+      });
+}
+
+template <typename T>
+RddPtr<T> Rdd<T>::Sample(double fraction, uint64_t seed, std::string name) {
+  auto parent = SharedThis();
+  return NewRdd<TransformRdd<T>>(
+      this->context(), std::move(name), this->num_partitions(),
+      std::vector<Dependency>{Dependency{parent}},
+      [parent, fraction, seed](TaskContext& tc, uint32_t index) {
+        const BlockPtr parent_block = tc.GetBlock(*parent, index);
+        const std::vector<T>& rows = RowsOf<T>(parent_block);
+        Rng rng(seed * 0x100000001B3ULL + index);
+        std::vector<T> out;
+        for (const T& row : rows) {
+          if (rng.NextBool(fraction)) {
+            out.push_back(row);
+          }
+        }
+        return out;
+      });
+}
+
+template <typename T>
+std::vector<T> Rdd<T>::Collect() {
+  auto results = this->context()->RunJob(
+      SharedThis(), [](const BlockPtr& block) -> std::any { return RowsOf<T>(block); });
+  std::vector<T> out;
+  for (std::any& result : results) {
+    auto rows = std::any_cast<std::vector<T>>(std::move(result));
+    out.insert(out.end(), std::make_move_iterator(rows.begin()),
+               std::make_move_iterator(rows.end()));
+  }
+  return out;
+}
+
+template <typename T>
+size_t Rdd<T>::Count() {
+  auto results = this->context()->RunJob(
+      SharedThis(), [](const BlockPtr& block) -> std::any { return block->NumRows(); });
+  size_t total = 0;
+  for (std::any& result : results) {
+    total += std::any_cast<size_t>(result);
+  }
+  return total;
+}
+
+template <typename T>
+template <typename A>
+A Rdd<T>::Aggregate(A zero, std::function<void(A&, const T&)> seq_op,
+                    std::function<void(A&, const A&)> comb_op) {
+  auto results = this->context()->RunJob(
+      SharedThis(), [&zero, &seq_op](const BlockPtr& block) -> std::any {
+        A acc = zero;
+        for (const T& row : RowsOf<T>(block)) {
+          seq_op(acc, row);
+        }
+        return acc;
+      });
+  A total = zero;
+  for (std::any& result : results) {
+    comb_op(total, std::any_cast<A>(result));
+  }
+  return total;
+}
+
+template <typename T>
+std::optional<T> Rdd<T>::Reduce(std::function<T(const T&, const T&)> fn) {
+  using Partial = std::optional<T>;
+  Partial result = Aggregate<Partial>(
+      std::nullopt,
+      [&fn](Partial& acc, const T& row) { acc = acc ? fn(*acc, row) : row; },
+      [&fn](Partial& acc, const Partial& other) {
+        if (other) {
+          acc = acc ? fn(*acc, *other) : *other;
+        }
+      });
+  return result;
+}
+
+}  // namespace blaze
+
+#endif  // SRC_DATAFLOW_RDD_H_

@@ -1,0 +1,41 @@
+#include "src/dataflow/rdd_base.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/dataflow/engine_context.h"
+
+namespace blaze {
+
+RddBase::RddBase(EngineContext* ctx, std::string name, size_t num_partitions,
+                 std::vector<Dependency> deps)
+    : ctx_(ctx), name_(std::move(name)), num_partitions_(num_partitions), deps_(std::move(deps)) {
+  BLAZE_CHECK(ctx != nullptr);
+  BLAZE_CHECK_GT(num_partitions, 0u);
+  id_ = ctx->AllocateRddId();
+}
+
+RddBase::~RddBase() { ctx_->UnregisterRdd(id_); }
+
+void RddBase::Cache() { storage_level_ = StorageLevel::kMemory; }
+
+void RddBase::Unpersist() {
+  storage_level_ = StorageLevel::kNone;
+  ctx_->coordinator().UnpersistRdd(*this);
+}
+
+void RddBase::Checkpoint() {
+  // Materialize every partition (a job) and persist the encoded blocks in the
+  // checkpoint store; afterwards lineage walks stop here.
+  auto self = shared_from_this();
+  auto blocks = ctx_->RunJob(self, [](const BlockPtr& block) -> std::any { return block; });
+  for (uint32_t p = 0; p < num_partitions_; ++p) {
+    const auto block = std::any_cast<BlockPtr>(blocks[p]);
+    ByteSink sink;
+    block->EncodeTo(sink);
+    ctx_->checkpoint_store().Put(BlockId{id_, p}, sink.data());
+  }
+  checkpointed_ = true;
+}
+
+}  // namespace blaze

@@ -1,0 +1,101 @@
+// Additional dataset operators: union, distinct, coalesce, and zip.
+//
+// These complete the Spark-core surface the workloads and examples draw on.
+// Union and coalesce change the partition count (and thus the partition ->
+// executor mapping); reading a parent block from another executor's store
+// models Spark's remote block fetch, which is free of disk cost in-process.
+#ifndef SRC_DATAFLOW_RDD_OPS_H_
+#define SRC_DATAFLOW_RDD_OPS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/dataflow/pair_rdd.h"
+#include "src/dataflow/rdd.h"
+
+namespace blaze {
+
+// Concatenates two datasets of the same element type. The result has
+// left.partitions + right.partitions partitions, each narrow on exactly one
+// parent partition.
+template <typename T>
+RddPtr<T> Union(RddPtr<T> left, RddPtr<T> right, std::string name = "union") {
+  const size_t left_parts = left->num_partitions();
+  const size_t total = left_parts + right->num_partitions();
+  return NewRdd<TransformRdd<T>>(
+      left->context(), std::move(name), total,
+      std::vector<Dependency>{Dependency{left}, Dependency{right}},
+      [left, right, left_parts](TaskContext& tc, uint32_t index) {
+        const bool from_left = index < left_parts;
+        const RddBase& parent = from_left ? static_cast<RddBase&>(*left)
+                                          : static_cast<RddBase&>(*right);
+        const uint32_t parent_index =
+            from_left ? index : index - static_cast<uint32_t>(left_parts);
+        const BlockPtr block = tc.GetBlock(parent, parent_index);
+        return RowsOf<T>(block);  // copy: the union block owns its rows
+      });
+}
+
+// Deduplicates via a shuffle (hash-partitioned by element).
+template <typename T>
+RddPtr<T> Distinct(RddPtr<T> parent, size_t num_partitions, std::string name = "distinct") {
+  auto keyed = parent->Map([](const T& x) { return std::make_pair(x, uint8_t{0}); },
+                           name + ".key");
+  auto reduced = ReduceByKey<T, uint8_t>(
+      keyed, [](const uint8_t& a, const uint8_t&) { return a; }, num_partitions,
+      name + ".dedup");
+  return reduced->Map([](const std::pair<T, uint8_t>& row) { return row.first; },
+                      std::move(name));
+}
+
+// Narrow many-to-one repartitioning: result partition i concatenates the
+// parent partitions {p : p % num_partitions == i} (Spark's coalesce without
+// shuffle, with a deterministic round-robin assignment).
+template <typename T>
+RddPtr<T> Coalesce(RddPtr<T> parent, size_t num_partitions, std::string name = "coalesce") {
+  BLAZE_CHECK_GT(num_partitions, 0u);
+  BLAZE_CHECK_LE(num_partitions, parent->num_partitions());
+  const size_t parent_parts = parent->num_partitions();
+  return NewRdd<TransformRdd<T>>(
+      parent->context(), std::move(name), num_partitions,
+      std::vector<Dependency>{Dependency{parent}},
+      [parent, parent_parts, num_partitions](TaskContext& tc, uint32_t index) {
+        std::vector<T> out;
+        for (uint32_t p = index; p < parent_parts;
+             p += static_cast<uint32_t>(num_partitions)) {
+          const BlockPtr block = tc.GetBlock(*parent, p);
+          const auto& rows = RowsOf<T>(block);
+          out.insert(out.end(), rows.begin(), rows.end());
+        }
+        return out;
+      });
+}
+
+// Pairs up the i-th elements of two same-shape datasets (partition counts and
+// per-partition sizes must match, as in Spark's zip).
+template <typename A, typename B>
+RddPtr<std::pair<A, B>> Zip(RddPtr<A> left, RddPtr<B> right, std::string name = "zip") {
+  BLAZE_CHECK_EQ(left->num_partitions(), right->num_partitions());
+  return NewRdd<TransformRdd<std::pair<A, B>>>(
+      left->context(), std::move(name), left->num_partitions(),
+      std::vector<Dependency>{Dependency{left}, Dependency{right}},
+      [left, right](TaskContext& tc, uint32_t index) {
+        const BlockPtr left_block = tc.GetBlock(*left, index);
+        const BlockPtr right_block = tc.GetBlock(*right, index);
+        const auto& left_rows = RowsOf<A>(left_block);
+        const auto& right_rows = RowsOf<B>(right_block);
+        BLAZE_CHECK_EQ(left_rows.size(), right_rows.size())
+            << "Zip requires equal per-partition sizes";
+        std::vector<std::pair<A, B>> out;
+        out.reserve(left_rows.size());
+        for (size_t i = 0; i < left_rows.size(); ++i) {
+          out.emplace_back(left_rows[i], right_rows[i]);
+        }
+        return out;
+      });
+}
+
+}  // namespace blaze
+
+#endif  // SRC_DATAFLOW_RDD_OPS_H_

@@ -1,0 +1,79 @@
+// In-process shuffle service.
+//
+// Map tasks write per-reduce buckets here; reduce tasks fetch every map
+// partition's bucket for their reduce index. Outputs persist for the lifetime
+// of the run (mirroring Spark's on-disk shuffle files), which both enables
+// stage skipping across jobs and makes recomputation of a shuffled dataset a
+// re-aggregation rather than a full upstream re-execution — exactly Spark's
+// recovery behaviour for shuffle children.
+#ifndef SRC_DATAFLOW_SHUFFLE_H_
+#define SRC_DATAFLOW_SHUFFLE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/block.h"
+
+namespace blaze {
+
+class ShuffleService {
+ public:
+  // Registers the bucket for (shuffle, map_partition, reduce_partition).
+  void PutBucket(int shuffle_id, uint32_t map_part, uint32_t reduce_part, BlockPtr bucket);
+
+  // Returns the bucket, or nullptr if the map output is missing.
+  BlockPtr GetBucket(int shuffle_id, uint32_t map_part, uint32_t reduce_part) const;
+
+  // True when all num_map x num_reduce buckets of the shuffle are present
+  // (used by the scheduler to skip already-computed map stages).
+  bool HasAllOutputs(int shuffle_id, size_t num_map, size_t num_reduce) const;
+
+  // Total bytes held (diagnostics only; Spark keeps these on local disk).
+  uint64_t approx_bytes() const;
+
+  void Clear();
+
+  // Drops all outputs of one shuffle (Spark's ContextCleaner when the shuffle
+  // dependency is collected). Reduce-side datasets rebuild missing buckets
+  // through their lineage on access.
+  void ClearShuffle(int shuffle_id);
+
+  // Retention bookkeeping: the scheduler marks each shuffle it reads or
+  // writes with the running job; DropStale clears shuffles untouched for
+  // `retention_jobs` jobs (modeling aggressive shuffle cleanup — the design
+  // ablation for our keep-everything default).
+  void MarkUsed(int shuffle_id, int job_id);
+  void DropStale(int current_job, int retention_jobs);
+
+  int NewShuffleId();
+
+ private:
+  struct Key {
+    int shuffle_id;
+    uint32_t map_part;
+    uint32_t reduce_part;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = static_cast<uint64_t>(k.shuffle_id) * 0x9E3779B97F4A7C15ULL;
+      h ^= (static_cast<uint64_t>(k.map_part) << 32) | k.reduce_part;
+      return std::hash<uint64_t>()(h);
+    }
+  };
+
+  void ClearShuffleLocked(int shuffle_id);
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, BlockPtr, KeyHash> buckets_;
+  std::unordered_map<int, size_t> bucket_counts_;  // per shuffle id
+  std::unordered_map<int, int> last_used_job_;     // per shuffle id
+  uint64_t approx_bytes_ = 0;
+  int next_shuffle_id_ = 0;
+};
+
+}  // namespace blaze
+
+#endif  // SRC_DATAFLOW_SHUFFLE_H_

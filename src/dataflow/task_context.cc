@@ -1,0 +1,120 @@
+#include "src/dataflow/task_context.h"
+
+#include "src/common/logging.h"
+#include "src/dataflow/engine_context.h"
+
+namespace blaze {
+
+TaskContext::TaskContext(EngineContext* engine, int job_id, int stage_id, uint32_t partition,
+                         size_t executor_id)
+    : engine_(engine),
+      job_id_(job_id),
+      stage_id_(stage_id),
+      partition_(partition),
+      executor_id_(executor_id) {}
+
+BlockPtr TaskContext::GetBlock(const RddBase& rdd, uint32_t index) {
+  CacheCoordinator& coordinator = engine_->coordinator();
+  if (auto hit = coordinator.Lookup(rdd, index, *this)) {
+    return *hit;
+  }
+
+  const BlockId block_id{rdd.id(), index};
+
+  // Checkpointed datasets recover from reliable storage; the lineage walk
+  // stops here (Spark's checkpoint truncation).
+  if (rdd.is_checkpointed()) {
+    DiskOpResult op;
+    if (auto bytes = engine_->checkpoint_store().Get(block_id, &op)) {
+      Stopwatch decode_watch;
+      ByteSource src(*bytes);
+      BlockPtr block = rdd.DecodeBlock(src);
+      metrics_.cache_disk_ms += op.elapsed_ms + decode_watch.ElapsedMillis();
+      metrics_.cache_disk_bytes_read += bytes->size();
+      engine_->metrics().RecordCacheHit(/*from_memory=*/false);
+      return block;
+    }
+  }
+  // A re-materialization of a coordinator-managed block is a *recovery*: the
+  // recursive compute below is the paper's recomputation cost. Only the
+  // outermost recovery is timed to avoid double counting nested misses.
+  const bool recovery =
+      coordinator.IsManaged(rdd) && engine_->WasComputedBefore(block_id);
+  Stopwatch recovery_watch;
+  if (recovery) {
+    ++recovery_depth_;
+  }
+
+  BlockPtr block = ComputeBlock(rdd, index);
+
+  if (recovery) {
+    --recovery_depth_;
+    if (recovery_depth_ == 0) {
+      const double ms = recovery_watch.ElapsedMillis();
+      metrics_.recompute_ms += ms;
+      engine_->metrics().RecordRecompute(job_id_, ms);
+      engine_->metrics().RecordCacheMiss();
+    }
+  }
+  return block;
+}
+
+BlockPtr TaskContext::ComputeBlock(const RddBase& rdd, uint32_t index) {
+  frames_.push_back(Frame{});
+  BlockPtr block = rdd.Compute(index, *this);
+  const Frame& frame = frames_.back();
+  const double total_ms = frame.watch.ElapsedMillis();
+  const double exclusive_ms = total_ms - frame.child_ms;
+  frames_.pop_back();
+  if (!frames_.empty()) {
+    frames_.back().child_ms += total_ms;
+  }
+  BLAZE_CHECK(block != nullptr) << "Compute returned null for " << rdd.name();
+
+  engine_->MarkComputed(BlockId{rdd.id(), index});
+  engine_->coordinator().BlockComputed(rdd, index, block, exclusive_ms, *this);
+  return block;
+}
+
+std::vector<BlockPtr> TaskContext::ReadShuffleBuckets(int shuffle_id, size_t num_map,
+                                                      uint32_t reduce_partition) {
+  std::vector<BlockPtr> buckets;
+  buckets.reserve(num_map);
+  for (uint32_t m = 0; m < num_map; ++m) {
+    BlockPtr bucket = engine_->shuffle().GetBucket(shuffle_id, m, reduce_partition);
+    BLAZE_CHECK(bucket != nullptr)
+        << "missing shuffle output: shuffle " << shuffle_id << " map " << m << " reduce "
+        << reduce_partition;
+    buckets.push_back(std::move(bucket));
+  }
+  return buckets;
+}
+
+std::vector<BlockPtr> TaskContext::ReadOrRebuildShuffleBuckets(const RddBase& shuffled,
+                                                               uint32_t reduce_partition) {
+  BLAZE_CHECK_EQ(shuffled.dependencies().size(), 1u);
+  const Dependency& dep = shuffled.dependencies()[0];
+  BLAZE_CHECK(dep.is_shuffle);
+  const size_t num_map = dep.parent->num_partitions();
+  std::vector<BlockPtr> buckets;
+  buckets.reserve(num_map);
+  for (uint32_t m = 0; m < num_map; ++m) {
+    BlockPtr bucket = engine_->shuffle().GetBucket(dep.shuffle_id, m, reduce_partition);
+    if (bucket == nullptr) {
+      // Map output lost (shuffle cleaned): re-run this map partition through
+      // the lineage and re-register all of its buckets — Spark's recursive
+      // recovery for a missing shuffle output.
+      const BlockPtr parent_block = GetBlock(*dep.parent, m);
+      std::vector<BlockPtr> rebuilt = dep.bucketizer(parent_block, dep.num_reduce);
+      BLAZE_CHECK_EQ(rebuilt.size(), dep.num_reduce);
+      for (uint32_t r = 0; r < rebuilt.size(); ++r) {
+        engine_->shuffle().PutBucket(dep.shuffle_id, m, r, rebuilt[r]);
+      }
+      bucket = std::move(rebuilt[reduce_partition]);
+    }
+    buckets.push_back(std::move(bucket));
+  }
+  return buckets;
+}
+
+}  // namespace blaze

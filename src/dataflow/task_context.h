@@ -1,0 +1,66 @@
+// Per-task execution context: cache-aware block access, exclusive compute
+// timing, recovery (recomputation) attribution, and metric accumulation.
+#ifndef SRC_DATAFLOW_TASK_CONTEXT_H_
+#define SRC_DATAFLOW_TASK_CONTEXT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/stopwatch.h"
+#include "src/dataflow/rdd_base.h"
+#include "src/metrics/run_metrics.h"
+#include "src/storage/block.h"
+
+namespace blaze {
+
+class EngineContext;
+
+class TaskContext {
+ public:
+  TaskContext(EngineContext* engine, int job_id, int stage_id, uint32_t partition,
+              size_t executor_id);
+
+  // Fetches partition `index` of `rdd`: cache lookup first, recompute through
+  // the lineage on miss. Every materialization is offered to the coordinator.
+  BlockPtr GetBlock(const RddBase& rdd, uint32_t index);
+
+  // Reads all map-side buckets for (shuffle_id, reduce_partition). Missing
+  // buckets are a checked error: the scheduler guarantees parent map stages ran.
+  std::vector<BlockPtr> ReadShuffleBuckets(int shuffle_id, size_t num_map,
+                                           uint32_t reduce_partition);
+
+  // Like ReadShuffleBuckets, but regenerates lost map outputs through the
+  // lineage of `shuffled`'s single shuffle dependency.
+  std::vector<BlockPtr> ReadOrRebuildShuffleBuckets(const RddBase& shuffled,
+                                                    uint32_t reduce_partition);
+
+  TaskMetrics& metrics() { return metrics_; }
+  EngineContext* engine() { return engine_; }
+  int job_id() const { return job_id_; }
+  int stage_id() const { return stage_id_; }
+  uint32_t partition() const { return partition_; }
+  size_t executor_id() const { return executor_id_; }
+
+ private:
+  // Computes the block via rdd.Compute with exclusive timing (child compute
+  // time subtracted), emits the BlockComputed offer, and returns the block.
+  BlockPtr ComputeBlock(const RddBase& rdd, uint32_t index);
+
+  struct Frame {
+    Stopwatch watch;
+    double child_ms = 0.0;
+  };
+
+  EngineContext* engine_;
+  int job_id_;
+  int stage_id_;
+  uint32_t partition_;
+  size_t executor_id_;
+  TaskMetrics metrics_;
+  std::vector<Frame> frames_;
+  int recovery_depth_ = 0;
+};
+
+}  // namespace blaze
+
+#endif  // SRC_DATAFLOW_TASK_CONTEXT_H_

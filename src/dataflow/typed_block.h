@@ -1,0 +1,53 @@
+// Typed materialized partition: a vector of rows plus cached size accounting.
+#ifndef SRC_DATAFLOW_TYPED_BLOCK_H_
+#define SRC_DATAFLOW_TYPED_BLOCK_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/serialize/codec.h"
+#include "src/storage/block.h"
+
+namespace blaze {
+
+template <typename T>
+class TypedBlock : public BlockData {
+ public:
+  explicit TypedBlock(std::vector<T> rows) : rows_(std::move(rows)) {
+    size_bytes_ = ApproxByteSize(rows_);
+  }
+
+  size_t SizeBytes() const override { return size_bytes_; }
+  size_t NumRows() const override { return rows_.size(); }
+  void EncodeTo(ByteSink& sink) const override { Encode(rows_, sink); }
+
+  const std::vector<T>& rows() const { return rows_; }
+
+  static std::shared_ptr<const TypedBlock<T>> DecodeFrom(ByteSource& src) {
+    return std::make_shared<TypedBlock<T>>(Decode<std::vector<T>>(src));
+  }
+
+ private:
+  std::vector<T> rows_;
+  size_t size_bytes_;
+};
+
+// Downcasts a type-erased block to its row vector. The caller (a typed RDD)
+// knows the element type; a mismatch is a programming error.
+template <typename T>
+const std::vector<T>& RowsOf(const BlockPtr& block) {
+  const auto* typed = dynamic_cast<const TypedBlock<T>*>(block.get());
+  BLAZE_CHECK(typed != nullptr) << "block element type mismatch";
+  return typed->rows();
+}
+
+template <typename T>
+BlockPtr MakeBlock(std::vector<T> rows) {
+  return std::make_shared<TypedBlock<T>>(std::move(rows));
+}
+
+}  // namespace blaze
+
+#endif  // SRC_DATAFLOW_TYPED_BLOCK_H_

@@ -1,0 +1,27 @@
+// Shared identifiers and annotations for the dataflow layer.
+#ifndef SRC_DATAFLOW_TYPES_H_
+#define SRC_DATAFLOW_TYPES_H_
+
+#include <cstdint>
+
+namespace blaze {
+
+using RddId = uint32_t;
+
+// User caching annotation on a dataset, mirroring Spark storage levels. The
+// engine-wide eviction mode (recompute vs. spill) is configured separately on
+// the EngineContext; kMemory marks "cache this dataset".
+enum class StorageLevel {
+  kNone = 0,   // not annotated: transient, recomputed through lineage
+  kMemory = 1  // annotated via Cache(): kept by the cache layers
+};
+
+// How evicted cache data is handled, mirroring Spark's persistence modes.
+enum class EvictionMode {
+  kMemOnly,     // MEM_ONLY: evicted data is discarded and later recomputed
+  kMemAndDisk,  // MEM_AND_DISK: evicted data is spilled to the disk store
+};
+
+}  // namespace blaze
+
+#endif  // SRC_DATAFLOW_TYPES_H_

@@ -1,0 +1,50 @@
+#include "src/metrics/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace blaze {
+
+void TextTable::AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string TextTable::Render(const std::string& title) const {
+  std::vector<size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) {
+      widths.resize(row.size(), 0);
+    }
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  if (!title.empty()) {
+    out << "== " << title << " ==\n";
+  }
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      out << rows_[r][c];
+      if (c + 1 < rows_[r].size()) {
+        out << std::string(widths[c] - rows_[r][c].size() + 2, ' ');
+      }
+    }
+    out << "\n";
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t w : widths) {
+        total += w + 2;
+      }
+      out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string Fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace blaze

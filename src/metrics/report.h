@@ -1,0 +1,26 @@
+// Text table rendering for benchmark reports (paper figure reproductions).
+#ifndef SRC_METRICS_REPORT_H_
+#define SRC_METRICS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace blaze {
+
+// Simple fixed-width table: first row is the header.
+class TextTable {
+ public:
+  void AddRow(std::vector<std::string> cells);
+  // Renders with column auto-sizing; title printed above if nonempty.
+  std::string Render(const std::string& title = "") const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `digits` decimals.
+std::string Fmt(double v, int digits = 2);
+
+}  // namespace blaze
+
+#endif  // SRC_METRICS_REPORT_H_

@@ -1,0 +1,100 @@
+#include "src/metrics/run_metrics.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace blaze {
+
+RunMetrics::RunMetrics(size_t num_executors) {
+  snap_.evicted_bytes_per_executor.assign(num_executors, 0);
+}
+
+void RunMetrics::AddTask(const TaskMetrics& m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  snap_.total_task.MergeFrom(m);
+  ++snap_.num_tasks;
+}
+
+void RunMetrics::RecordEviction(size_t executor, uint64_t bytes, bool to_disk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BLAZE_CHECK_LT(executor, snap_.evicted_bytes_per_executor.size());
+  snap_.evicted_bytes_per_executor[executor] += bytes;
+  if (to_disk) {
+    ++snap_.evictions_to_disk;
+  } else {
+    ++snap_.evictions_discard;
+  }
+}
+
+void RunMetrics::RecordUnpersist() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++snap_.unpersists;
+}
+
+void RunMetrics::RecordCacheHit(bool from_memory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (from_memory) {
+    ++snap_.cache_hits_memory;
+  } else {
+    ++snap_.cache_hits_disk;
+  }
+}
+
+void RunMetrics::RecordCacheMiss() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++snap_.cache_misses;
+}
+
+void RunMetrics::RecordDiskStoreDelta(int64_t delta_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  disk_bytes_current_ += delta_bytes;
+  if (delta_bytes > 0) {
+    snap_.disk_bytes_written_total += static_cast<uint64_t>(delta_bytes);
+  }
+  snap_.disk_bytes_peak =
+      std::max<uint64_t>(snap_.disk_bytes_peak,
+                         disk_bytes_current_ > 0 ? static_cast<uint64_t>(disk_bytes_current_) : 0);
+}
+
+void RunMetrics::RecordRecompute(int job_id, double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  snap_.recompute_ms_per_job[job_id] += ms;
+}
+
+void RunMetrics::RecordProfiling(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  snap_.profiling_ms += ms;
+}
+
+void RunMetrics::RecordSolve(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  snap_.solver_ms += ms;
+  ++snap_.solver_invocations;
+}
+
+void RunMetrics::RecordBroadcast(uint64_t bytes, double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  snap_.broadcast_bytes += bytes;
+  snap_.broadcast_ms += ms;
+}
+
+void RunMetrics::RecordTaskFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++snap_.task_failures;
+}
+
+RunMetricsSnapshot RunMetrics::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snap_;
+}
+
+void RunMetrics::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = snap_.evicted_bytes_per_executor.size();
+  snap_ = RunMetricsSnapshot{};
+  snap_.evicted_bytes_per_executor.assign(n, 0);
+  disk_bytes_current_ = 0;
+}
+
+}  // namespace blaze

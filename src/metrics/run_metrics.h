@@ -1,0 +1,83 @@
+// Run-wide metric collection. One RunMetrics instance is shared by every
+// executor/block-manager/scheduler component of an EngineContext; all the
+// paper's figures are computed from the counters gathered here.
+#ifndef SRC_METRICS_RUN_METRICS_H_
+#define SRC_METRICS_RUN_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace blaze {
+
+// Per-task timing breakdown, accumulated by the TaskContext while a task runs.
+struct TaskMetrics {
+  double compute_ms = 0.0;       // operator execution incl. shuffle read/write
+  double cache_disk_ms = 0.0;    // disk read+write+(de)ser for cached blocks
+  double recompute_ms = 0.0;     // subset of compute spent regenerating evicted blocks
+  double ilp_wait_ms = 0.0;      // time a task spent blocked on a decision layer
+  uint64_t cache_disk_bytes_read = 0;
+  uint64_t cache_disk_bytes_written = 0;
+
+  void MergeFrom(const TaskMetrics& other) {
+    compute_ms += other.compute_ms;
+    cache_disk_ms += other.cache_disk_ms;
+    recompute_ms += other.recompute_ms;
+    ilp_wait_ms += other.ilp_wait_ms;
+    cache_disk_bytes_read += other.cache_disk_bytes_read;
+    cache_disk_bytes_written += other.cache_disk_bytes_written;
+  }
+};
+
+// Aggregated view of a finished run; see Snapshot().
+struct RunMetricsSnapshot {
+  TaskMetrics total_task;           // accumulated over all tasks of all jobs
+  uint64_t num_tasks = 0;
+  uint64_t evictions_to_disk = 0;   // m -> d transitions
+  uint64_t evictions_discard = 0;   // m -> u transitions
+  uint64_t unpersists = 0;          // timely removals of no-longer-needed data
+  uint64_t cache_hits_memory = 0;
+  uint64_t cache_hits_disk = 0;
+  uint64_t cache_misses = 0;        // recovered by recomputation
+  std::vector<uint64_t> evicted_bytes_per_executor;
+  uint64_t disk_bytes_written_total = 0;
+  uint64_t disk_bytes_peak = 0;     // peak bytes simultaneously resident on disk
+  std::map<int, double> recompute_ms_per_job;
+  double profiling_ms = 0.0;        // Blaze dependency-extraction phase
+  double solver_ms = 0.0;           // total ILP solve time
+  uint64_t solver_invocations = 0;
+  uint64_t broadcast_bytes = 0;     // bytes shipped by Broadcast variables
+  double broadcast_ms = 0.0;
+  uint64_t task_failures = 0;       // injected task-attempt failures (retried)
+};
+
+class RunMetrics {
+ public:
+  explicit RunMetrics(size_t num_executors);
+
+  void AddTask(const TaskMetrics& m);
+  void RecordEviction(size_t executor, uint64_t bytes, bool to_disk);
+  void RecordUnpersist();
+  void RecordCacheHit(bool from_memory);
+  void RecordCacheMiss();
+  void RecordDiskStoreDelta(int64_t delta_bytes);  // tracks peak disk residency
+  void RecordRecompute(int job_id, double ms);
+  void RecordProfiling(double ms);
+  void RecordSolve(double ms);
+  void RecordBroadcast(uint64_t bytes, double ms);
+  void RecordTaskFailure();
+
+  RunMetricsSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  RunMetricsSnapshot snap_;
+  int64_t disk_bytes_current_ = 0;
+};
+
+}  // namespace blaze
+
+#endif  // SRC_METRICS_RUN_METRICS_H_

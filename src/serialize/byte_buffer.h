@@ -1,0 +1,94 @@
+// Byte sink/source pair used by the codec framework. Serialization is what the
+// engine pays for whenever a partition crosses the memory boundary (disk spill,
+// disk read, or an Alluxio-style serialized cache), so the implementation is a
+// plain contiguous buffer with explicit little-endian encoding — cheap enough
+// to be honest, and deterministic across platforms.
+#ifndef SRC_SERIALIZE_BYTE_BUFFER_H_
+#define SRC_SERIALIZE_BYTE_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace blaze {
+
+class ByteSink {
+ public:
+  void WriteRaw(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  template <typename T>
+  void WritePod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteRaw(&v, sizeof(T));
+  }
+
+  // LEB128-style unsigned varint; collection lengths dominate small payloads.
+  void WriteVarint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+
+  const std::vector<uint8_t>& data() const { return buf_; }
+  std::vector<uint8_t> TakeData() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+  void Reserve(size_t n) { buf_.reserve(n); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class ByteSource {
+ public:
+  explicit ByteSource(const std::vector<uint8_t>& data) : data_(data.data()), size_(data.size()) {}
+  ByteSource(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  void ReadRaw(void* out, size_t n) {
+    BLAZE_CHECK_LE(pos_ + n, size_) << "ByteSource underflow";
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  template <typename T>
+  T ReadPod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    ReadRaw(&v, sizeof(T));
+    return v;
+  }
+
+  uint64_t ReadVarint() {
+    uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      BLAZE_CHECK_LT(pos_, size_) << "ByteSource underflow in varint";
+      const uint8_t b = data_[pos_++];
+      v |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) {
+        return v;
+      }
+      shift += 7;
+      BLAZE_CHECK_LT(shift, 64) << "varint too long";
+    }
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace blaze
+
+#endif  // SRC_SERIALIZE_BYTE_BUFFER_H_

@@ -1,0 +1,151 @@
+// Codec<T>: the (de)serialization trait used by typed partitions. Primitives,
+// strings, pairs, tuples, and vectors are built in; workload element structs
+// opt in by providing members
+//   void BlazeEncode(ByteSink&) const;
+//   static T BlazeDecode(ByteSource&);
+//   size_t BlazeByteSize() const;
+//
+// ByteSize(v) is the in-memory footprint estimate used by the memory store for
+// byte accounting; it intentionally tracks live size (including heap payloads
+// of nested containers), not encoded size.
+#ifndef SRC_SERIALIZE_CODEC_H_
+#define SRC_SERIALIZE_CODEC_H_
+
+#include <concepts>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/serialize/byte_buffer.h"
+
+namespace blaze {
+
+template <typename T>
+struct Codec;
+
+template <typename T>
+concept HasBlazeCodec = requires(const T& ct, ByteSink& sink, ByteSource& src) {
+  { ct.BlazeEncode(sink) } -> std::same_as<void>;
+  { T::BlazeDecode(src) } -> std::same_as<T>;
+  { ct.BlazeByteSize() } -> std::convertible_to<size_t>;
+};
+
+// --- arithmetic types ---
+template <typename T>
+  requires std::is_arithmetic_v<T>
+struct Codec<T> {
+  static void Encode(const T& v, ByteSink& sink) { sink.WritePod(v); }
+  static T Decode(ByteSource& src) { return src.ReadPod<T>(); }
+  static size_t ByteSize(const T&) { return sizeof(T); }
+};
+
+// --- std::string ---
+template <>
+struct Codec<std::string> {
+  static void Encode(const std::string& v, ByteSink& sink) {
+    sink.WriteVarint(v.size());
+    sink.WriteRaw(v.data(), v.size());
+  }
+  static std::string Decode(ByteSource& src) {
+    const size_t n = static_cast<size_t>(src.ReadVarint());
+    std::string out(n, '\0');
+    src.ReadRaw(out.data(), n);
+    return out;
+  }
+  static size_t ByteSize(const std::string& v) { return sizeof(std::string) + v.capacity(); }
+};
+
+// --- std::pair ---
+template <typename A, typename B>
+struct Codec<std::pair<A, B>> {
+  static void Encode(const std::pair<A, B>& v, ByteSink& sink) {
+    Codec<A>::Encode(v.first, sink);
+    Codec<B>::Encode(v.second, sink);
+  }
+  static std::pair<A, B> Decode(ByteSource& src) {
+    A a = Codec<A>::Decode(src);
+    B b = Codec<B>::Decode(src);
+    return {std::move(a), std::move(b)};
+  }
+  static size_t ByteSize(const std::pair<A, B>& v) {
+    return Codec<A>::ByteSize(v.first) + Codec<B>::ByteSize(v.second);
+  }
+};
+
+// --- std::tuple ---
+template <typename... Ts>
+struct Codec<std::tuple<Ts...>> {
+  static void Encode(const std::tuple<Ts...>& v, ByteSink& sink) {
+    std::apply([&sink](const Ts&... elems) { (Codec<Ts>::Encode(elems, sink), ...); }, v);
+  }
+  static std::tuple<Ts...> Decode(ByteSource& src) {
+    // Braced init guarantees left-to-right evaluation of the decodes.
+    return std::tuple<Ts...>{Codec<Ts>::Decode(src)...};
+  }
+  static size_t ByteSize(const std::tuple<Ts...>& v) {
+    return std::apply(
+        [](const Ts&... elems) { return (size_t{0} + ... + Codec<Ts>::ByteSize(elems)); }, v);
+  }
+};
+
+// --- std::vector ---
+template <typename T>
+struct Codec<std::vector<T>> {
+  static void Encode(const std::vector<T>& v, ByteSink& sink) {
+    sink.WriteVarint(v.size());
+    for (const T& e : v) {
+      Codec<T>::Encode(e, sink);
+    }
+  }
+  static std::vector<T> Decode(ByteSource& src) {
+    const size_t n = static_cast<size_t>(src.ReadVarint());
+    std::vector<T> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(Codec<T>::Decode(src));
+    }
+    return out;
+  }
+  static size_t ByteSize(const std::vector<T>& v) {
+    size_t total = sizeof(std::vector<T>);
+    if constexpr (std::is_arithmetic_v<T>) {
+      total += v.capacity() * sizeof(T);
+    } else {
+      for (const T& e : v) {
+        total += Codec<T>::ByteSize(e);
+      }
+      total += (v.capacity() - v.size()) * sizeof(T);
+    }
+    return total;
+  }
+};
+
+// --- user structs with BlazeEncode/BlazeDecode/BlazeByteSize members ---
+template <HasBlazeCodec T>
+struct Codec<T> {
+  static void Encode(const T& v, ByteSink& sink) { v.BlazeEncode(sink); }
+  static T Decode(ByteSource& src) { return T::BlazeDecode(src); }
+  static size_t ByteSize(const T& v) { return v.BlazeByteSize(); }
+};
+
+// Convenience wrappers.
+template <typename T>
+void Encode(const T& v, ByteSink& sink) {
+  Codec<T>::Encode(v, sink);
+}
+
+template <typename T>
+T Decode(ByteSource& src) {
+  return Codec<T>::Decode(src);
+}
+
+template <typename T>
+size_t ApproxByteSize(const T& v) {
+  return Codec<T>::ByteSize(v);
+}
+
+}  // namespace blaze
+
+#endif  // SRC_SERIALIZE_CODEC_H_

@@ -1,0 +1,134 @@
+#include "src/solver/ilp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <queue>
+
+#include "src/common/logging.h"
+
+namespace blaze {
+
+namespace {
+
+constexpr double kIntEps = 1e-6;
+
+struct Node {
+  // -1 = free, 0/1 = fixed.
+  std::vector<int> fixed;
+  double bound = -std::numeric_limits<double>::infinity();
+};
+
+struct NodeCompare {
+  // Best-first: smaller LP bound explored first (min-heap by bound).
+  bool operator()(const std::shared_ptr<Node>& a, const std::shared_ptr<Node>& b) const {
+    return a->bound > b->bound;
+  }
+};
+
+// Builds the LP relaxation of `problem` with variables in `fixed` pinned via
+// tightened bounds (lb as a >= row for fixed-to-1 vars, ub vector for both).
+LpSolution SolveRelaxation(const IlpProblem& problem, const std::vector<int>& fixed) {
+  const size_t n = problem.num_vars();
+  LinearProgram lp;
+  lp.objective = problem.objective;
+  lp.constraints = problem.constraints;
+  lp.upper_bounds.assign(n, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (fixed[i] == 0) {
+      lp.upper_bounds[i] = 0.0;
+    } else if (fixed[i] == 1) {
+      LpConstraint pin;
+      pin.coeffs.assign(n, 0.0);
+      pin.coeffs[i] = 1.0;
+      pin.sense = LpConstraintSense::kGreaterEqual;
+      pin.rhs = 1.0;
+      lp.constraints.push_back(std::move(pin));
+    }
+  }
+  return SolveLp(lp);
+}
+
+size_t MostFractionalVar(const std::vector<double>& values, const std::vector<int>& fixed) {
+  size_t best = values.size();
+  double best_dist = -1.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (fixed[i] != -1) {
+      continue;
+    }
+    const double frac = values[i] - std::floor(values[i]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > kIntEps && dist > best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+IlpSolution SolveIlp(const IlpProblem& problem, int max_nodes) {
+  const size_t n = problem.num_vars();
+  IlpSolution incumbent;
+  incumbent.status = IlpStatus::kInfeasible;
+  incumbent.objective_value = std::numeric_limits<double>::infinity();
+
+  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>, NodeCompare>
+      open;
+  auto root = std::make_shared<Node>();
+  root->fixed.assign(n, -1);
+  {
+    const LpSolution relax = SolveRelaxation(problem, root->fixed);
+    if (relax.status != LpStatus::kOptimal) {
+      return incumbent;  // infeasible or pathological root
+    }
+    root->bound = relax.objective_value;
+  }
+  open.push(root);
+
+  int nodes = 0;
+  bool hit_limit = false;
+  while (!open.empty()) {
+    if (++nodes > max_nodes) {
+      hit_limit = true;
+      break;
+    }
+    auto node = open.top();
+    open.pop();
+    if (node->bound >= incumbent.objective_value - 1e-9) {
+      continue;  // cannot improve on the incumbent
+    }
+    const LpSolution relax = SolveRelaxation(problem, node->fixed);
+    if (relax.status != LpStatus::kOptimal ||
+        relax.objective_value >= incumbent.objective_value - 1e-9) {
+      continue;
+    }
+    const size_t branch_var = MostFractionalVar(relax.values, node->fixed);
+    if (branch_var == n) {
+      // Integral: new incumbent.
+      incumbent.status = IlpStatus::kOptimal;
+      incumbent.objective_value = relax.objective_value;
+      incumbent.values.assign(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        incumbent.values[i] = relax.values[i] > 0.5 ? 1 : 0;
+      }
+      continue;
+    }
+    for (int v = 0; v <= 1; ++v) {
+      auto child = std::make_shared<Node>();
+      child->fixed = node->fixed;
+      child->fixed[branch_var] = v;
+      child->bound = relax.objective_value;  // parent relaxation is a valid bound
+      open.push(child);
+    }
+  }
+
+  if (hit_limit && incumbent.status == IlpStatus::kOptimal) {
+    incumbent.status = IlpStatus::kNodeLimit;
+  }
+  return incumbent;
+}
+
+}  // namespace blaze

@@ -1,0 +1,39 @@
+// Generic 0/1 integer linear programming by branch-and-bound over the dense
+// simplex LP relaxation (src/solver/simplex.h).
+//
+// Blaze's production cache-state optimization goes through the specialized
+// multiple-choice-knapsack solver (src/solver/mckp.h); this generic solver is
+// the substrate used for small/irregular models (e.g. a constrained disk tier)
+// and cross-checks the specialized path in tests.
+#ifndef SRC_SOLVER_ILP_H_
+#define SRC_SOLVER_ILP_H_
+
+#include <vector>
+
+#include "src/solver/simplex.h"
+
+namespace blaze {
+
+struct IlpProblem {
+  // minimize objective . x, x binary.
+  std::vector<double> objective;
+  std::vector<LpConstraint> constraints;
+
+  size_t num_vars() const { return objective.size(); }
+};
+
+enum class IlpStatus { kOptimal, kInfeasible, kNodeLimit };
+
+struct IlpSolution {
+  IlpStatus status = IlpStatus::kInfeasible;
+  double objective_value = 0.0;
+  std::vector<int> values;  // 0/1 per variable
+};
+
+// Exact best-first branch-and-bound. max_nodes bounds the search tree size;
+// if exceeded, the incumbent (if any) is returned with status kNodeLimit.
+IlpSolution SolveIlp(const IlpProblem& problem, int max_nodes = 20000);
+
+}  // namespace blaze
+
+#endif  // SRC_SOLVER_ILP_H_

@@ -1,0 +1,277 @@
+#include "src/solver/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace blaze {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense tableau with an explicit basis. Rows are constraints (rhs kept
+// separately), columns are variables (structural + slack/surplus + artificial).
+struct Tableau {
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<double> a;    // rows x cols
+  std::vector<double> rhs;  // rows
+  std::vector<size_t> basis;
+
+  double& At(size_t r, size_t c) { return a[r * cols + c]; }
+  double At(size_t r, size_t c) const { return a[r * cols + c]; }
+
+  void Pivot(size_t pr, size_t pc) {
+    const double pivot = At(pr, pc);
+    const double inv = 1.0 / pivot;
+    for (size_t c = 0; c < cols; ++c) {
+      At(pr, c) *= inv;
+    }
+    rhs[pr] *= inv;
+    for (size_t r = 0; r < rows; ++r) {
+      if (r == pr) {
+        continue;
+      }
+      const double factor = At(r, pc);
+      if (std::abs(factor) < kEps) {
+        continue;
+      }
+      for (size_t c = 0; c < cols; ++c) {
+        At(r, c) -= factor * At(pr, c);
+      }
+      rhs[r] -= factor * rhs[pr];
+    }
+    basis[pr] = pc;
+  }
+};
+
+// Runs simplex iterations on `tab` minimizing `cost` (length tab.cols).
+// Only columns < entering_limit may enter the basis (used in phase 2 to lock
+// out the artificial columns). Returns kOptimal/kUnbounded/kIterLimit;
+// `iterations` is decremented in place.
+LpStatus RunSimplex(Tableau& tab, const std::vector<double>& cost, size_t entering_limit,
+                    int& iterations) {
+  const size_t rows = tab.rows;
+  std::vector<double> reduced(entering_limit);
+  while (iterations-- > 0) {
+    // Reduced costs: c_j - c_B . B^-1 A_j. The tableau already stores B^-1 A,
+    // so accumulate the basic-cost combination per column.
+    for (size_t c = 0; c < entering_limit; ++c) {
+      reduced[c] = cost[c];
+    }
+    for (size_t r = 0; r < rows; ++r) {
+      const double cb = cost[tab.basis[r]];
+      if (std::abs(cb) < kEps) {
+        continue;
+      }
+      for (size_t c = 0; c < entering_limit; ++c) {
+        reduced[c] -= cb * tab.At(r, c);
+      }
+    }
+
+    // Entering variable: Bland's rule (lowest index with negative reduced cost)
+    // — slower than Dantzig but cycle-free, and instances here are small.
+    size_t entering = entering_limit;
+    for (size_t c = 0; c < entering_limit; ++c) {
+      if (reduced[c] < -kEps) {
+        entering = c;
+        break;
+      }
+    }
+    if (entering == entering_limit) {
+      return LpStatus::kOptimal;
+    }
+
+    // Leaving variable: min-ratio test, ties broken by lowest basis index (Bland).
+    size_t leaving = rows;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (size_t r = 0; r < rows; ++r) {
+      const double col_val = tab.At(r, entering);
+      if (col_val > kEps) {
+        const double ratio = tab.rhs[r] / col_val;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps && (leaving == rows || tab.basis[r] < tab.basis[leaving]))) {
+          best_ratio = ratio;
+          leaving = r;
+        }
+      }
+    }
+    if (leaving == rows) {
+      return LpStatus::kUnbounded;
+    }
+    tab.Pivot(leaving, entering);
+  }
+  return LpStatus::kIterLimit;
+}
+
+}  // namespace
+
+LpSolution SolveLp(const LinearProgram& lp, int max_iterations) {
+  const size_t n = lp.num_vars();
+  LpSolution out;
+
+  // Collect all rows: user constraints plus finite upper bounds as x_i <= u_i.
+  struct Row {
+    std::vector<double> coeffs;
+    LpConstraintSense sense;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  rows.reserve(lp.constraints.size() + lp.upper_bounds.size());
+  for (const auto& c : lp.constraints) {
+    BLAZE_CHECK_EQ(c.coeffs.size(), n);
+    rows.push_back({c.coeffs, c.sense, c.rhs});
+  }
+  if (!lp.upper_bounds.empty()) {
+    BLAZE_CHECK_EQ(lp.upper_bounds.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      if (std::isfinite(lp.upper_bounds[i])) {
+        std::vector<double> coeffs(n, 0.0);
+        coeffs[i] = 1.0;
+        rows.push_back({std::move(coeffs), LpConstraintSense::kLessEqual, lp.upper_bounds[i]});
+      }
+    }
+  }
+
+  const size_t m = rows.size();
+  // Flip rows so every rhs is nonnegative.
+  for (auto& row : rows) {
+    if (row.rhs < 0) {
+      for (double& v : row.coeffs) {
+        v = -v;
+      }
+      row.rhs = -row.rhs;
+      if (row.sense == LpConstraintSense::kLessEqual) {
+        row.sense = LpConstraintSense::kGreaterEqual;
+      } else if (row.sense == LpConstraintSense::kGreaterEqual) {
+        row.sense = LpConstraintSense::kLessEqual;
+      }
+    }
+  }
+
+  // Column layout: [structural n][slack/surplus per row][artificials].
+  size_t num_slack = 0;
+  size_t num_art = 0;
+  for (const auto& row : rows) {
+    if (row.sense != LpConstraintSense::kEqual) {
+      ++num_slack;
+    }
+    if (row.sense != LpConstraintSense::kLessEqual) {
+      ++num_art;
+    }
+  }
+  const size_t cols = n + num_slack + num_art;
+
+  Tableau tab;
+  tab.rows = m;
+  tab.cols = cols;
+  tab.a.assign(m * cols, 0.0);
+  tab.rhs.resize(m);
+  tab.basis.assign(m, 0);
+
+  size_t slack_at = n;
+  size_t art_at = n + num_slack;
+  std::vector<bool> is_artificial(cols, false);
+  for (size_t r = 0; r < m; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      tab.At(r, c) = rows[r].coeffs[c];
+    }
+    tab.rhs[r] = rows[r].rhs;
+    switch (rows[r].sense) {
+      case LpConstraintSense::kLessEqual:
+        tab.At(r, slack_at) = 1.0;
+        tab.basis[r] = slack_at++;
+        break;
+      case LpConstraintSense::kGreaterEqual:
+        tab.At(r, slack_at) = -1.0;
+        ++slack_at;
+        tab.At(r, art_at) = 1.0;
+        is_artificial[art_at] = true;
+        tab.basis[r] = art_at++;
+        break;
+      case LpConstraintSense::kEqual:
+        tab.At(r, art_at) = 1.0;
+        is_artificial[art_at] = true;
+        tab.basis[r] = art_at++;
+        break;
+    }
+  }
+
+  int iterations = max_iterations;
+
+  // Phase 1: drive the artificials to zero.
+  if (num_art > 0) {
+    std::vector<double> phase1_cost(cols, 0.0);
+    for (size_t c = 0; c < cols; ++c) {
+      if (is_artificial[c]) {
+        phase1_cost[c] = 1.0;
+      }
+    }
+    const LpStatus st = RunSimplex(tab, phase1_cost, cols, iterations);
+    if (st == LpStatus::kIterLimit) {
+      out.status = LpStatus::kIterLimit;
+      return out;
+    }
+    double art_sum = 0.0;
+    for (size_t r = 0; r < m; ++r) {
+      if (is_artificial[tab.basis[r]]) {
+        art_sum += tab.rhs[r];
+      }
+    }
+    if (art_sum > 1e-7) {
+      out.status = LpStatus::kInfeasible;
+      return out;
+    }
+    // Pivot any artificial still (degenerately) in the basis out of it.
+    for (size_t r = 0; r < m; ++r) {
+      if (!is_artificial[tab.basis[r]]) {
+        continue;
+      }
+      size_t pivot_col = cols;
+      for (size_t c = 0; c < n + num_slack; ++c) {
+        if (std::abs(tab.At(r, c)) > kEps) {
+          pivot_col = c;
+          break;
+        }
+      }
+      if (pivot_col != cols) {
+        tab.Pivot(r, pivot_col);
+      }
+      // If the whole row is zero the constraint is redundant; the artificial
+      // stays basic at value 0, which is harmless in phase 2 (cost below is 0,
+      // and a huge cost would re-introduce it — so we keep 0 and forbid entry
+      // by never giving artificial columns a negative reduced cost).
+    }
+  }
+
+  // Phase 2: the real objective. Artificial columns are locked out of the
+  // entering-variable choice; any artificial still basic sits at value 0 in a
+  // redundant (all-zero) row and cannot perturb the solution.
+  std::vector<double> phase2_cost(cols, 0.0);
+  for (size_t c = 0; c < n; ++c) {
+    phase2_cost[c] = lp.objective[c];
+  }
+  const LpStatus st = RunSimplex(tab, phase2_cost, n + num_slack, iterations);
+  if (st != LpStatus::kOptimal) {
+    out.status = st;
+    return out;
+  }
+
+  out.status = LpStatus::kOptimal;
+  out.values.assign(n, 0.0);
+  for (size_t r = 0; r < m; ++r) {
+    if (tab.basis[r] < n) {
+      out.values[tab.basis[r]] = tab.rhs[r];
+    }
+  }
+  out.objective_value = 0.0;
+  for (size_t c = 0; c < n; ++c) {
+    out.objective_value += lp.objective[c] * out.values[c];
+  }
+  return out;
+}
+
+}  // namespace blaze

@@ -1,0 +1,51 @@
+// Dense two-phase primal simplex for small linear programs.
+//
+// Solves:   minimize    c . x
+//           subject to  A x (<=|==|>=) b,   0 <= x <= upper
+//
+// This is the LP-relaxation engine behind the generic 0/1 ILP solver
+// (src/solver/ilp.h). Instances in this repository are small (hundreds of
+// variables), so a dense tableau with Bland's anti-cycling rule is the right
+// tool: simple, exact enough with an epsilon, and with no external dependency
+// (the paper uses Gurobi; this is our substitution).
+#ifndef SRC_SOLVER_SIMPLEX_H_
+#define SRC_SOLVER_SIMPLEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace blaze {
+
+enum class LpConstraintSense { kLessEqual, kEqual, kGreaterEqual };
+
+struct LpConstraint {
+  std::vector<double> coeffs;  // one per variable
+  LpConstraintSense sense = LpConstraintSense::kLessEqual;
+  double rhs = 0.0;
+};
+
+struct LinearProgram {
+  // Objective: minimize objective . x.
+  std::vector<double> objective;
+  std::vector<LpConstraint> constraints;
+  // Per-variable upper bounds (lower bounds are all 0). Empty => unbounded above.
+  std::vector<double> upper_bounds;
+
+  size_t num_vars() const { return objective.size(); }
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective_value = 0.0;
+  std::vector<double> values;
+};
+
+// Solves the LP. max_iterations bounds total pivots across both phases.
+LpSolution SolveLp(const LinearProgram& lp, int max_iterations = 200000);
+
+}  // namespace blaze
+
+#endif  // SRC_SOLVER_SIMPLEX_H_

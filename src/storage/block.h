@@ -1,0 +1,56 @@
+// Block identity and the type-erased partition payload stored by the caches.
+#ifndef SRC_STORAGE_BLOCK_H_
+#define SRC_STORAGE_BLOCK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/serialize/byte_buffer.h"
+
+namespace blaze {
+
+// Identifies one partition of one logical dataset (RDD), the unit of caching.
+struct BlockId {
+  uint32_t rdd_id = 0;
+  uint32_t partition = 0;
+
+  bool operator==(const BlockId&) const = default;
+  bool operator<(const BlockId& o) const {
+    return rdd_id != o.rdd_id ? rdd_id < o.rdd_id : partition < o.partition;
+  }
+  std::string ToString() const {
+    return "rdd_" + std::to_string(rdd_id) + "_" + std::to_string(partition);
+  }
+};
+
+struct BlockIdHash {
+  size_t operator()(const BlockId& b) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(b.rdd_id) << 32) | b.partition);
+  }
+};
+
+// Type-erased materialized partition. Typed RDDs allocate TypedBlock<T>
+// (src/dataflow/typed_block.h); storage and caching layers only see this
+// interface. Decoding back from bytes is done by the owning RDD, which knows
+// the element type.
+class BlockData {
+ public:
+  virtual ~BlockData() = default;
+
+  // Approximate live in-memory footprint (used for memory accounting).
+  virtual size_t SizeBytes() const = 0;
+
+  // Number of elements (rows) in the partition.
+  virtual size_t NumRows() const = 0;
+
+  // Serializes the payload (used for disk spill / serialized caches).
+  virtual void EncodeTo(ByteSink& sink) const = 0;
+};
+
+using BlockPtr = std::shared_ptr<const BlockData>;
+
+}  // namespace blaze
+
+#endif  // SRC_STORAGE_BLOCK_H_

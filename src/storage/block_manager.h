@@ -1,0 +1,57 @@
+// Per-executor storage: one memory store + one disk store, mirroring Spark's
+// BlockManager. Provides the mechanical operations (spill, disk fetch,
+// remove); every *decision* — admit, evict, victim choice, disk-vs-discard —
+// belongs to the cache coordinator (src/cache/cache_coordinator.h).
+#ifndef SRC_STORAGE_BLOCK_MANAGER_H_
+#define SRC_STORAGE_BLOCK_MANAGER_H_
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+
+#include "src/metrics/run_metrics.h"
+#include "src/storage/disk_store.h"
+#include "src/storage/memory_store.h"
+
+namespace blaze {
+
+struct BlockManagerConfig {
+  uint64_t memory_capacity_bytes = 64ULL << 20;
+  std::filesystem::path disk_dir;
+  uint64_t disk_throughput_bytes_per_sec = 0;  // 0 = unthrottled
+};
+
+class BlockManager {
+ public:
+  BlockManager(size_t executor_id, const BlockManagerConfig& config, RunMetrics* metrics);
+
+  size_t executor_id() const { return executor_id_; }
+  MemoryStore& memory() { return memory_; }
+  const MemoryStore& memory() const { return memory_; }
+  DiskStore& disk() { return disk_; }
+  const DiskStore& disk() const { return disk_; }
+
+  // Serializes `data` and writes it to the disk store. Returns total
+  // milliseconds spent (serialization + throttled write).
+  double SpillToDisk(const BlockId& id, const BlockData& data, uint64_t* bytes_out = nullptr);
+
+  // Reads the encoded bytes of a spilled block; millis spent written to *ms.
+  std::optional<std::vector<uint8_t>> ReadFromDisk(const BlockId& id, double* ms);
+
+  // Drops the block from the given tiers, updating disk residency metrics.
+  void RemoveFromMemory(const BlockId& id);
+  void RemoveFromDisk(const BlockId& id);
+
+  RunMetrics* metrics() { return metrics_; }
+
+ private:
+  size_t executor_id_;
+  MemoryStore memory_;
+  DiskStore disk_;
+  RunMetrics* metrics_;
+};
+
+}  // namespace blaze
+
+#endif  // SRC_STORAGE_BLOCK_MANAGER_H_

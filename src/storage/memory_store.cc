@@ -1,0 +1,89 @@
+#include "src/storage/memory_store.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace blaze {
+
+void MemoryStore::Put(const BlockId& id, BlockPtr data, uint64_t size_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.find(id);
+  if (it != blocks_.end()) {
+    used_ -= it->second.size_bytes;
+    blocks_.erase(it);
+  }
+  BLAZE_CHECK_LE(used_ + size_bytes, capacity_)
+      << "MemoryStore overflow inserting " << id.ToString() << " (" << size_bytes
+      << " B into " << (capacity_ - used_) << " B free)";
+  MemoryEntry entry;
+  entry.id = id;
+  entry.data = std::move(data);
+  entry.size_bytes = size_bytes;
+  entry.insert_seq = ++seq_;
+  entry.last_access_seq = entry.insert_seq;
+  used_ += size_bytes;
+  if (used_ > peak_) {
+    peak_ = used_;
+  }
+  blocks_.emplace(id, std::move(entry));
+}
+
+uint64_t MemoryStore::peak_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
+std::optional<BlockPtr> MemoryStore::Get(const BlockId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return std::nullopt;
+  }
+  it->second.last_access_seq = ++seq_;
+  ++it->second.access_count;
+  return it->second.data;
+}
+
+std::optional<BlockPtr> MemoryStore::Peek(const BlockId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return std::nullopt;
+  }
+  return it->second.data;
+}
+
+bool MemoryStore::Contains(const BlockId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_.contains(id);
+}
+
+uint64_t MemoryStore::Remove(const BlockId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return 0;
+  }
+  const uint64_t size = it->second.size_bytes;
+  used_ -= size;
+  blocks_.erase(it);
+  return size;
+}
+
+uint64_t MemoryStore::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+std::vector<MemoryEntry> MemoryStore::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MemoryEntry> out;
+  out.reserve(blocks_.size());
+  for (const auto& [id, entry] : blocks_) {
+    out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace blaze

@@ -1,0 +1,65 @@
+// Byte-accounted in-memory block store (one per executor). Mirrors Spark's
+// MemoryStore: bounded capacity, insertion bookkeeping for LRU-style policies.
+// Admission control (whether to accept a block, whom to evict) lives in the
+// cache coordinator; this class only tracks residency and usage.
+#ifndef SRC_STORAGE_MEMORY_STORE_H_
+#define SRC_STORAGE_MEMORY_STORE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/block.h"
+
+namespace blaze {
+
+struct MemoryEntry {
+  BlockId id;
+  BlockPtr data;
+  uint64_t size_bytes = 0;
+  uint64_t insert_seq = 0;       // monotonically increasing insertion counter
+  uint64_t last_access_seq = 0;  // updated on Get
+  uint64_t access_count = 0;
+};
+
+class MemoryStore {
+ public:
+  explicit MemoryStore(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  // Inserts (or replaces) a block. The caller must have made room: inserting
+  // beyond capacity is a checked error — the coordinator owns eviction.
+  void Put(const BlockId& id, BlockPtr data, uint64_t size_bytes);
+
+  // Returns the block and bumps its access recency, or nullopt.
+  std::optional<BlockPtr> Get(const BlockId& id);
+
+  // Returns the block without touching recency (used by inspection paths).
+  std::optional<BlockPtr> Peek(const BlockId& id) const;
+
+  bool Contains(const BlockId& id) const;
+
+  // Removes the block; returns its size or 0 if absent.
+  uint64_t Remove(const BlockId& id);
+
+  uint64_t used_bytes() const;
+  uint64_t peak_bytes() const;
+  uint64_t capacity_bytes() const { return capacity_; }
+
+  // Snapshot of the resident entries (data pointers included) for victim
+  // selection by eviction policies.
+  std::vector<MemoryEntry> Entries() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  uint64_t peak_ = 0;
+  uint64_t seq_ = 0;
+  std::unordered_map<BlockId, MemoryEntry, BlockIdHash> blocks_;
+};
+
+}  // namespace blaze
+
+#endif  // SRC_STORAGE_MEMORY_STORE_H_

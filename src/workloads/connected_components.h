@@ -1,0 +1,36 @@
+// Connected Components driver (label propagation, paper §7.1). Runs on the
+// same power-law graph as PageRank and iterates until the labels converge,
+// so the profiling run (smaller graph, smaller diameter) observes fewer
+// iterations than the real run — exercising CostLineage's pattern extension.
+#ifndef SRC_WORKLOADS_CONNECTED_COMPONENTS_H_
+#define SRC_WORKLOADS_CONNECTED_COMPONENTS_H_
+
+#include "src/workloads/workload.h"
+
+namespace blaze {
+
+struct ConnectedComponentsResult {
+  size_t num_components = 0;
+  int iterations_run = 0;
+};
+
+ConnectedComponentsResult RunConnectedComponents(EngineContext& engine,
+                                                 const WorkloadParams& params);
+
+class ConnectedComponentsWorkload : public Workload {
+ public:
+  std::string name() const override { return "cc"; }
+  std::function<void(EngineContext&)> MakeDriver(const WorkloadParams& params) const override {
+    return [params](EngineContext& engine) { RunConnectedComponents(engine, params); };
+  }
+  WorkloadParams DefaultParams() const override {
+    WorkloadParams p;
+    p.partitions = 16;
+    p.iterations = 12;  // upper bound; converges earlier
+    return p;
+  }
+};
+
+}  // namespace blaze
+
+#endif  // SRC_WORKLOADS_CONNECTED_COMPONENTS_H_

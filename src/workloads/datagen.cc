@@ -1,0 +1,167 @@
+#include "src/workloads/datagen.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/rng.h"
+#include "src/dataflow/pair_rdd.h"
+
+namespace blaze {
+
+namespace {
+
+// The paper's inputs are text files (Criteo logs, HiBench/SparkBench
+// generator output) that Spark reads and parses on every source
+// (re)computation. To keep source regeneration comparably priced, feature
+// values take a round trip through their decimal text form.
+double ThroughText(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return std::strtod(buf, nullptr);
+}
+
+}  // namespace
+
+namespace {
+
+// Deterministic hash used to scatter the high-degree vertices uniformly over
+// the key space (and thus over the hash partitions).
+uint64_t MixVertex(uint32_t v, uint64_t seed) {
+  uint64_t z = (static_cast<uint64_t>(v) + 1) * 0x9E3779B97F4A7C15ULL + seed;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::vector<std::pair<uint32_t, uint32_t>> GeneratePowerLawEdges(
+    uint32_t partition, size_t num_partitions, uint32_t num_vertices, uint32_t extra_degree,
+    double alpha, uint64_t seed, uint32_t locality_window) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + partition + 1);
+  const uint32_t begin = static_cast<uint32_t>(
+      static_cast<uint64_t>(num_vertices) * partition / num_partitions);
+  const uint32_t end = static_cast<uint32_t>(
+      static_cast<uint64_t>(num_vertices) * (partition + 1) / num_partitions);
+
+  // Zipf out-degrees: vertex v's degree is C / zipf_rank(v)^1.2, where the
+  // rank is a deterministic permutation of the vertex ids. The heaviest
+  // vertices own adjacency lists comparable to a whole average partition, so
+  // the hash partitions holding them are several times larger — the skew
+  // behind the paper's Fig. 3 (SparkBench graphs have the same property).
+  constexpr double kZipfExponent = 1.2;
+  constexpr double kZeta12 = 5.59158;  // zeta(1.2)
+  const double n = static_cast<double>(num_vertices);
+  const double mean_degree = 1.0 + static_cast<double>(extra_degree);
+  // Sum_{r=1..N} r^-s ~ zeta(s) - N^(1-s)/(s-1) for s > 1.
+  const double harmonic =
+      kZeta12 - std::pow(n, 1.0 - kZipfExponent) / (kZipfExponent - 1.0);
+  const double c = mean_degree * n / harmonic;
+
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(static_cast<size_t>(end - begin) * (1 + extra_degree));
+  for (uint32_t v = begin; v < end; ++v) {
+    const auto zipf_rank =
+        static_cast<double>(MixVertex(v, seed) % num_vertices) + 1.0;
+    const auto degree = std::max<uint32_t>(
+        1, static_cast<uint32_t>(c / std::pow(zipf_rank, kZipfExponent)));
+    for (uint32_t k = 0; k < degree; ++k) {
+      // Mild power-law target popularity skews shuffle volume as well.
+      uint32_t dst = static_cast<uint32_t>(rng.NextPowerLaw(num_vertices, alpha));
+      if (locality_window > 0) {
+        dst = (v + 1 + dst % locality_window) % num_vertices;
+      }
+      edges.emplace_back(v, dst);
+    }
+  }
+  return edges;
+}
+
+std::vector<LabeledPoint> GenerateLabeledPoints(uint32_t partition, size_t num_partitions,
+                                                uint32_t num_points, uint32_t dim,
+                                                uint64_t seed) {
+  Rng rng(seed * 0xD1B54A32D192ED03ULL + partition + 1);
+  const uint32_t begin = static_cast<uint32_t>(
+      static_cast<uint64_t>(num_points) * partition / num_partitions);
+  const uint32_t end = static_cast<uint32_t>(
+      static_cast<uint64_t>(num_points) * (partition + 1) / num_partitions);
+  // Planted separator: w = alternating +/- 1, bias 0.
+  std::vector<LabeledPoint> points;
+  points.reserve(end - begin);
+  for (uint32_t i = begin; i < end; ++i) {
+    LabeledPoint p;
+    p.features.resize(dim);
+    double margin = 0.0;
+    for (uint32_t d = 0; d < dim; ++d) {
+      p.features[d] = ThroughText(rng.NextGaussian());
+      margin += (d % 2 == 0 ? 1.0 : -1.0) * p.features[d];
+    }
+    const double prob = 1.0 / (1.0 + std::exp(-margin));
+    p.label = rng.NextBool(prob) ? 1.0 : 0.0;
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+std::vector<LabeledPoint> GenerateClusterPoints(uint32_t partition, size_t num_partitions,
+                                                uint32_t num_points, uint32_t dim,
+                                                uint32_t num_clusters, uint64_t seed) {
+  Rng rng(seed * 0xA24BAED4963EE407ULL + partition + 1);
+  Rng center_rng(seed);  // identical centers in every partition
+  std::vector<std::vector<double>> centers(num_clusters, std::vector<double>(dim));
+  for (auto& center : centers) {
+    for (double& c : center) {
+      c = center_rng.NextDouble(-10.0, 10.0);
+    }
+  }
+  const uint32_t begin = static_cast<uint32_t>(
+      static_cast<uint64_t>(num_points) * partition / num_partitions);
+  const uint32_t end = static_cast<uint32_t>(
+      static_cast<uint64_t>(num_points) * (partition + 1) / num_partitions);
+  std::vector<LabeledPoint> points;
+  points.reserve(end - begin);
+  for (uint32_t i = begin; i < end; ++i) {
+    const uint32_t cluster = static_cast<uint32_t>(rng.NextU64(num_clusters));
+    LabeledPoint p;
+    p.label = cluster;
+    p.features.resize(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      p.features[d] = ThroughText(centers[cluster][d] + rng.NextGaussian() * 0.5);
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+std::vector<uint32_t> KeysForPartition(uint32_t partition, size_t num_partitions, uint32_t n) {
+  std::vector<uint32_t> keys;
+  keys.reserve(n / num_partitions + 16);
+  for (uint32_t k = 0; k < n; ++k) {
+    if (KeyPartition(k, num_partitions) == partition) {
+      keys.push_back(k);
+    }
+  }
+  return keys;
+}
+
+std::vector<std::pair<uint32_t, Rating>> GenerateRatings(uint32_t partition,
+                                                         size_t num_partitions,
+                                                         uint32_t num_users,
+                                                         uint32_t items_per_user,
+                                                         uint32_t num_items, uint64_t seed) {
+  Rng rng(seed * 0x9FB21C651E98DF25ULL + partition + 1);
+  std::vector<std::pair<uint32_t, Rating>> ratings;
+  for (uint32_t user : KeysForPartition(partition, num_partitions, num_users)) {
+    for (uint32_t k = 0; k < items_per_user; ++k) {
+      Rating r;
+      // Item popularity is power-law (movie-ratings shape).
+      r.item = static_cast<uint32_t>(rng.NextPowerLaw(num_items, 1.3));
+      r.score = static_cast<float>(1.0 + rng.NextU64(5));
+      ratings.emplace_back(user, r);
+    }
+  }
+  return ratings;
+}
+
+}  // namespace blaze

@@ -1,0 +1,52 @@
+// Synthetic input generators standing in for the paper's datasets
+// (SparkBench power-law graph, Criteo click logs, HiBench KMeans/GBT data,
+// synthetic ratings). All are deterministic in (seed, partition).
+#ifndef SRC_WORKLOADS_DATAGEN_H_
+#define SRC_WORKLOADS_DATAGEN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/workloads/element_types.h"
+
+namespace blaze {
+
+// Directed edges for vertices in this partition's contiguous range. Vertex
+// out-degrees follow a Zipf distribution (mean 1 + extra_degree) with the
+// heavy vertices scattered across hash partitions — the partition-size skew
+// behind the paper's Fig. 3. Targets are power-law-popular; when
+// locality_window > 0, targets stay within `locality_window` ids ahead of the
+// source, giving the graph a large diameter (label propagation then needs
+// many iterations, as Connected Components requires).
+std::vector<std::pair<uint32_t, uint32_t>> GeneratePowerLawEdges(
+    uint32_t partition, size_t num_partitions, uint32_t num_vertices, uint32_t extra_degree,
+    double alpha, uint64_t seed, uint32_t locality_window = 0);
+
+// Labelled points with a planted linear separator (Criteo-style CTR proxy).
+std::vector<LabeledPoint> GenerateLabeledPoints(uint32_t partition, size_t num_partitions,
+                                                uint32_t num_points, uint32_t dim,
+                                                uint64_t seed);
+
+// Unlabelled points drawn uniformly around `num_clusters` uniform centers
+// (HiBench uniform KMeans input; label carries the true cluster for tests).
+std::vector<LabeledPoint> GenerateClusterPoints(uint32_t partition, size_t num_partitions,
+                                                uint32_t num_points, uint32_t dim,
+                                                uint32_t num_clusters, uint64_t seed);
+
+// (user, rating) pairs for users in this partition's hash class: user ids are
+// assigned so that KeyPartition(user, num_partitions) == partition, making the
+// generated dataset hash-partitioned by construction.
+std::vector<std::pair<uint32_t, Rating>> GenerateRatings(uint32_t partition,
+                                                         size_t num_partitions,
+                                                         uint32_t num_users,
+                                                         uint32_t items_per_user,
+                                                         uint32_t num_items, uint64_t seed);
+
+// Keys [0, n) that hash to `partition` under KeyPartition (helper for
+// generating hash-partitioned keyed sources).
+std::vector<uint32_t> KeysForPartition(uint32_t partition, size_t num_partitions, uint32_t n);
+
+}  // namespace blaze
+
+#endif  // SRC_WORKLOADS_DATAGEN_H_

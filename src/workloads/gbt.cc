@@ -1,0 +1,178 @@
+#include "src/workloads/gbt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/dataflow/pair_rdd.h"
+#include "src/workloads/datagen.h"
+
+namespace blaze {
+
+namespace {
+
+constexpr uint32_t kDim = 20;
+const double kThresholds[] = {-0.6, -0.2, 0.2, 0.6};
+constexpr size_t kNumThresholds = 4;
+
+double StumpPredict(const GbtStump& stump, const std::vector<double>& x) {
+  return x[stump.feature] <= stump.threshold ? stump.left_value : stump.right_value;
+}
+
+// LibSVM-format inputs are parsed text; price regeneration accordingly
+// (see src/workloads/datagen.cc).
+double ThroughText(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return std::strtod(buf, nullptr);
+}
+
+}  // namespace
+
+GbtResult RunGbt(EngineContext& engine, const WorkloadParams& params) {
+  const auto num_points = static_cast<uint32_t>(std::max(64.0, 30000.0 * params.scale));
+  const size_t parts = params.partitions;
+  const uint64_t seed = params.seed + 4;
+  const double learning_rate = 0.3;
+
+  // Hash-partitioned (id, point) training set: ids are assigned per partition
+  // so the dataset is co-partitioned with every derived prediction dataset.
+  auto data = Generate<std::pair<uint32_t, LabeledPoint>>(
+      &engine, "gbt.data", parts, [=](uint32_t p) {
+        std::vector<std::pair<uint32_t, LabeledPoint>> out;
+        for (uint32_t id : KeysForPartition(p, parts, num_points)) {
+          Rng rng(seed * 0x2545F4914F6CDD1DULL + id);
+          LabeledPoint point;
+          point.features.resize(kDim);
+          double y = 0.0;
+          for (uint32_t d = 0; d < kDim; ++d) {
+            point.features[d] = ThroughText(rng.NextGaussian());
+            y += (d % 3 == 0 ? 0.8 : -0.4) * (point.features[d] > 0.2 ? 1.0 : -1.0);
+          }
+          point.label = y + rng.NextGaussian() * 0.1;
+          out.emplace_back(id, std::move(point));
+        }
+        return out;
+      });
+  data->set_hash_partitioned(true);
+  data->Cache();
+  data->Count();  // job 0
+
+  auto preds = MapValues(
+      data, [](const LabeledPoint&) { return 0.0; }, "gbt.preds0");
+  preds->Cache();
+  preds->Count();  // job 1
+
+  std::deque<std::shared_ptr<RddBase>> resid_history;
+  std::deque<std::shared_ptr<RddBase>> preds_history{preds};
+  GbtResult result;
+  for (int round = 0; round < params.iterations; ++round) {
+    auto resid = MapValues(
+        JoinCoPartitioned(data, preds, "gbt.joinfit"),
+        [](const std::pair<LabeledPoint, double>& row) {
+          LabeledPoint out;
+          out.label = row.first.label - row.second;  // residual
+          out.features = row.first.features;
+          return out;
+        },
+        "gbt.resid");
+    resid->Cache();
+
+    // Fit job: per (feature, threshold) histogram of residual sums/counts.
+    struct HistAgg {
+      std::vector<double> left_sum, right_sum;
+      std::vector<uint64_t> left_count, right_count;
+      double sq_sum = 0.0;
+      uint64_t total = 0;
+    };
+    HistAgg zero;
+    const size_t bins = kDim * kNumThresholds;
+    zero.left_sum.assign(bins, 0.0);
+    zero.right_sum.assign(bins, 0.0);
+    zero.left_count.assign(bins, 0);
+    zero.right_count.assign(bins, 0);
+    const HistAgg hist = resid->Aggregate<HistAgg>(
+        zero,
+        [](HistAgg& acc, const std::pair<uint32_t, LabeledPoint>& row) {
+          const LabeledPoint& p = row.second;
+          for (uint32_t d = 0; d < kDim; ++d) {
+            for (size_t t = 0; t < kNumThresholds; ++t) {
+              const size_t bin = d * kNumThresholds + t;
+              if (p.features[d] <= kThresholds[t]) {
+                acc.left_sum[bin] += p.label;
+                ++acc.left_count[bin];
+              } else {
+                acc.right_sum[bin] += p.label;
+                ++acc.right_count[bin];
+              }
+            }
+          }
+          acc.sq_sum += p.label * p.label;
+          ++acc.total;
+        },
+        [bins](HistAgg& acc, const HistAgg& other) {
+          for (size_t b = 0; b < bins; ++b) {
+            acc.left_sum[b] += other.left_sum[b];
+            acc.right_sum[b] += other.right_sum[b];
+            acc.left_count[b] += other.left_count[b];
+            acc.right_count[b] += other.right_count[b];
+          }
+          acc.sq_sum += other.sq_sum;
+          acc.total += other.total;
+        });
+
+    // Variance-reduction split selection.
+    GbtStump stump;
+    double best_score = -1.0;
+    for (uint32_t d = 0; d < kDim; ++d) {
+      for (size_t t = 0; t < kNumThresholds; ++t) {
+        const size_t bin = d * kNumThresholds + t;
+        if (hist.left_count[bin] == 0 || hist.right_count[bin] == 0) {
+          continue;
+        }
+        const double lm = hist.left_sum[bin] / static_cast<double>(hist.left_count[bin]);
+        const double rm = hist.right_sum[bin] / static_cast<double>(hist.right_count[bin]);
+        const double score = lm * lm * static_cast<double>(hist.left_count[bin]) +
+                             rm * rm * static_cast<double>(hist.right_count[bin]);
+        if (score > best_score) {
+          best_score = score;
+          stump.feature = d;
+          stump.threshold = kThresholds[t];
+          stump.left_value = lm;
+          stump.right_value = rm;
+        }
+      }
+    }
+    result.training_mse = hist.total > 0 ? hist.sq_sum / static_cast<double>(hist.total) : 0.0;
+    result.model.push_back(stump);
+
+    // Update job: new cached prediction dataset chained off the previous one.
+    auto new_preds = MapValues(
+        JoinCoPartitioned(data, preds, "gbt.joinupd"),
+        [stump, learning_rate](const std::pair<LabeledPoint, double>& row) {
+          return row.second + learning_rate * StumpPredict(stump, row.first.features);
+        },
+        "gbt.preds");
+    new_preds->Cache();
+    new_preds->Count();
+
+    resid_history.push_back(resid);
+    if (resid_history.size() > 1) {
+      resid_history.front()->Unpersist();
+      resid_history.pop_front();
+    }
+    preds_history.push_back(new_preds);
+    if (preds_history.size() > 2) {
+      preds_history.front()->Unpersist();
+      preds_history.pop_front();
+    }
+    preds = new_preds;
+  }
+  return result;
+}
+
+}  // namespace blaze

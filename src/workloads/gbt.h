@@ -1,0 +1,46 @@
+// Gradient Boosted Trees driver (paper §7.1): boosting of depth-1 regression
+// trees (stumps) on residuals. Each boosting round submits two jobs — fit
+// (histogram aggregation over the cached residuals) and update (new cached
+// predictions joined narrowly against the cached training set) — so
+// prediction datasets chain across rounds through narrow dependencies,
+// giving the long, growing recomputation lineages of §3.2.
+#ifndef SRC_WORKLOADS_GBT_H_
+#define SRC_WORKLOADS_GBT_H_
+
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace blaze {
+
+struct GbtStump {
+  uint32_t feature = 0;
+  double threshold = 0.0;
+  double left_value = 0.0;
+  double right_value = 0.0;
+};
+
+struct GbtResult {
+  std::vector<GbtStump> model;
+  double training_mse = 0.0;
+};
+
+GbtResult RunGbt(EngineContext& engine, const WorkloadParams& params);
+
+class GbtWorkload : public Workload {
+ public:
+  std::string name() const override { return "gbt"; }
+  std::function<void(EngineContext&)> MakeDriver(const WorkloadParams& params) const override {
+    return [params](EngineContext& engine) { RunGbt(engine, params); };
+  }
+  WorkloadParams DefaultParams() const override {
+    WorkloadParams p;
+    p.partitions = 16;
+    p.iterations = 10;  // boosting rounds
+    return p;
+  }
+};
+
+}  // namespace blaze
+
+#endif  // SRC_WORKLOADS_GBT_H_

@@ -1,0 +1,140 @@
+#include "src/workloads/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/dataflow/broadcast.h"
+#include "src/dataflow/rdd.h"
+#include "src/workloads/datagen.h"
+
+namespace blaze {
+
+namespace {
+
+constexpr uint32_t kDim = 24;
+constexpr uint32_t kClusters = 12;
+
+double SquaredDistance(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+uint32_t NearestCentroid(const std::vector<std::vector<double>>& centroids,
+                         const std::vector<double>& x, double* dist_out) {
+  uint32_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (uint32_t c = 0; c < centroids.size(); ++c) {
+    const double d = SquaredDistance(centroids[c], x);
+    if (d < best_dist) {
+      best_dist = d;
+      best = c;
+    }
+  }
+  if (dist_out != nullptr) {
+    *dist_out = best_dist;
+  }
+  return best;
+}
+
+}  // namespace
+
+KMeansResult RunKMeans(EngineContext& engine, const WorkloadParams& params) {
+  const auto num_points = static_cast<uint32_t>(std::max(64.0, 50000.0 * params.scale));
+  const size_t parts = params.partitions;
+  const uint64_t seed = params.seed + 3;
+
+  auto points = Generate<LabeledPoint>(&engine, "km.points", parts, [=](uint32_t p) {
+    return GenerateClusterPoints(p, parts, num_points, kDim, kClusters, seed);
+  });
+  points->Cache();
+  points->Count();  // job 0
+
+  // Deterministic random init (k points from a seeded RNG).
+  std::vector<std::vector<double>> centroids(kClusters, std::vector<double>(kDim));
+  Rng init_rng(seed + 99);
+  for (auto& centroid : centroids) {
+    for (double& v : centroid) {
+      v = init_rng.NextDouble(-10.0, 10.0);
+    }
+  }
+
+  std::deque<std::shared_ptr<RddBase>> assigned_history;
+  KMeansResult result;
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    // Ship the centroids to the executors each Lloyd round.
+    auto c = BroadcastValue(engine, centroids);
+    // Assignment dataset: annotated (as MLlib caches its normalized copy and
+    // per-point costs) but never referenced again — half-width feature copy,
+    // sized between LR's model-scale and the graph workloads' bulk data.
+    auto assigned = points->Map(
+        [c](const LabeledPoint& p) {
+          double dist = 0.0;
+          const uint32_t cluster = NearestCentroid(*c, p.features, &dist);
+          LabeledPoint out;
+          out.label = static_cast<double>(cluster);
+          out.features.assign(p.features.begin(), p.features.begin() + kDim / 2);
+          out.features.push_back(dist);
+          return out;
+        },
+        "km.assigned");
+    assigned->Cache();
+    assigned->Count();  // job A: materialize the (blindly cached) intermediate
+
+    struct ClusterAgg {
+      std::vector<double> sums;  // kClusters x kDim flattened
+      std::vector<uint64_t> counts;
+      double inertia = 0.0;
+    };
+    ClusterAgg zero;
+    zero.sums.assign(static_cast<size_t>(kClusters) * kDim, 0.0);
+    zero.counts.assign(kClusters, 0);
+    // Job B: Lloyd update over the cached training points.
+    const ClusterAgg agg = points->Aggregate<ClusterAgg>(
+        zero,
+        [c](ClusterAgg& acc, const LabeledPoint& p) {
+          double dist = 0.0;
+          const uint32_t cluster = NearestCentroid(*c, p.features, &dist);
+          for (uint32_t d = 0; d < kDim; ++d) {
+            acc.sums[cluster * kDim + d] += p.features[d];
+          }
+          ++acc.counts[cluster];
+          acc.inertia += dist;
+        },
+        [](ClusterAgg& acc, const ClusterAgg& other) {
+          for (size_t i = 0; i < acc.sums.size(); ++i) {
+            acc.sums[i] += other.sums[i];
+          }
+          for (size_t i = 0; i < acc.counts.size(); ++i) {
+            acc.counts[i] += other.counts[i];
+          }
+          acc.inertia += other.inertia;
+        });
+    for (uint32_t cl = 0; cl < kClusters; ++cl) {
+      if (agg.counts[cl] == 0) {
+        continue;
+      }
+      for (uint32_t d = 0; d < kDim; ++d) {
+        centroids[cl][d] = agg.sums[cl * kDim + d] / static_cast<double>(agg.counts[cl]);
+      }
+    }
+    result.inertia = agg.inertia;
+
+    assigned_history.push_back(assigned);
+    if (assigned_history.size() > 2) {
+      assigned_history.front()->Unpersist();
+      assigned_history.pop_front();
+    }
+  }
+  result.centroids = centroids;
+  return result;
+}
+
+}  // namespace blaze

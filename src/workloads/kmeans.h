@@ -1,0 +1,37 @@
+// K-Means clustering driver (MLlib-style Lloyd iterations, paper §7.1).
+// Input points are uniform across clusters (HiBench's uniform generator), so
+// partition sizes are even and auto-caching's skew advantage is small — the
+// paper's explanation for KMeans' modest +AutoCache gain.
+#ifndef SRC_WORKLOADS_KMEANS_H_
+#define SRC_WORKLOADS_KMEANS_H_
+
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace blaze {
+
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;
+  double inertia = 0.0;  // sum of squared distances to assigned centroids
+};
+
+KMeansResult RunKMeans(EngineContext& engine, const WorkloadParams& params);
+
+class KMeansWorkload : public Workload {
+ public:
+  std::string name() const override { return "kmeans"; }
+  std::function<void(EngineContext&)> MakeDriver(const WorkloadParams& params) const override {
+    return [params](EngineContext& engine) { RunKMeans(engine, params); };
+  }
+  WorkloadParams DefaultParams() const override {
+    WorkloadParams p;
+    p.partitions = 16;
+    p.iterations = 10;
+    return p;
+  }
+};
+
+}  // namespace blaze
+
+#endif  // SRC_WORKLOADS_KMEANS_H_

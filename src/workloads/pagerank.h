@@ -1,0 +1,38 @@
+// PageRank driver (GraphX-style, paper §7.1).
+//
+// Per iteration: join the cached adjacency with the previous ranks (narrow,
+// co-partitioned), flat-map contributions, reduce by destination (shuffle),
+// damp. Caching annotations follow GraphX: the adjacency, every iteration's
+// joined "rank graph", and every iteration's ranks are Cache()d; the ranks
+// and rank graph from two iterations back are Unpersist()ed.
+#ifndef SRC_WORKLOADS_PAGERANK_H_
+#define SRC_WORKLOADS_PAGERANK_H_
+
+#include "src/workloads/workload.h"
+
+namespace blaze {
+
+struct PageRankResult {
+  double rank_sum = 0.0;
+  uint32_t num_vertices = 0;
+};
+
+PageRankResult RunPageRank(EngineContext& engine, const WorkloadParams& params);
+
+class PageRankWorkload : public Workload {
+ public:
+  std::string name() const override { return "pr"; }
+  std::function<void(EngineContext&)> MakeDriver(const WorkloadParams& params) const override {
+    return [params](EngineContext& engine) { RunPageRank(engine, params); };
+  }
+  WorkloadParams DefaultParams() const override {
+    WorkloadParams p;
+    p.partitions = 16;
+    p.iterations = 10;
+    return p;
+  }
+};
+
+}  // namespace blaze
+
+#endif  // SRC_WORKLOADS_PAGERANK_H_

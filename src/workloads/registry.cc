@@ -1,0 +1,40 @@
+#include "src/workloads/workload.h"
+
+#include "src/common/logging.h"
+#include "src/workloads/connected_components.h"
+#include "src/workloads/gbt.h"
+#include "src/workloads/kmeans.h"
+#include "src/workloads/logistic_regression.h"
+#include "src/workloads/pagerank.h"
+#include "src/workloads/svdpp.h"
+
+namespace blaze {
+
+std::unique_ptr<Workload> MakeWorkload(const std::string& name) {
+  if (name == "pr") {
+    return std::make_unique<PageRankWorkload>();
+  }
+  if (name == "cc") {
+    return std::make_unique<ConnectedComponentsWorkload>();
+  }
+  if (name == "lr") {
+    return std::make_unique<LogisticRegressionWorkload>();
+  }
+  if (name == "kmeans") {
+    return std::make_unique<KMeansWorkload>();
+  }
+  if (name == "gbt") {
+    return std::make_unique<GbtWorkload>();
+  }
+  if (name == "svdpp") {
+    return std::make_unique<SvdppWorkload>();
+  }
+  BLAZE_LOG(kFatal) << "unknown workload: " << name;
+  return nullptr;
+}
+
+std::vector<std::string> AllWorkloadNames() {
+  return {"pr", "cc", "lr", "kmeans", "gbt", "svdpp"};
+}
+
+}  // namespace blaze

@@ -1,0 +1,161 @@
+#include "src/workloads/svdpp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/dataflow/broadcast.h"
+#include "src/dataflow/pair_rdd.h"
+#include "src/workloads/datagen.h"
+
+namespace blaze {
+
+namespace {
+
+constexpr uint32_t kRank = 8;
+constexpr double kLearningRate = 0.02;
+constexpr double kReg = 0.05;
+
+double Predict(const FactorVec& user, const FactorVec& item) {
+  double acc = user.bias + item.bias + 3.0;
+  for (uint32_t f = 0; f < kRank; ++f) {
+    acc += (user.values[f] + user.weight * item.values[f] * 0.1) * item.values[f];
+  }
+  return acc;
+}
+
+}  // namespace
+
+SvdppResult RunSvdpp(EngineContext& engine, const WorkloadParams& params) {
+  const auto num_users = static_cast<uint32_t>(std::max(64.0, 12000.0 * params.scale));
+  const uint32_t items_per_user = 24;
+  const uint32_t num_items = std::max<uint32_t>(64, num_users / 8);
+  const size_t parts = params.partitions;
+  const uint64_t seed = params.seed + 5;
+
+  auto ratings = Generate<std::pair<uint32_t, Rating>>(
+      &engine, "svd.ratings", parts, [=](uint32_t p) {
+        return GenerateRatings(p, parts, num_users, items_per_user, num_items, seed);
+      });
+  ratings->set_hash_partitioned(true);
+  auto user_ratings = GroupByKey(ratings, parts, "svd.uratings");
+  user_ratings->Cache();
+
+  auto user_factors = MapValues(
+      user_ratings,
+      [](const std::vector<Rating>& rs) {
+        FactorVec f;
+        f.values.assign(kRank, 0.1);
+        f.bias = 0.0;
+        f.weight = 1.0 / std::sqrt(static_cast<double>(rs.size()) + 1.0);
+        return f;
+      },
+      "svd.ufac0");
+  user_factors->Cache();
+  user_factors->Count();  // job 0
+
+  // Item factors held at the driver (broadcast stand-in), seeded determinately.
+  auto item_factors = std::make_shared<std::vector<FactorVec>>(num_items);
+  Rng init_rng(seed + 7);
+  for (FactorVec& f : *item_factors) {
+    f.values.resize(kRank);
+    for (double& v : f.values) {
+      v = init_rng.NextDouble(-0.1, 0.1);
+    }
+  }
+
+  std::deque<std::shared_ptr<RddBase>> factor_history{user_factors};
+  std::deque<std::shared_ptr<RddBase>> joined_history;
+  SvdppResult result;
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    // Broadcast the item-factor matrix each sweep (the "model" side).
+    auto items = BroadcastValue(engine, *item_factors);
+    // Job A: update user factors by SGD against the (driver-held) item side.
+    auto joined = JoinCoPartitioned(user_ratings, user_factors, "svd.joined");
+    joined->Cache();  // GraphX SVD++ caches the joined graph each sweep
+    auto new_factors = MapValues(
+        joined,
+        [items](const std::pair<std::vector<Rating>, FactorVec>& row) {
+          FactorVec user = row.second;
+          for (const Rating& r : row.first) {
+            const FactorVec& item = (*items)[r.item];
+            const double err = static_cast<double>(r.score) - Predict(user, item);
+            user.bias += kLearningRate * (err - kReg * user.bias);
+            for (uint32_t f = 0; f < kRank; ++f) {
+              user.values[f] +=
+                  kLearningRate * (err * item.values[f] - kReg * user.values[f]);
+            }
+          }
+          return user;
+        },
+        "svd.ufac");
+    new_factors->Cache();
+    new_factors->Count();
+
+    // Job B: accumulate item-side gradients and the RMSE at the driver.
+    struct ItemAgg {
+      std::vector<double> grads;  // num_items x kRank flattened
+      std::vector<double> bias_grads;
+      double sq_err = 0.0;
+      uint64_t count = 0;
+    };
+    ItemAgg zero;
+    zero.grads.assign(static_cast<size_t>(num_items) * kRank, 0.0);
+    zero.bias_grads.assign(num_items, 0.0);
+    auto rated = JoinCoPartitioned(user_ratings, new_factors, "svd.rated");
+    const ItemAgg agg = rated->Aggregate<ItemAgg>(
+        zero,
+        [items](ItemAgg& acc,
+                const std::pair<uint32_t, std::pair<std::vector<Rating>, FactorVec>>& row) {
+          const auto& [ratings_list, user] = row.second;
+          for (const Rating& r : ratings_list) {
+            const FactorVec& item = (*items)[r.item];
+            const double err = static_cast<double>(r.score) - Predict(user, item);
+            for (uint32_t f = 0; f < kRank; ++f) {
+              acc.grads[static_cast<size_t>(r.item) * kRank + f] +=
+                  err * user.values[f] - kReg * item.values[f];
+            }
+            acc.bias_grads[r.item] += err - kReg * item.bias;
+            acc.sq_err += err * err;
+            ++acc.count;
+          }
+        },
+        [](ItemAgg& acc, const ItemAgg& other) {
+          for (size_t i = 0; i < acc.grads.size(); ++i) {
+            acc.grads[i] += other.grads[i];
+          }
+          for (size_t i = 0; i < acc.bias_grads.size(); ++i) {
+            acc.bias_grads[i] += other.bias_grads[i];
+          }
+          acc.sq_err += other.sq_err;
+          acc.count += other.count;
+        });
+    for (uint32_t item = 0; item < num_items; ++item) {
+      FactorVec& f = (*item_factors)[item];
+      f.bias += kLearningRate * agg.bias_grads[item];
+      for (uint32_t r = 0; r < kRank; ++r) {
+        f.values[r] += kLearningRate * agg.grads[static_cast<size_t>(item) * kRank + r];
+      }
+    }
+    result.rmse =
+        agg.count > 0 ? std::sqrt(agg.sq_err / static_cast<double>(agg.count)) : 0.0;
+    ++result.iterations_run;
+
+    joined_history.push_back(joined);
+    if (joined_history.size() > 1) {
+      joined_history.front()->Unpersist();
+      joined_history.pop_front();
+    }
+    factor_history.push_back(new_factors);
+    if (factor_history.size() > 2) {
+      factor_history.front()->Unpersist();
+      factor_history.pop_front();
+    }
+    user_factors = new_factors;
+  }
+  return result;
+}
+
+}  // namespace blaze

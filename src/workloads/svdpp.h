@@ -1,0 +1,37 @@
+// SVD++ driver (paper §7.1): latent-factor recommendation over user->item
+// ratings. User factors live in a cached, hash-partitioned dataset updated
+// every iteration; item factors are aggregated to the driver (a broadcast
+// stand-in). FactorVec's deliberately heavy field-tagged serialization makes
+// every spill/read of SVD++ data several times more expensive per byte than
+// the other workloads' — the paper's §7.2 serialization observation.
+#ifndef SRC_WORKLOADS_SVDPP_H_
+#define SRC_WORKLOADS_SVDPP_H_
+
+#include "src/workloads/workload.h"
+
+namespace blaze {
+
+struct SvdppResult {
+  double rmse = 0.0;
+  int iterations_run = 0;
+};
+
+SvdppResult RunSvdpp(EngineContext& engine, const WorkloadParams& params);
+
+class SvdppWorkload : public Workload {
+ public:
+  std::string name() const override { return "svdpp"; }
+  std::function<void(EngineContext&)> MakeDriver(const WorkloadParams& params) const override {
+    return [params](EngineContext& engine) { RunSvdpp(engine, params); };
+  }
+  WorkloadParams DefaultParams() const override {
+    WorkloadParams p;
+    p.partitions = 16;
+    p.iterations = 8;
+    return p;
+  }
+};
+
+}  // namespace blaze
+
+#endif  // SRC_WORKLOADS_SVDPP_H_

@@ -1,0 +1,51 @@
+// Workload driver interface shared by tests and the benchmark harness.
+#ifndef SRC_WORKLOADS_WORKLOAD_H_
+#define SRC_WORKLOADS_WORKLOAD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dataflow/engine_context.h"
+
+namespace blaze {
+
+struct WorkloadParams {
+  size_t partitions = 16;
+  int iterations = 8;
+  // Linear data-size multiplier (1.0 = the benchmark defaults).
+  double scale = 1.0;
+  uint64_t seed = 7;
+
+  // The paper's dependency-extraction phase runs the same driver on < 1 MB of
+  // input; we shrink the data by this factor for the profiling run.
+  WorkloadParams ForProfiling() const {
+    WorkloadParams p = *this;
+    p.scale = scale / 256.0;
+    return p;
+  }
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual std::string name() const = 0;
+
+  // Binds the driver program to concrete parameters. The driver issues the
+  // workload's jobs against the engine it is given (Cache()/Unpersist()
+  // annotations follow the GraphX/MLlib conventions; Blaze ignores them).
+  virtual std::function<void(EngineContext&)> MakeDriver(const WorkloadParams& params) const = 0;
+
+  // Parameters tuned so the peak cached working set exceeds the benchmark
+  // harness's memory-store capacity (the paper's operative regime).
+  virtual WorkloadParams DefaultParams() const = 0;
+};
+
+// The six paper workloads: pr, cc, lr, kmeans, gbt, svdpp.
+std::unique_ptr<Workload> MakeWorkload(const std::string& name);
+std::vector<std::string> AllWorkloadNames();
+
+}  // namespace blaze
+
+#endif  // SRC_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,104 @@
+// Broadcast variables and checkpoint truncation.
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+#include <atomic>
+
+#include "src/cache/policies.h"
+#include "src/cache/policy_coordinator.h"
+#include "src/dataflow/broadcast.h"
+#include "src/dataflow/rdd.h"
+
+namespace blaze {
+namespace {
+
+EngineConfig SmallConfig() {
+  EngineConfig config;
+  config.num_executors = 2;
+  config.threads_per_executor = 2;
+  config.memory_capacity_per_executor = MiB(8);
+  return config;
+}
+
+TEST(BroadcastTest, ValueIsSharedAndUsableInTasks) {
+  EngineContext engine(SmallConfig());
+  auto weights = BroadcastValue(engine, std::vector<double>{1.0, 2.0, 3.0});
+  auto rdd = Parallelize<int>(&engine, "b", {0, 1, 2, 0, 1, 2}, 3);
+  auto mapped = rdd->Map([weights](const int& x) { return (*weights)[x]; });
+  double sum = 0.0;
+  for (double v : mapped->Collect()) {
+    sum += v;
+  }
+  EXPECT_DOUBLE_EQ(sum, 2.0 * (1.0 + 2.0 + 3.0));
+}
+
+TEST(BroadcastTest, DistributionCostIsAccounted) {
+  EngineContext engine(SmallConfig());
+  const auto before = engine.metrics().Snapshot();
+  EXPECT_EQ(before.broadcast_bytes, 0u);
+  auto b = BroadcastValue(engine, std::vector<double>(1000, 1.0));
+  const auto after = engine.metrics().Snapshot();
+  // ~8 KB payload per executor, 2 executors.
+  EXPECT_GT(after.broadcast_bytes, 2u * 7000u);
+  EXPECT_GE(after.broadcast_ms, 0.0);
+  EXPECT_DOUBLE_EQ((*b)[0], 1.0);
+}
+
+TEST(CheckpointTest, TruncatesLineage) {
+  EngineContext engine(SmallConfig());
+  engine.SetCoordinator(std::make_unique<PolicyCoordinator>(&engine, MakePolicy("lru"),
+                                                            EvictionMode::kMemOnly));
+  auto generations = std::make_shared<std::atomic<int>>(0);
+  auto source = Generate<int>(&engine, "cp.src", 2, [generations](uint32_t p) {
+    generations->fetch_add(1);
+    return std::vector<int>(100, static_cast<int>(p));
+  });
+  auto derived = source->Map([](const int& x) { return x + 1; }, "cp.derived");
+  derived->Checkpoint();  // runs one job: 2 source generations
+  const int after_checkpoint = generations->load();
+  EXPECT_EQ(after_checkpoint, 2);
+
+  // Downstream consumers now read the checkpoint; the source never reruns.
+  auto consumer = derived->Map([](const int& x) { return x * 2; }, "cp.consumer");
+  EXPECT_EQ(consumer->Count(), 200u);
+  EXPECT_EQ(consumer->Count(), 200u);
+  EXPECT_EQ(generations->load(), after_checkpoint);
+  const auto snap = engine.metrics().Snapshot();
+  EXPECT_GT(snap.cache_hits_disk, 0u);  // checkpoint reads
+}
+
+TEST(CheckpointTest, SurvivesUnpersistOfEverything) {
+  EngineContext engine(SmallConfig());
+  engine.SetCoordinator(std::make_unique<PolicyCoordinator>(&engine, MakePolicy("lru"),
+                                                            EvictionMode::kMemAndDisk));
+  auto source = Generate<int>(&engine, "cp2.src", 2,
+                              [](uint32_t p) { return std::vector<int>(50, (int)p); });
+  source->Cache();
+  auto derived = source->Map([](const int& x) { return x + 1; }, "cp2.derived");
+  derived->Checkpoint();
+  source->Unpersist();
+  EXPECT_EQ(derived->Count(), 100u);
+  // Checkpoint data lives outside the cache tiers: unpersisting the
+  // checkpointed dataset itself does not remove it either.
+  derived->Unpersist();
+  EXPECT_EQ(derived->Count(), 100u);
+}
+
+TEST(CheckpointTest, ResultsMatchUncheckpointedRun) {
+  auto run = [](bool checkpoint) {
+    EngineContext engine(SmallConfig());
+    auto source = Generate<int>(&engine, "cp3.src", 3,
+                                [](uint32_t p) { return std::vector<int>(40, (int)p); });
+    auto derived = source->Map([](const int& x) { return x * 3 + 1; });
+    if (checkpoint) {
+      derived->Checkpoint();
+    }
+    auto result = derived->Reduce([](const int& a, const int& b) { return a + b; });
+    return result.value_or(-1);
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace blaze

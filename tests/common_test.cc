@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/common/stopwatch.h"
+#include "src/common/thread_pool.h"
+#include "src/common/units.h"
+
+namespace blaze {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextU64(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, PowerLawFavorsLowRanks) {
+  Rng rng(13);
+  const uint64_t n = 1000;
+  int low = 0;
+  const int samples = 10000;
+  for (int i = 0; i < samples; ++i) {
+    const uint64_t r = rng.NextPowerLaw(n, 1.6);
+    ASSERT_LT(r, n);
+    if (r < n / 10) {
+      ++low;
+    }
+  }
+  // A heavy-tailed distribution concentrates most mass in the first decile.
+  EXPECT_GT(low, samples / 2);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(UnitsTest, FormatBytesPicksScale) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(KiB(2)), "2.00 KiB");
+  EXPECT_EQ(FormatBytes(MiB(3)), "3.00 MiB");
+  EXPECT_EQ(FormatBytes(GiB(1)), "1.00 GiB");
+}
+
+TEST(UnitsTest, FormatMillisPicksScale) {
+  EXPECT_EQ(FormatMillis(1.5), "1.50 ms");
+  EXPECT_EQ(FormatMillis(2500.0), "2.500 s");
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&] {
+      const int now = in_flight.fetch_add(1) + 1;
+      int expected = max_in_flight.load();
+      while (now > expected && !max_in_flight.compare_exchange_weak(expected, now)) {
+      }
+      Stopwatch w;
+      while (w.ElapsedMillis() < 5) {
+      }
+      in_flight.fetch_sub(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_GE(max_in_flight.load(), 2);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  Stopwatch busy;
+  while (busy.ElapsedMillis() < 10) {
+  }
+  EXPECT_GE(watch.ElapsedMillis(), 9.0);
+}
+
+TEST(ScopedTimerTest, AccumulatesIntoSink) {
+  double sink = 0.0;
+  {
+    ScopedTimer timer(&sink);
+    Stopwatch busy;
+    while (busy.ElapsedMillis() < 5) {
+    }
+  }
+  EXPECT_GE(sink, 4.0);
+}
+
+}  // namespace
+}  // namespace blaze

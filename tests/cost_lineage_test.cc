@@ -1,0 +1,165 @@
+// CostLineage unit tests: congruence classes, reference-offset prediction,
+// inductive regression, and profile seeding. Jobs are simulated through a
+// real engine so JobInfo structures are authentic.
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+#include "src/blaze/cost_lineage.h"
+#include "src/dataflow/dag_scheduler.h"
+#include "src/dataflow/pair_rdd.h"
+#include "src/dataflow/rdd.h"
+
+namespace blaze {
+namespace {
+
+EngineConfig TinyConfig() {
+  EngineConfig config;
+  config.num_executors = 1;
+  config.threads_per_executor = 1;
+  config.memory_capacity_per_executor = MiB(64);
+  return config;
+}
+
+// Builds an iterative chain: base -> iter datasets named identically across
+// "iterations" so congruence classes form.
+TEST(CostLineageTest, DetectsCongruentIterationsAndPredictsRefs) {
+  EngineContext engine(TinyConfig());
+  CostLineage lineage;
+
+  auto base = Parallelize<int>(&engine, "base", std::vector<int>(100, 1), 2);
+  auto current = base;
+  std::vector<RddPtr<int>> iterates{base};
+  for (int job = 0; job < 4; ++job) {
+    auto next = current->Map([](const int& x) { return x + 1; }, "iter");
+    const JobInfo info = engine.scheduler().AnalyzeJob(next, job);
+    lineage.ObserveJobStart(info);
+    iterates.push_back(next);
+    current = next;
+  }
+
+  // Jobs 1..3 each create exactly one "iter" dataset; those form one class.
+  // (Job 0 also created `base`, so its new-role list has a different shape and
+  // iter1 keeps its own class.)
+  const LineageNode* first = lineage.GetNode(iterates[2]->id());
+  const LineageNode* last = lineage.GetNode(iterates[4]->id());
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(first->class_id, last->class_id);
+
+  // Each iterate is referenced one job after creation: the newest one is
+  // predicted to be referenced in the next (unseen) job.
+  EXPECT_GT(lineage.FutureRefCount(iterates[4]->id(), 3, false), 0);
+  // The oldest iterate's references are all in the past.
+  EXPECT_EQ(lineage.FutureRefCount(iterates[1]->id(), 3, false), 0);
+}
+
+TEST(CostLineageTest, RolesReferencedInCoversProducersAndConsumers) {
+  EngineContext engine(TinyConfig());
+  CostLineage lineage;
+  auto base = Parallelize<int>(&engine, "base", std::vector<int>(10, 1), 2);
+  auto derived = base->Map([](const int& x) { return x; }, "derived");
+  lineage.ObserveJobStart(engine.scheduler().AnalyzeJob(derived, 0));
+  const auto roles = lineage.RolesReferencedIn(0);
+  EXPECT_EQ(roles.size(), 2u);  // both base and derived participate in job 0
+}
+
+TEST(CostLineageTest, ObservedMetricsRoundTrip) {
+  EngineContext engine(TinyConfig());
+  CostLineage lineage;
+  auto base = Parallelize<int>(&engine, "base", std::vector<int>(10, 1), 2);
+  lineage.ObserveJobStart(engine.scheduler().AnalyzeJob(base, 0));
+  lineage.ObserveBlockComputed(base->id(), 0, 12345, 6.5);
+  const auto info = lineage.GetPartition(base->id(), 0);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_TRUE(info->observed);
+  EXPECT_EQ(info->size_bytes, 12345u);
+  EXPECT_DOUBLE_EQ(info->compute_ms, 6.5);
+}
+
+TEST(CostLineageTest, InducesUnobservedMetricsFromClassRegression) {
+  EngineContext engine(TinyConfig());
+  CostLineage lineage;
+  auto base = Parallelize<int>(&engine, "base", std::vector<int>(100, 1), 2);
+  auto current = base;
+  std::vector<RddPtr<int>> iterates;
+  for (int job = 0; job < 4; ++job) {
+    auto next = current->Map([](const int& x) { return x + 1; }, "iter");
+    lineage.ObserveJobStart(engine.scheduler().AnalyzeJob(next, job));
+    iterates.push_back(next);
+    current = next;
+  }
+  // Observe linearly growing sizes for the first three iterates.
+  for (int k = 0; k < 3; ++k) {
+    lineage.ObserveBlockComputed(iterates[k]->id(), 0, 1000 + 500 * k, 10.0 + 5.0 * k);
+  }
+  // The fourth is unobserved: regression should extrapolate ~2500 bytes / 25 ms.
+  const auto induced = lineage.GetPartition(iterates[3]->id(), 0);
+  ASSERT_TRUE(induced.has_value());
+  EXPECT_FALSE(induced->observed);
+  EXPECT_NEAR(static_cast<double>(induced->size_bytes), 2500.0, 50.0);
+  EXPECT_NEAR(induced->compute_ms, 25.0, 0.5);
+}
+
+TEST(CostLineageTest, StateTransitionsTracked) {
+  EngineContext engine(TinyConfig());
+  CostLineage lineage;
+  auto base = Parallelize<int>(&engine, "base", std::vector<int>(10, 1), 2);
+  lineage.ObserveJobStart(engine.scheduler().AnalyzeJob(base, 0));
+  EXPECT_EQ(lineage.GetState(base->id(), 0), PartitionState::kNone);
+  lineage.SetState(base->id(), 0, PartitionState::kMemory);
+  EXPECT_EQ(lineage.GetState(base->id(), 0), PartitionState::kMemory);
+  lineage.SetState(base->id(), 0, PartitionState::kDisk);
+  EXPECT_EQ(lineage.GetState(base->id(), 0), PartitionState::kDisk);
+}
+
+TEST(CostLineageTest, ProfileExportAndSeedPreservesPredictions) {
+  EngineContext engine(TinyConfig());
+  CostLineage profiled;
+  auto base = Parallelize<int>(&engine, "base", std::vector<int>(100, 1), 2);
+  auto current = base;
+  std::vector<RddPtr<int>> iterates;
+  for (int job = 0; job < 4; ++job) {
+    auto next = current->Map([](const int& x) { return x + 1; }, "iter");
+    profiled.ObserveJobStart(engine.scheduler().AnalyzeJob(next, job));
+    iterates.push_back(next);
+    current = next;
+  }
+  const LineageProfile profile = profiled.ExportProfile();
+  EXPECT_EQ(profile.num_jobs, 4);
+
+  CostLineage seeded;
+  seeded.SeedFromProfile(profile);
+  // Seeded lineage predicts the same future references without re-observing.
+  EXPECT_GT(seeded.FutureRefCount(iterates[0]->id(), 0, false), 0);
+  // Metrics were dropped (profiling sizes are not representative).
+  const auto info = seeded.GetPartition(iterates[0]->id(), 0);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->size_bytes, 0u);
+}
+
+TEST(CostLineageTest, Period2JobPatternsMergeClasses) {
+  EngineContext engine(TinyConfig());
+  CostLineage lineage;
+  auto base = Parallelize<int>(&engine, "base", std::vector<int>(100, 1), 2);
+  auto current = base;
+  std::vector<RddPtr<int>> fits;
+  std::vector<RddPtr<int>> updates;
+  for (int round = 0; round < 3; ++round) {
+    auto fit = current->Map([](const int& x) { return x; }, "fit");
+    lineage.ObserveJobStart(engine.scheduler().AnalyzeJob(fit, round * 2));
+    auto update = current->Map([](const int& x) { return x + 1; }, "update");
+    lineage.ObserveJobStart(engine.scheduler().AnalyzeJob(update, round * 2 + 1));
+    fits.push_back(fit);
+    updates.push_back(update);
+    current = update;
+  }
+  EXPECT_EQ(lineage.GetNode(fits[1]->id())->class_id, lineage.GetNode(fits[2]->id())->class_id);
+  EXPECT_EQ(lineage.GetNode(updates[1]->id())->class_id,
+            lineage.GetNode(updates[2]->id())->class_id);
+  EXPECT_NE(lineage.GetNode(fits[2]->id())->class_id,
+            lineage.GetNode(updates[2]->id())->class_id);
+}
+
+}  // namespace
+}  // namespace blaze

@@ -1,0 +1,117 @@
+// Cost model tests against hand-built lineages (paper Eq. 2-4 semantics).
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+#include "src/blaze/cost_model.h"
+#include "src/dataflow/dag_scheduler.h"
+#include "src/dataflow/pair_rdd.h"
+#include "src/dataflow/rdd.h"
+
+namespace blaze {
+namespace {
+
+constexpr double kThroughput = 1000.0 * 1000.0;  // 1 MB/s => 1 ms per KB
+
+EngineConfig TinyConfig() {
+  EngineConfig config;
+  config.num_executors = 1;
+  config.threads_per_executor = 1;
+  config.memory_capacity_per_executor = MiB(64);
+  return config;
+}
+
+struct Chain {
+  EngineContext engine{TinyConfig()};
+  CostLineage lineage;
+  RddPtr<int> a, b, c;  // a -> b -> c narrow chain
+
+  Chain() {
+    a = Parallelize<int>(&engine, "a", std::vector<int>(10, 1), 1);
+    b = a->Map([](const int& x) { return x; }, "b");
+    c = b->Map([](const int& x) { return x; }, "c");
+    lineage.ObserveJobStart(engine.scheduler().AnalyzeJob(c, 0));
+    // Sizes: 1000 bytes each; compute edges: a=5ms, b=10ms, c=20ms.
+    lineage.ObserveBlockComputed(a->id(), 0, 1000, 5.0);
+    lineage.ObserveBlockComputed(b->id(), 0, 1000, 10.0);
+    lineage.ObserveBlockComputed(c->id(), 0, 1000, 20.0);
+  }
+};
+
+TEST(CostModelTest, DiskCostIsSizeOverThroughput) {
+  Chain chain;
+  CostEstimator estimator(&chain.lineage, kThroughput, true);
+  // 1000 bytes at 1 MB/s = 1 ms.
+  EXPECT_NEAR(estimator.Estimate(chain.a->id(), 0).cost_d_ms, 1.0, 1e-9);
+}
+
+TEST(CostModelTest, RecomputeCostChainsThroughNonResidentParents) {
+  Chain chain;
+  // Nothing in memory: cost_r(c) = 20 + cost(b); cost(b) = min(1ms disk?, ...)
+  // states are kNone so disk does not apply: cost(b) = 10 + cost(a) = 15.
+  CostEstimator estimator(&chain.lineage, kThroughput, true);
+  const BlockCost cost = estimator.Estimate(chain.c->id(), 0);
+  EXPECT_NEAR(cost.cost_r_ms, 35.0, 1e-9);
+  EXPECT_NEAR(cost.recovery_ms, 1.0, 1e-9);  // disk (1 ms) beats recompute
+}
+
+TEST(CostModelTest, MemoryResidentParentTruncatesRecursion) {
+  Chain chain;
+  chain.lineage.SetState(chain.b->id(), 0, PartitionState::kMemory);
+  CostEstimator estimator(&chain.lineage, kThroughput, true);
+  // b in memory: cost_r(c) = 20 only.
+  EXPECT_NEAR(estimator.Estimate(chain.c->id(), 0).cost_r_ms, 20.0, 1e-9);
+}
+
+TEST(CostModelTest, DiskResidentParentUsesCheaperOfDiskAndRecompute) {
+  Chain chain;
+  chain.lineage.SetState(chain.b->id(), 0, PartitionState::kDisk);
+  CostEstimator estimator(&chain.lineage, kThroughput, true);
+  // b on disk: its recovery is min(recompute 15, disk 1) = 1 => cost_r(c) = 21.
+  EXPECT_NEAR(estimator.Estimate(chain.c->id(), 0).cost_r_ms, 21.0, 1e-9);
+}
+
+TEST(CostModelTest, MemoryOnlyModeIgnoresDisk) {
+  Chain chain;
+  chain.lineage.SetState(chain.b->id(), 0, PartitionState::kDisk);
+  CostEstimator estimator(&chain.lineage, kThroughput, false);
+  const BlockCost cost = estimator.Estimate(chain.c->id(), 0);
+  // Without a disk tier the parent's disk copy is not usable by the model.
+  EXPECT_NEAR(cost.cost_r_ms, 35.0, 1e-9);
+  EXPECT_NEAR(cost.recovery_ms, 35.0, 1e-9);
+}
+
+TEST(CostModelTest, ShuffleParentsContributeNothing) {
+  EngineContext engine(TinyConfig());
+  CostLineage lineage;
+  auto base = Parallelize<std::pair<uint32_t, int>>(&engine, "base",
+                                                    {{0, 1}, {1, 2}, {2, 3}}, 1);
+  auto reduced =
+      ReduceByKey<uint32_t, int>(base, [](const int& a, const int& b) { return a + b; }, 1);
+  lineage.ObserveJobStart(engine.scheduler().AnalyzeJob(reduced, 0));
+  lineage.ObserveBlockComputed(base->id(), 0, 1000, 50.0);
+  lineage.ObserveBlockComputed(reduced->id(), 0, 1000, 7.0);
+  CostEstimator estimator(&lineage, kThroughput, true);
+  // Regeneration re-aggregates from persisted shuffle outputs: own edge only.
+  EXPECT_NEAR(estimator.Estimate(reduced->id(), 0).cost_r_ms, 7.0, 1e-9);
+}
+
+TEST(CostModelTest, MultiParentTakesLongestPath) {
+  EngineContext engine(TinyConfig());
+  CostLineage lineage;
+  auto left = Parallelize<std::pair<uint32_t, int>>(&engine, "left", {{0, 1}}, 1);
+  auto right = Parallelize<std::pair<uint32_t, int>>(&engine, "right", {{0, 2}}, 1);
+  left->set_hash_partitioned(true);
+  right->set_hash_partitioned(true);
+  auto joined = JoinCoPartitioned(left, right, "joined");
+  lineage.ObserveJobStart(engine.scheduler().AnalyzeJob(joined, 0));
+  lineage.ObserveBlockComputed(left->id(), 0, 100, 30.0);
+  lineage.ObserveBlockComputed(right->id(), 0, 100, 4.0);
+  lineage.ObserveBlockComputed(joined->id(), 0, 100, 2.0);
+  CostEstimator estimator(&lineage, kThroughput, true);
+  // max(30, 4) + 2 = 32 (Eq. 4's max over upstream paths).
+  EXPECT_NEAR(estimator.Estimate(joined->id(), 0).cost_r_ms, 32.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace blaze

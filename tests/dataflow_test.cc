@@ -1,0 +1,244 @@
+// Engine-level tests: transformations, actions, shuffles, stages, lineage
+// recomputation, and stage skipping.
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+#include <atomic>
+#include <numeric>
+
+#include "src/cache/policies.h"
+#include "src/cache/policy_coordinator.h"
+#include "src/dataflow/dag_scheduler.h"
+#include "src/dataflow/pair_rdd.h"
+#include "src/dataflow/rdd.h"
+
+namespace blaze {
+namespace {
+
+EngineConfig SmallConfig() {
+  EngineConfig config;
+  config.num_executors = 2;
+  config.threads_per_executor = 2;
+  config.memory_capacity_per_executor = MiB(8);
+  return config;
+}
+
+std::vector<int> Iota(int n) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(DataflowTest, ParallelizeCollectRoundTrips) {
+  EngineContext engine(SmallConfig());
+  auto rdd = Parallelize<int>(&engine, "ints", Iota(100), 4);
+  EXPECT_EQ(rdd->Collect(), Iota(100));
+  EXPECT_EQ(rdd->Count(), 100u);
+}
+
+TEST(DataflowTest, MapFilterChain) {
+  EngineContext engine(SmallConfig());
+  auto rdd = Parallelize<int>(&engine, "ints", Iota(50), 4);
+  auto doubled = rdd->Map([](const int& x) { return x * 2; });
+  auto big = doubled->Filter([](const int& x) { return x >= 60; });
+  EXPECT_EQ(big->Count(), 20u);
+  auto collected = big->Collect();
+  EXPECT_EQ(collected.front(), 60);
+  EXPECT_EQ(collected.back(), 98);
+}
+
+TEST(DataflowTest, FlatMapExpands) {
+  EngineContext engine(SmallConfig());
+  auto rdd = Parallelize<int>(&engine, "ints", Iota(10), 2);
+  auto expanded = rdd->FlatMap([](const int& x) { return std::vector<int>{x, x}; });
+  EXPECT_EQ(expanded->Count(), 20u);
+}
+
+TEST(DataflowTest, MapPartitionsSeesWholePartition) {
+  EngineContext engine(SmallConfig());
+  auto rdd = Parallelize<int>(&engine, "ints", Iota(40), 4);
+  auto sums = rdd->MapPartitions([](uint32_t, const std::vector<int>& rows) {
+    return std::vector<int>{std::accumulate(rows.begin(), rows.end(), 0)};
+  });
+  EXPECT_EQ(sums->Count(), 4u);
+  auto total = sums->Reduce([](const int& a, const int& b) { return a + b; });
+  ASSERT_TRUE(total.has_value());
+  EXPECT_EQ(*total, 40 * 39 / 2);
+}
+
+TEST(DataflowTest, ReduceByKeyAggregatesAcrossPartitions) {
+  EngineContext engine(SmallConfig());
+  std::vector<std::pair<uint32_t, int>> data;
+  for (int i = 0; i < 100; ++i) {
+    data.emplace_back(i % 5, 1);
+  }
+  auto rdd = Parallelize<std::pair<uint32_t, int>>(&engine, "pairs", data, 4);
+  auto counts =
+      ReduceByKey<uint32_t, int>(rdd, [](const int& a, const int& b) { return a + b; }, 3);
+  auto rows = counts->Collect();
+  ASSERT_EQ(rows.size(), 5u);
+  for (const auto& [key, count] : rows) {
+    EXPECT_EQ(count, 20) << "key " << key;
+  }
+  EXPECT_TRUE(counts->hash_partitioned());
+}
+
+TEST(DataflowTest, GroupByKeyCollectsAllValues) {
+  EngineContext engine(SmallConfig());
+  std::vector<std::pair<uint32_t, int>> data;
+  for (int i = 0; i < 30; ++i) {
+    data.emplace_back(i % 3, i);
+  }
+  auto rdd = Parallelize<std::pair<uint32_t, int>>(&engine, "pairs", data, 4);
+  auto grouped = GroupByKey<uint32_t, int>(rdd, 2);
+  size_t total = 0;
+  for (const auto& [key, values] : grouped->Collect()) {
+    EXPECT_EQ(values.size(), 10u);
+    total += values.size();
+  }
+  EXPECT_EQ(total, 30u);
+}
+
+TEST(DataflowTest, ShuffleOutputsPlaceKeysConsistently) {
+  EngineContext engine(SmallConfig());
+  std::vector<std::pair<uint32_t, int>> data;
+  for (uint32_t k = 0; k < 64; ++k) {
+    data.emplace_back(k, 1);
+  }
+  auto rdd = Parallelize<std::pair<uint32_t, int>>(&engine, "pairs", data, 4);
+  auto reduced =
+      ReduceByKey<uint32_t, int>(rdd, [](const int& a, const int& b) { return a + b; }, 4);
+  // Every key must land in the partition KeyPartition assigns.
+  auto results = engine.RunJob(reduced, [](const BlockPtr& block) -> std::any {
+    return RowsOf<std::pair<uint32_t, int>>(block);
+  });
+  for (uint32_t p = 0; p < 4; ++p) {
+    auto rows = std::any_cast<std::vector<std::pair<uint32_t, int>>>(results[p]);
+    for (const auto& [key, value] : rows) {
+      EXPECT_EQ(KeyPartition(key, 4), p);
+    }
+  }
+}
+
+TEST(DataflowTest, JoinCoPartitionedMatchesKeys) {
+  EngineContext engine(SmallConfig());
+  std::vector<std::pair<uint32_t, int>> left_data;
+  std::vector<std::pair<uint32_t, int>> right_data;
+  for (uint32_t k = 0; k < 40; ++k) {
+    left_data.emplace_back(k, static_cast<int>(k));
+    if (k % 2 == 0) {
+      right_data.emplace_back(k, static_cast<int>(k * 10));
+    }
+  }
+  auto left = ReduceByKey<uint32_t, int>(
+      Parallelize<std::pair<uint32_t, int>>(&engine, "l", left_data, 4),
+      [](const int& a, const int&) { return a; }, 4);
+  auto right = ReduceByKey<uint32_t, int>(
+      Parallelize<std::pair<uint32_t, int>>(&engine, "r", right_data, 4),
+      [](const int& a, const int&) { return a; }, 4);
+  auto joined = JoinCoPartitioned(left, right);
+  auto rows = joined->Collect();
+  EXPECT_EQ(rows.size(), 20u);
+  for (const auto& [key, pair] : rows) {
+    EXPECT_EQ(pair.first * 10, pair.second);
+  }
+}
+
+TEST(DataflowTest, PartitionByKeyProducesHashPartitioning) {
+  EngineContext engine(SmallConfig());
+  std::vector<std::pair<uint32_t, int>> data;
+  for (uint32_t k = 0; k < 50; ++k) {
+    data.emplace_back(k, 1);
+    data.emplace_back(k, 2);  // duplicates must survive
+  }
+  auto rdd = Parallelize<std::pair<uint32_t, int>>(&engine, "pairs", data, 4);
+  auto partitioned = PartitionByKey(rdd, 4);
+  EXPECT_TRUE(partitioned->hash_partitioned());
+  EXPECT_EQ(partitioned->Count(), 100u);
+}
+
+TEST(DataflowTest, StageSkippingReusesShuffleOutputs) {
+  EngineContext engine(SmallConfig());
+  std::vector<std::pair<uint32_t, int>> data;
+  for (uint32_t k = 0; k < 20; ++k) {
+    data.emplace_back(k % 4, 1);
+  }
+  auto rdd = Parallelize<std::pair<uint32_t, int>>(&engine, "pairs", data, 4);
+  auto reduced =
+      ReduceByKey<uint32_t, int>(rdd, [](const int& a, const int& b) { return a + b; }, 2);
+  EXPECT_EQ(reduced->Count(), 4u);
+  const uint64_t bytes_after_first = engine.shuffle().approx_bytes();
+  EXPECT_GT(bytes_after_first, 0u);
+  // Second job over the same shuffle: map stage skipped, outputs unchanged.
+  EXPECT_EQ(reduced->Count(), 4u);
+  EXPECT_EQ(engine.shuffle().approx_bytes(), bytes_after_first);
+}
+
+TEST(DataflowTest, LineageRecomputationAfterShuffleClear) {
+  EngineContext engine(SmallConfig());
+  std::vector<std::pair<uint32_t, int>> data;
+  for (uint32_t k = 0; k < 20; ++k) {
+    data.emplace_back(k % 4, 1);
+  }
+  auto rdd = Parallelize<std::pair<uint32_t, int>>(&engine, "pairs", data, 4);
+  auto reduced =
+      ReduceByKey<uint32_t, int>(rdd, [](const int& a, const int& b) { return a + b; }, 2);
+  EXPECT_EQ(reduced->Count(), 4u);
+  engine.shuffle().Clear();
+  // Reduce tasks rebuild the lost map outputs through the lineage.
+  EXPECT_EQ(reduced->Count(), 4u);
+}
+
+TEST(DataflowTest, JobAnalysisCountsDependentsAndStages) {
+  EngineContext engine(SmallConfig());
+  auto base = Parallelize<std::pair<uint32_t, int>>(
+      &engine, "base", {{0, 1}, {1, 2}, {2, 3}, {3, 4}}, 2);
+  auto reduced =
+      ReduceByKey<uint32_t, int>(base, [](const int& a, const int& b) { return a + b; }, 2);
+  auto mapped = MapValues(reduced, [](const int& v) { return v + 1; });
+  const JobInfo info = engine.scheduler().AnalyzeJob(mapped, 0);
+  EXPECT_EQ(info.num_stages, 2);  // one shuffle map stage + result stage
+  bool found_base = false;
+  for (const auto& rdd_info : info.rdds) {
+    if (rdd_info.rdd == base.get()) {
+      found_base = true;
+      EXPECT_EQ(rdd_info.num_dependents_in_job, 1);
+    }
+  }
+  EXPECT_TRUE(found_base);
+}
+
+TEST(DataflowTest, CachedRddServedFromMemoryOnSecondJob) {
+  EngineContext engine(SmallConfig());
+  engine.SetCoordinator(std::make_unique<PolicyCoordinator>(
+      &engine, MakePolicy("lru"), EvictionMode::kMemAndDisk));
+  // Count how many times the generator runs.
+  auto hits = std::make_shared<std::atomic<int>>(0);
+  auto rdd = Generate<int>(&engine, "gen", 4, [hits](uint32_t p) {
+    hits->fetch_add(1);
+    return std::vector<int>(100, static_cast<int>(p));
+  });
+  rdd->Cache();
+  EXPECT_EQ(rdd->Count(), 400u);
+  EXPECT_EQ(hits->load(), 4);
+  EXPECT_EQ(rdd->Count(), 400u);
+  EXPECT_EQ(hits->load(), 4);  // served from cache
+  rdd->Unpersist();
+  EXPECT_EQ(rdd->Count(), 400u);
+  EXPECT_EQ(hits->load(), 8);  // recomputed after unpersist
+}
+
+TEST(DataflowTest, SampleIsDeterministicAndRoughlyProportional) {
+  EngineContext engine(SmallConfig());
+  auto rdd = Parallelize<int>(&engine, "ints", Iota(10000), 4);
+  auto sampled = rdd->Sample(0.1, 42);
+  const size_t n1 = sampled->Count();
+  const size_t n2 = sampled->Count();
+  EXPECT_EQ(n1, n2);
+  EXPECT_GT(n1, 700u);
+  EXPECT_LT(n1, 1300u);
+}
+
+}  // namespace
+}  // namespace blaze

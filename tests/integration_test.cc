@@ -1,0 +1,118 @@
+// End-to-end integration: the full Blaze pipeline (profiling -> seeded
+// lineage -> unified decision layer) against the Spark baselines on a real
+// iterative workload, checking the paper's qualitative claims at test scale:
+// identical results, fewer disk bytes, and recomputation/disk time visible in
+// the metric breakdowns.
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+#include "src/blaze/blaze_runner.h"
+#include "src/cache/policies.h"
+#include "src/cache/policy_coordinator.h"
+#include "src/workloads/pagerank.h"
+
+namespace blaze {
+namespace {
+
+WorkloadParams SmallParams() {
+  WorkloadParams params;
+  params.partitions = 8;
+  params.iterations = 5;
+  params.scale = 1.0 / 16.0;
+  return params;
+}
+
+EngineConfig TightConfig() {
+  EngineConfig config;
+  config.num_executors = 2;
+  config.threads_per_executor = 2;
+  // Small enough that PageRank's cached working set cannot fully fit and even
+  // the reused adjacency/ranks partitions face eviction.
+  config.memory_capacity_per_executor = KiB(192);
+  config.disk_throughput_bytes_per_sec = MiB(64);
+  return config;
+}
+
+TEST(IntegrationTest, SparkMemOnlyShowsRecomputationNoDisk) {
+  EngineContext engine(TightConfig());
+  engine.SetCoordinator(std::make_unique<PolicyCoordinator>(&engine, MakePolicy("lru"),
+                                                            EvictionMode::kMemOnly));
+  RunPageRank(engine, SmallParams());
+  const auto snap = engine.metrics().Snapshot();
+  EXPECT_GT(snap.evictions_discard, 0u);
+  EXPECT_EQ(snap.evictions_to_disk, 0u);
+  EXPECT_GT(snap.total_task.recompute_ms, 0.0);
+  EXPECT_EQ(snap.disk_bytes_written_total, 0u);
+}
+
+TEST(IntegrationTest, SparkMemDiskShowsDiskTrafficAndLittleRecompute) {
+  EngineContext engine(TightConfig());
+  engine.SetCoordinator(std::make_unique<PolicyCoordinator>(&engine, MakePolicy("lru"),
+                                                            EvictionMode::kMemAndDisk));
+  RunPageRank(engine, SmallParams());
+  const auto snap = engine.metrics().Snapshot();
+  EXPECT_GT(snap.evictions_to_disk, 0u);
+  EXPECT_GT(snap.disk_bytes_written_total, 0u);
+  EXPECT_GT(snap.total_task.cache_disk_ms, 0.0);
+}
+
+TEST(IntegrationTest, BlazeStoresFarLessOnDiskThanMemDiskSpark) {
+  uint64_t spark_disk = 0;
+  {
+    EngineContext engine(TightConfig());
+    engine.SetCoordinator(std::make_unique<PolicyCoordinator>(&engine, MakePolicy("lru"),
+                                                              EvictionMode::kMemAndDisk));
+    RunPageRank(engine, SmallParams());
+    spark_disk = engine.metrics().Snapshot().disk_bytes_written_total;
+  }
+  uint64_t blaze_disk = 0;
+  {
+    EngineContext engine(TightConfig());
+    BlazeRunConfig config;
+    config.options = BlazeOptions::Full();
+    WorkloadParams profile_params = SmallParams().ForProfiling();
+    config.profiling_driver = [profile_params](EngineContext& e) {
+      RunPageRank(e, profile_params);
+    };
+    RunWithBlaze(engine, config,
+                 [](EngineContext& e) { RunPageRank(e, SmallParams()); });
+    blaze_disk = engine.metrics().Snapshot().disk_bytes_written_total;
+  }
+  EXPECT_GT(spark_disk, 0u);
+  // Paper: ~95% less cache data on disk. Demand only a decisive reduction here.
+  EXPECT_LT(blaze_disk, spark_disk / 2);
+}
+
+TEST(IntegrationTest, BlazeProfilingSeedsFullReferenceSchedule) {
+  EngineContext engine(TightConfig());
+  BlazeRunConfig config;
+  config.options = BlazeOptions::Full();
+  WorkloadParams profile_params = SmallParams().ForProfiling();
+  config.profiling_driver = [profile_params](EngineContext& e) {
+    RunPageRank(e, profile_params);
+  };
+  BlazeCoordinator* handle = RunWithBlaze(
+      engine, config, [](EngineContext& e) { RunPageRank(e, SmallParams()); });
+  const auto snap = engine.metrics().Snapshot();
+  EXPECT_GT(snap.profiling_ms, 0.0);
+  EXPECT_GT(snap.solver_invocations, 0u);
+  // The profile knows the per-iteration datasets up front.
+  EXPECT_GE(handle->lineage().num_nodes(), 5u);
+}
+
+TEST(IntegrationTest, MetricsResetClearsCounters) {
+  EngineContext engine(TightConfig());
+  engine.SetCoordinator(std::make_unique<PolicyCoordinator>(&engine, MakePolicy("lru"),
+                                                            EvictionMode::kMemAndDisk));
+  RunPageRank(engine, SmallParams());
+  EXPECT_GT(engine.metrics().Snapshot().num_tasks, 0u);
+  engine.metrics().Reset();
+  const auto snap = engine.metrics().Snapshot();
+  EXPECT_EQ(snap.num_tasks, 0u);
+  EXPECT_EQ(snap.disk_bytes_written_total, 0u);
+  EXPECT_EQ(snap.evicted_bytes_per_executor.size(), 2u);
+}
+
+}  // namespace
+}  // namespace blaze

@@ -1,0 +1,127 @@
+// Profile-horizon extension: the real run executes MORE iterations than the
+// profiling run observed (the Connected-Components situation: tiny sample
+// graphs converge early). Congruence chaining must extend the reference
+// predictions beyond the profiled job count.
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+#include <functional>
+
+#include "src/blaze/blaze_runner.h"
+#include "src/blaze/profiler.h"
+#include "src/dataflow/rdd.h"
+#include "src/workloads/connected_components.h"
+#include "src/workloads/workload.h"
+
+namespace blaze {
+namespace {
+
+void ChainDriver(EngineContext& engine, int iterations) {
+  auto base = Generate<int>(&engine, "hz.base", 2,
+                            [](uint32_t p) { return std::vector<int>(2000, (int)p); });
+  base->Count();
+  auto current = base;
+  for (int i = 0; i < iterations; ++i) {
+    auto next = current->Map([](const int& x) { return x + 1; }, "hz.iter");
+    next->Count();
+    current = next;
+  }
+}
+
+TEST(LineageHorizonTest, PredictionsExtendBeyondProfiledJobs) {
+  // Profile 3 iterations, run 8: iterates created after job 4 are unseen by
+  // the profile but must still be predicted (class chaining), cached, and
+  // timely unpersisted.
+  const ProfilingResult profiling =
+      ExtractDependencies([](EngineContext& e) { ChainDriver(e, 3); }, 2);
+  EXPECT_EQ(profiling.jobs_observed, 4);
+
+  EngineConfig config;
+  config.num_executors = 2;
+  config.threads_per_executor = 1;
+  config.memory_capacity_per_executor = MiB(2);
+  EngineContext engine(config);
+  auto coordinator = std::make_unique<BlazeCoordinator>(&engine, BlazeOptions::Full());
+  BlazeCoordinator* blaze = coordinator.get();
+  coordinator->SeedProfile(profiling.profile);
+  engine.SetCoordinator(std::move(coordinator));
+
+  ChainDriver(engine, 8);
+
+  // The 8th iterate's role id exceeds anything the profile saw; it must have
+  // been tracked and (being the latest) predicted as referenced.
+  EXPECT_GT(blaze->lineage().num_nodes(), profiling.profile.nodes.size());
+  const auto snap = engine.metrics().Snapshot();
+  EXPECT_GT(snap.unpersists, 0u);  // stale iterates beyond the horizon dropped
+  // Memory holds roughly one live iterate, not eight.
+  EXPECT_LT(engine.TotalMemoryUsed(), 3u * 2u * 2000u * sizeof(int));
+}
+
+TEST(LineageHorizonTest, ConnectedComponentsProfileConvergesEarlier) {
+  // The CC sample graph (scale/256) has a smaller diameter, so the profiling
+  // run observes fewer iterations than the real run executes — the exact
+  // situation §5.3's induction is for. The run must still complete correctly.
+  ConnectedComponentsWorkload workload;
+  WorkloadParams params = workload.DefaultParams();
+  params.partitions = 8;
+  params.scale = 1.0 / 8.0;
+  params.iterations = 12;
+
+  const WorkloadParams profiling_params = params.ForProfiling();
+  const ProfilingResult profiling =
+      ExtractDependencies(workload.MakeDriver(profiling_params), 2);
+
+  EngineConfig config;
+  config.num_executors = 2;
+  config.threads_per_executor = 2;
+  config.memory_capacity_per_executor = KiB(512);
+  EngineContext engine(config);
+  BlazeRunConfig run_config;
+  run_config.options = BlazeOptions::Full();
+  run_config.profiling_driver = workload.MakeDriver(profiling_params);
+  ConnectedComponentsResult result;
+  RunWithBlaze(engine, run_config, [&](EngineContext& e) {
+    result = RunConnectedComponents(e, params);
+  });
+  EXPECT_GT(result.num_components, 0u);
+  EXPECT_GE(result.iterations_run, profiling.jobs_observed - 2)
+      << "real run should not converge before the sample";
+}
+
+class WorkloadUnderBlazeTest : public ::testing::TestWithParam<std::string> {};
+
+// Every workload runs to completion under full Blaze with profiling at tiny
+// scale and tight memory, with the lineage populated and the solver invoked.
+TEST_P(WorkloadUnderBlazeTest, RunsWithProfilingAndTightMemory) {
+  auto workload = MakeWorkload(GetParam());
+  WorkloadParams params = workload->DefaultParams();
+  params.partitions = 8;
+  params.scale = 1.0 / 32.0;
+  params.iterations = 4;
+
+  EngineConfig config;
+  config.num_executors = 2;
+  config.threads_per_executor = 2;
+  config.memory_capacity_per_executor = KiB(256);
+  config.disk_throughput_bytes_per_sec = MiB(128);
+  EngineContext engine(config);
+  BlazeRunConfig run_config;
+  run_config.options = BlazeOptions::Full();
+  const WorkloadParams profiling_params = params.ForProfiling();
+  run_config.profiling_driver = workload->MakeDriver(profiling_params);
+  BlazeCoordinator* handle =
+      RunWithBlaze(engine, run_config, workload->MakeDriver(params));
+
+  const auto snap = engine.metrics().Snapshot();
+  EXPECT_GT(snap.num_tasks, 0u);
+  EXPECT_GT(snap.solver_invocations, 0u);
+  EXPECT_GT(snap.profiling_ms, 0.0);
+  EXPECT_GT(handle->lineage().num_nodes(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadUnderBlazeTest,
+                         ::testing::Values("pr", "cc", "lr", "kmeans", "gbt", "svdpp"));
+
+}  // namespace
+}  // namespace blaze

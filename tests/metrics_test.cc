@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "src/metrics/report.h"
+#include "src/metrics/run_metrics.h"
+
+namespace blaze {
+namespace {
+
+TEST(TaskMetricsTest, MergeAccumulatesEveryField) {
+  TaskMetrics a;
+  a.compute_ms = 1.0;
+  a.cache_disk_ms = 2.0;
+  a.recompute_ms = 3.0;
+  a.cache_disk_bytes_read = 4;
+  a.cache_disk_bytes_written = 5;
+  TaskMetrics b = a;
+  b.MergeFrom(a);
+  EXPECT_DOUBLE_EQ(b.compute_ms, 2.0);
+  EXPECT_DOUBLE_EQ(b.cache_disk_ms, 4.0);
+  EXPECT_DOUBLE_EQ(b.recompute_ms, 6.0);
+  EXPECT_EQ(b.cache_disk_bytes_read, 8u);
+  EXPECT_EQ(b.cache_disk_bytes_written, 10u);
+}
+
+TEST(RunMetricsTest, TaskAccumulation) {
+  RunMetrics metrics(2);
+  TaskMetrics t;
+  t.compute_ms = 5.0;
+  metrics.AddTask(t);
+  metrics.AddTask(t);
+  const auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.num_tasks, 2u);
+  EXPECT_DOUBLE_EQ(snap.total_task.compute_ms, 10.0);
+}
+
+TEST(RunMetricsTest, EvictionsSplitByDestinationAndExecutor) {
+  RunMetrics metrics(2);
+  metrics.RecordEviction(0, 100, /*to_disk=*/true);
+  metrics.RecordEviction(1, 200, /*to_disk=*/false);
+  metrics.RecordEviction(1, 300, /*to_disk=*/false);
+  const auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.evictions_to_disk, 1u);
+  EXPECT_EQ(snap.evictions_discard, 2u);
+  EXPECT_EQ(snap.evicted_bytes_per_executor[0], 100u);
+  EXPECT_EQ(snap.evicted_bytes_per_executor[1], 500u);
+}
+
+TEST(RunMetricsTest, DiskPeakFollowsResidency) {
+  RunMetrics metrics(1);
+  metrics.RecordDiskStoreDelta(100);
+  metrics.RecordDiskStoreDelta(200);
+  metrics.RecordDiskStoreDelta(-150);
+  metrics.RecordDiskStoreDelta(50);
+  const auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.disk_bytes_peak, 300u);
+  EXPECT_EQ(snap.disk_bytes_written_total, 350u);
+}
+
+TEST(RunMetricsTest, RecomputePerJobAccumulates) {
+  RunMetrics metrics(1);
+  metrics.RecordRecompute(3, 10.0);
+  metrics.RecordRecompute(3, 5.0);
+  metrics.RecordRecompute(4, 1.0);
+  const auto snap = metrics.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.recompute_ms_per_job.at(3), 15.0);
+  EXPECT_DOUBLE_EQ(snap.recompute_ms_per_job.at(4), 1.0);
+}
+
+TEST(RunMetricsTest, SolverAndProfilingCounters) {
+  RunMetrics metrics(1);
+  metrics.RecordSolve(2.0);
+  metrics.RecordSolve(3.0);
+  metrics.RecordProfiling(7.0);
+  metrics.RecordUnpersist();
+  const auto snap = metrics.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.solver_ms, 5.0);
+  EXPECT_EQ(snap.solver_invocations, 2u);
+  EXPECT_DOUBLE_EQ(snap.profiling_ms, 7.0);
+  EXPECT_EQ(snap.unpersists, 1u);
+}
+
+TEST(RunMetricsTest, HitAndMissCounters) {
+  RunMetrics metrics(1);
+  metrics.RecordCacheHit(true);
+  metrics.RecordCacheHit(false);
+  metrics.RecordCacheHit(false);
+  metrics.RecordCacheMiss();
+  const auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.cache_hits_memory, 1u);
+  EXPECT_EQ(snap.cache_hits_disk, 2u);
+  EXPECT_EQ(snap.cache_misses, 1u);
+}
+
+TEST(RunMetricsTest, ResetPreservesExecutorCount) {
+  RunMetrics metrics(3);
+  metrics.RecordEviction(2, 10, true);
+  metrics.Reset();
+  const auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.evicted_bytes_per_executor.size(), 3u);
+  EXPECT_EQ(snap.evictions_to_disk, 0u);
+}
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table;
+  table.AddRow({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "22"});
+  const std::string out = table.Render("title");
+  EXPECT_NE(out.find("== title =="), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Columns aligned: "x" padded to the width of "longer-name".
+  EXPECT_NE(out.find("x            1"), std::string::npos);
+}
+
+TEST(TextTableTest, HandlesRaggedRows) {
+  TextTable table;
+  table.AddRow({"a", "b", "c"});
+  table.AddRow({"1"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(FmtTest, RespectsDigits) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(3.14159, 0), "3");
+  EXPECT_EQ(Fmt(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace blaze

@@ -1,0 +1,205 @@
+// Pair-RDD operation edge cases: empty partitions, key skew, duplicate keys,
+// custom combiners, and partitioning discipline.
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+#include <set>
+
+#include "src/dataflow/pair_rdd.h"
+#include "src/dataflow/rdd.h"
+
+namespace blaze {
+namespace {
+
+EngineConfig SmallConfig() {
+  EngineConfig config;
+  config.num_executors = 2;
+  config.threads_per_executor = 2;
+  config.memory_capacity_per_executor = MiB(8);
+  return config;
+}
+
+TEST(PairRddTest, EmptyPartitionsFlowThroughShuffle) {
+  EngineContext engine(SmallConfig());
+  // All data lives in partition 0; others generate empty vectors.
+  auto rdd = Generate<std::pair<uint32_t, int>>(&engine, "sparse", 4, [](uint32_t p) {
+    std::vector<std::pair<uint32_t, int>> rows;
+    if (p == 0) {
+      for (uint32_t k = 0; k < 10; ++k) {
+        rows.emplace_back(k, 1);
+      }
+    }
+    return rows;
+  });
+  auto reduced =
+      ReduceByKey<uint32_t, int>(rdd, [](const int& a, const int& b) { return a + b; }, 4);
+  EXPECT_EQ(reduced->Count(), 10u);
+}
+
+TEST(PairRddTest, EmptyDatasetProducesEmptyResults) {
+  EngineContext engine(SmallConfig());
+  auto rdd = Generate<std::pair<uint32_t, int>>(
+      &engine, "empty", 3, [](uint32_t) { return std::vector<std::pair<uint32_t, int>>{}; });
+  auto grouped = GroupByKey<uint32_t, int>(rdd, 2);
+  EXPECT_EQ(grouped->Count(), 0u);
+  EXPECT_TRUE(grouped->Collect().empty());
+  auto reduced = ReduceByKey<uint32_t, int>(
+      rdd, [](const int& a, const int& b) { return a + b; }, 2);
+  EXPECT_EQ(reduced->Reduce([](const auto& a, const auto&) { return a; }), std::nullopt);
+}
+
+TEST(PairRddTest, SingleHotKeyLandsInOnePartition) {
+  EngineContext engine(SmallConfig());
+  auto rdd = Generate<std::pair<uint32_t, int>>(&engine, "hot", 4, [](uint32_t) {
+    return std::vector<std::pair<uint32_t, int>>(1000, {42, 1});
+  });
+  auto reduced =
+      ReduceByKey<uint32_t, int>(rdd, [](const int& a, const int& b) { return a + b; }, 4);
+  auto rows = reduced->Collect();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].first, 42u);
+  EXPECT_EQ(rows[0].second, 4000);
+}
+
+TEST(PairRddTest, JoinRespectsDuplicateMultiplicity) {
+  EngineContext engine(SmallConfig());
+  auto left = Generate<std::pair<uint32_t, int>>(&engine, "dupl", 2, [](uint32_t p) {
+    std::vector<std::pair<uint32_t, int>> rows;
+    for (uint32_t k = 0; k < 10; ++k) {
+      if (KeyPartition(k, 2) == p) {
+        rows.emplace_back(k, 1);
+        rows.emplace_back(k, 2);  // two left rows per key
+      }
+    }
+    return rows;
+  });
+  left->set_hash_partitioned(true);
+  auto right = Generate<std::pair<uint32_t, int>>(&engine, "dupr", 2, [](uint32_t p) {
+    std::vector<std::pair<uint32_t, int>> rows;
+    for (uint32_t k = 0; k < 10; ++k) {
+      if (KeyPartition(k, 2) == p) {
+        rows.emplace_back(k, 10);
+        rows.emplace_back(k, 20);
+        rows.emplace_back(k, 30);  // three right rows per key
+      }
+    }
+    return rows;
+  });
+  right->set_hash_partitioned(true);
+  auto joined = JoinCoPartitioned(left, right);
+  EXPECT_EQ(joined->Count(), 10u * 2u * 3u);  // cross product per key
+}
+
+TEST(PairRddTest, JoinIsInner) {
+  EngineContext engine(SmallConfig());
+  auto left = Parallelize<std::pair<uint32_t, int>>(&engine, "l", {{1, 1}, {2, 2}}, 1);
+  auto right = Parallelize<std::pair<uint32_t, int>>(&engine, "r", {{2, 20}, {3, 30}}, 1);
+  left->set_hash_partitioned(true);
+  right->set_hash_partitioned(true);
+  auto rows = JoinCoPartitioned(left, right)->Collect();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].first, 2u);
+  EXPECT_EQ(rows[0].second, (std::pair<int, int>{2, 20}));
+}
+
+TEST(PairRddTest, AggregateByKeyWithCustomCombiner) {
+  EngineContext engine(SmallConfig());
+  std::vector<std::pair<uint32_t, int>> data;
+  for (int i = 0; i < 20; ++i) {
+    data.emplace_back(i % 2, i);
+  }
+  auto rdd = Parallelize<std::pair<uint32_t, int>>(&engine, "agg", data, 4);
+  // Combiner keeps the max only.
+  auto maxes = AggregateByKey<uint32_t, int, int>(
+      rdd, [](const int& v) { return v; },
+      [](int& acc, const int& v) { acc = std::max(acc, v); }, 2);
+  for (const auto& [key, max] : maxes->Collect()) {
+    EXPECT_EQ(max, key == 0 ? 18 : 19);
+  }
+}
+
+TEST(PairRddTest, MapValuesPreservesKeysAndPartitioning) {
+  EngineContext engine(SmallConfig());
+  auto base = Parallelize<std::pair<uint32_t, int>>(&engine, "mv", {{5, 1}, {6, 2}}, 2);
+  auto reduced = ReduceByKey<uint32_t, int>(
+      base, [](const int& a, const int&) { return a; }, 2);
+  auto mapped = MapValues(reduced, [](const int& v) { return v * 10; });
+  EXPECT_TRUE(mapped->hash_partitioned());
+  std::set<uint32_t> keys;
+  for (const auto& [key, value] : mapped->Collect()) {
+    keys.insert(key);
+    EXPECT_EQ(value % 10, 0);
+  }
+  EXPECT_EQ(keys, (std::set<uint32_t>{5, 6}));
+}
+
+TEST(PairRddTest, ShuffledOutputIsSortedByKey) {
+  EngineContext engine(SmallConfig());
+  std::vector<std::pair<uint32_t, int>> data;
+  for (uint32_t k = 100; k > 0; --k) {
+    data.emplace_back(k, 1);
+  }
+  auto rdd = Parallelize<std::pair<uint32_t, int>>(&engine, "sorted", data, 4);
+  auto reduced = ReduceByKey<uint32_t, int>(
+      rdd, [](const int& a, const int& b) { return a + b; }, 2);
+  auto results = engine.RunJob(reduced, [](const BlockPtr& block) -> std::any {
+    return RowsOf<std::pair<uint32_t, int>>(block);
+  });
+  for (const std::any& result : results) {
+    const auto rows = std::any_cast<std::vector<std::pair<uint32_t, int>>>(result);
+    for (size_t i = 1; i < rows.size(); ++i) {
+      EXPECT_LT(rows[i - 1].first, rows[i].first);
+    }
+  }
+}
+
+TEST(PairRddTest, KeyPartitionIsStableAndInRange) {
+  for (uint32_t key = 0; key < 1000; ++key) {
+    const uint32_t p = KeyPartition(key, 7);
+    EXPECT_LT(p, 7u);
+    EXPECT_EQ(p, KeyPartition(key, 7));  // deterministic
+  }
+}
+
+TEST(PairRddTest, KeyPartitionSpreadsKeys) {
+  std::vector<int> counts(8, 0);
+  for (uint32_t key = 0; key < 8000; ++key) {
+    ++counts[KeyPartition(key, 8)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(PairRddTest, PartitionByKeyRoundTripPreservesMultiset) {
+  EngineContext engine(SmallConfig());
+  std::vector<std::pair<uint32_t, int>> data;
+  for (int i = 0; i < 50; ++i) {
+    data.emplace_back(i % 5, i);
+  }
+  auto rdd = Parallelize<std::pair<uint32_t, int>>(&engine, "pbk", data, 3);
+  auto partitioned = PartitionByKey(rdd, 4);
+  auto rows = partitioned->Collect();
+  std::multiset<int> got;
+  std::multiset<int> want;
+  for (const auto& [k, v] : rows) {
+    got.insert(v);
+  }
+  for (const auto& [k, v] : data) {
+    want.insert(v);
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(PairRddTest, JoinRequiresHashPartitionedInputs) {
+  EngineContext engine(SmallConfig());
+  auto left = Parallelize<std::pair<uint32_t, int>>(&engine, "nl", {{1, 1}}, 1);
+  auto right = Parallelize<std::pair<uint32_t, int>>(&engine, "nr", {{1, 2}}, 1);
+  // Neither input declared hash-partitioned: checked error.
+  EXPECT_DEATH((void)JoinCoPartitioned(left, right), "hash-partitioned");
+}
+
+}  // namespace
+}  // namespace blaze

@@ -1,0 +1,178 @@
+// Union / Distinct / Coalesce / Zip / CoGroup / SortByKey operator tests.
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/dataflow/rdd_ops.h"
+
+namespace blaze {
+namespace {
+
+EngineConfig SmallConfig() {
+  EngineConfig config;
+  config.num_executors = 2;
+  config.threads_per_executor = 2;
+  config.memory_capacity_per_executor = MiB(8);
+  return config;
+}
+
+std::vector<int> Range(int begin, int end) {
+  std::vector<int> out;
+  for (int i = begin; i < end; ++i) {
+    out.push_back(i);
+  }
+  return out;
+}
+
+TEST(RddOpsTest, UnionConcatenatesBothSides) {
+  EngineContext engine(SmallConfig());
+  auto left = Parallelize<int>(&engine, "l", Range(0, 50), 2);
+  auto right = Parallelize<int>(&engine, "r", Range(50, 80), 3);
+  auto both = Union(left, right);
+  EXPECT_EQ(both->num_partitions(), 5u);
+  auto rows = both->Collect();
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, Range(0, 80));
+}
+
+TEST(RddOpsTest, UnionOfEmptySides) {
+  EngineContext engine(SmallConfig());
+  auto left = Parallelize<int>(&engine, "l", {}, 1);
+  auto right = Parallelize<int>(&engine, "r", Range(0, 5), 1);
+  EXPECT_EQ(Union(left, right)->Count(), 5u);
+}
+
+TEST(RddOpsTest, DistinctRemovesDuplicates) {
+  EngineContext engine(SmallConfig());
+  std::vector<int> data;
+  for (int i = 0; i < 300; ++i) {
+    data.push_back(i % 17);
+  }
+  auto rdd = Parallelize<int>(&engine, "dups", data, 4);
+  auto unique = Distinct(rdd, 3);
+  auto rows = unique->Collect();
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, Range(0, 17));
+}
+
+TEST(RddOpsTest, CoalesceReducesPartitionsLosslessly) {
+  EngineContext engine(SmallConfig());
+  auto rdd = Parallelize<int>(&engine, "c", Range(0, 90), 9);
+  auto coalesced = Coalesce(rdd, 2);
+  EXPECT_EQ(coalesced->num_partitions(), 2u);
+  auto rows = coalesced->Collect();
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, Range(0, 90));
+}
+
+TEST(RddOpsTest, CoalesceToOnePartition) {
+  EngineContext engine(SmallConfig());
+  auto rdd = Parallelize<int>(&engine, "c1", Range(0, 30), 6);
+  auto coalesced = Coalesce(rdd, 1);
+  auto rows = coalesced->Collect();
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, Range(0, 30));
+}
+
+TEST(RddOpsTest, ZipPairsElementwise) {
+  EngineContext engine(SmallConfig());
+  auto left = Parallelize<int>(&engine, "zl", Range(0, 40), 4);
+  auto right = left->Map([](const int& x) { return x * 10; });
+  auto zipped = Zip(left, right);
+  for (const auto& [a, b] : zipped->Collect()) {
+    EXPECT_EQ(b, a * 10);
+  }
+  EXPECT_EQ(zipped->Count(), 40u);
+}
+
+TEST(RddOpsTest, CoGroupKeepsUnmatchedKeys) {
+  EngineContext engine(SmallConfig());
+  auto left = Parallelize<std::pair<uint32_t, int>>(&engine, "cgl",
+                                                    {{1, 10}, {1, 11}, {2, 20}}, 2);
+  auto right =
+      Parallelize<std::pair<uint32_t, int>>(&engine, "cgr", {{2, 200}, {3, 300}}, 2);
+  // Repartition both sides identically so they are co-partitioned.
+  auto left_p = PartitionByKey(left, 2);
+  auto right_p = PartitionByKey(right, 2);
+  auto grouped = CoGroupCoPartitioned(left_p, right_p);
+  size_t seen = 0;
+  for (const auto& [key, groups] : grouped->Collect()) {
+    ++seen;
+    if (key == 1) {
+      EXPECT_EQ(groups.first.size(), 2u);
+      EXPECT_TRUE(groups.second.empty());
+    } else if (key == 2) {
+      EXPECT_EQ(groups.first, std::vector<int>{20});
+      EXPECT_EQ(groups.second, std::vector<int>{200});
+    } else if (key == 3) {
+      EXPECT_TRUE(groups.first.empty());
+      EXPECT_EQ(groups.second, std::vector<int>{300});
+    } else {
+      ADD_FAILURE() << "unexpected key " << key;
+    }
+  }
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST(RddOpsTest, SortByKeyProducesGlobalOrder) {
+  EngineContext engine(SmallConfig());
+  Rng rng(5);
+  std::vector<std::pair<uint32_t, int>> data;
+  for (int i = 0; i < 2000; ++i) {
+    data.emplace_back(static_cast<uint32_t>(rng.NextU64(10000)), i);
+  }
+  auto rdd = Parallelize<std::pair<uint32_t, int>>(&engine, "sort", data, 4);
+  auto sorted = SortByKey(rdd, 4);
+  EXPECT_EQ(sorted->Count(), data.size());
+  // Per-partition sortedness plus cross-partition range ordering = global sort.
+  auto results = engine.RunJob(sorted, [](const BlockPtr& block) -> std::any {
+    return RowsOf<std::pair<uint32_t, int>>(block);
+  });
+  uint32_t previous_max = 0;
+  for (const std::any& result : results) {
+    const auto rows = std::any_cast<std::vector<std::pair<uint32_t, int>>>(result);
+    for (size_t i = 1; i < rows.size(); ++i) {
+      EXPECT_LE(rows[i - 1].first, rows[i].first);
+    }
+    if (!rows.empty()) {
+      EXPECT_GE(rows.front().first, previous_max);
+      previous_max = rows.back().first;
+    }
+  }
+}
+
+TEST(RddOpsTest, SortByKeyPreservesDuplicates) {
+  EngineContext engine(SmallConfig());
+  std::vector<std::pair<uint32_t, int>> data;
+  for (int i = 0; i < 30; ++i) {
+    data.emplace_back(7, i);  // one key, many values
+  }
+  auto rdd = Parallelize<std::pair<uint32_t, int>>(&engine, "sortdup", data, 3);
+  auto sorted = SortByKey(rdd, 2);
+  EXPECT_EQ(sorted->Count(), 30u);
+}
+
+TEST(RddOpsTest, SortByKeyPartitionsAreBalancedish) {
+  EngineContext engine(SmallConfig());
+  Rng rng(9);
+  std::vector<std::pair<uint32_t, int>> data;
+  for (int i = 0; i < 4000; ++i) {
+    data.emplace_back(static_cast<uint32_t>(rng.NextU64(100000)), i);
+  }
+  auto rdd = Parallelize<std::pair<uint32_t, int>>(&engine, "bal", data, 4);
+  auto sorted = SortByKey(rdd, 4);
+  auto results = engine.RunJob(sorted, [](const BlockPtr& block) -> std::any {
+    return block->NumRows();
+  });
+  for (const std::any& result : results) {
+    const size_t rows = std::any_cast<size_t>(result);
+    EXPECT_GT(rows, 400u);   // no partition starved
+    EXPECT_LT(rows, 2400u);  // no partition hogging
+  }
+}
+
+}  // namespace
+}  // namespace blaze

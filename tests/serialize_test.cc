@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/common/rng.h"
+#include "src/serialize/codec.h"
+#include "src/workloads/element_types.h"
+
+namespace blaze {
+namespace {
+
+template <typename T>
+T RoundTrip(const T& value) {
+  ByteSink sink;
+  Encode(value, sink);
+  const auto bytes = sink.data();
+  ByteSource src(bytes);
+  T out = Decode<T>(src);
+  EXPECT_TRUE(src.AtEnd());
+  return out;
+}
+
+TEST(CodecTest, Primitives) {
+  EXPECT_EQ(RoundTrip<int32_t>(-42), -42);
+  EXPECT_EQ(RoundTrip<uint64_t>(1ULL << 60), 1ULL << 60);
+  EXPECT_DOUBLE_EQ(RoundTrip<double>(3.14159), 3.14159);
+  EXPECT_EQ(RoundTrip<bool>(true), true);
+}
+
+TEST(CodecTest, Strings) {
+  EXPECT_EQ(RoundTrip<std::string>(""), "");
+  EXPECT_EQ(RoundTrip<std::string>("hello world"), "hello world");
+  std::string big(100000, 'x');
+  EXPECT_EQ(RoundTrip(big), big);
+}
+
+TEST(CodecTest, PairsAndTuples) {
+  auto p = std::make_pair(7u, std::string("seven"));
+  EXPECT_EQ(RoundTrip(p), p);
+  auto t = std::make_tuple(1, 2.5, std::string("three"));
+  EXPECT_EQ(RoundTrip(t), t);
+}
+
+TEST(CodecTest, NestedVectors) {
+  std::vector<std::vector<int>> v{{1, 2}, {}, {3, 4, 5}};
+  EXPECT_EQ(RoundTrip(v), v);
+}
+
+TEST(CodecTest, VarintBoundaries) {
+  ByteSink sink;
+  for (uint64_t v : {0ULL, 127ULL, 128ULL, 16383ULL, 16384ULL, ~0ULL}) {
+    sink.WriteVarint(v);
+  }
+  ByteSource src(sink.data());
+  for (uint64_t v : {0ULL, 127ULL, 128ULL, 16383ULL, 16384ULL, ~0ULL}) {
+    EXPECT_EQ(src.ReadVarint(), v);
+  }
+  EXPECT_TRUE(src.AtEnd());
+}
+
+TEST(CodecTest, LabeledPointRoundTrip) {
+  LabeledPoint p;
+  p.label = 1.0;
+  p.features = {0.5, -2.0, 3.25};
+  const LabeledPoint q = RoundTrip(p);
+  EXPECT_EQ(q.label, p.label);
+  EXPECT_EQ(q.features, p.features);
+}
+
+TEST(CodecTest, FactorVecRoundTrip) {
+  FactorVec f;
+  f.values = {0.1, 0.2, 0.3};
+  f.bias = -0.5;
+  f.weight = 0.25;
+  const FactorVec g = RoundTrip(f);
+  EXPECT_EQ(g.values, f.values);
+  EXPECT_DOUBLE_EQ(g.bias, f.bias);
+  EXPECT_DOUBLE_EQ(g.weight, f.weight);
+}
+
+TEST(CodecTest, RatingRoundTrip) {
+  Rating r;
+  r.item = 77;
+  r.score = 4.5f;
+  const Rating s = RoundTrip(r);
+  EXPECT_EQ(s.item, r.item);
+  EXPECT_EQ(s.score, r.score);
+}
+
+TEST(CodecTest, ByteSizeTracksPayload) {
+  std::vector<double> small(10);
+  std::vector<double> large(1000);
+  EXPECT_GT(ApproxByteSize(large), ApproxByteSize(small) + 7000);
+}
+
+// Property sweep: random vectors of pairs survive round trips.
+class CodecPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecPropertyTest, RandomPairVectorsRoundTrip) {
+  Rng rng(GetParam());
+  std::vector<std::pair<uint32_t, double>> v;
+  const size_t n = rng.NextU64(500);
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    v.emplace_back(static_cast<uint32_t>(rng.NextU64()), rng.NextDouble(-1e6, 1e6));
+  }
+  EXPECT_EQ(RoundTrip(v), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(ByteSourceTest, UnderflowIsFatal) {
+  ByteSink sink;
+  sink.WritePod<uint32_t>(7);
+  ByteSource src(sink.data());
+  (void)src.ReadPod<uint32_t>();
+  EXPECT_DEATH((void)src.ReadPod<uint32_t>(), "underflow");
+}
+
+}  // namespace
+}  // namespace blaze

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "src/dataflow/shuffle.h"
+#include "src/dataflow/typed_block.h"
+
+namespace blaze {
+namespace {
+
+BlockPtr Bucket(int fill, size_t n = 10) { return MakeBlock(std::vector<int>(n, fill)); }
+
+TEST(ShuffleServiceTest, PutGetRoundTrip) {
+  ShuffleService service;
+  const int id = service.NewShuffleId();
+  service.PutBucket(id, 0, 1, Bucket(7));
+  BlockPtr got = service.GetBucket(id, 0, 1);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(RowsOf<int>(got)[0], 7);
+  EXPECT_EQ(service.GetBucket(id, 1, 1), nullptr);
+  EXPECT_EQ(service.GetBucket(id + 1, 0, 1), nullptr);
+}
+
+TEST(ShuffleServiceTest, IdsAreUnique) {
+  ShuffleService service;
+  EXPECT_NE(service.NewShuffleId(), service.NewShuffleId());
+}
+
+TEST(ShuffleServiceTest, HasAllOutputsCountsBuckets) {
+  ShuffleService service;
+  const int id = service.NewShuffleId();
+  for (uint32_t m = 0; m < 2; ++m) {
+    for (uint32_t r = 0; r < 3; ++r) {
+      EXPECT_FALSE(service.HasAllOutputs(id, 2, 3));
+      service.PutBucket(id, m, r, Bucket(1));
+    }
+  }
+  EXPECT_TRUE(service.HasAllOutputs(id, 2, 3));
+}
+
+TEST(ShuffleServiceTest, ReplacementDoesNotDoubleCount) {
+  ShuffleService service;
+  const int id = service.NewShuffleId();
+  service.PutBucket(id, 0, 0, Bucket(1, 100));
+  const uint64_t bytes = service.approx_bytes();
+  service.PutBucket(id, 0, 0, Bucket(2, 100));
+  EXPECT_EQ(service.approx_bytes(), bytes);
+  EXPECT_TRUE(service.HasAllOutputs(id, 1, 1));
+}
+
+TEST(ShuffleServiceTest, ClearShuffleIsScoped) {
+  ShuffleService service;
+  const int a = service.NewShuffleId();
+  const int b = service.NewShuffleId();
+  service.PutBucket(a, 0, 0, Bucket(1));
+  service.PutBucket(b, 0, 0, Bucket(2));
+  service.ClearShuffle(a);
+  EXPECT_EQ(service.GetBucket(a, 0, 0), nullptr);
+  ASSERT_NE(service.GetBucket(b, 0, 0), nullptr);
+  EXPECT_FALSE(service.HasAllOutputs(a, 1, 1));
+  EXPECT_TRUE(service.HasAllOutputs(b, 1, 1));
+}
+
+TEST(ShuffleServiceTest, ClearDropsEverything) {
+  ShuffleService service;
+  const int id = service.NewShuffleId();
+  service.PutBucket(id, 0, 0, Bucket(1));
+  service.Clear();
+  EXPECT_EQ(service.GetBucket(id, 0, 0), nullptr);
+  EXPECT_EQ(service.approx_bytes(), 0u);
+}
+
+TEST(ShuffleServiceTest, ApproxBytesTracksPayloads) {
+  ShuffleService service;
+  const int id = service.NewShuffleId();
+  EXPECT_EQ(service.approx_bytes(), 0u);
+  service.PutBucket(id, 0, 0, Bucket(1, 1000));
+  EXPECT_GE(service.approx_bytes(), 4000u);
+}
+
+}  // namespace
+}  // namespace blaze

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/solver/ilp.h"
+
+namespace blaze {
+namespace {
+
+LpConstraint Row(std::vector<double> coeffs, LpConstraintSense sense, double rhs) {
+  LpConstraint c;
+  c.coeffs = std::move(coeffs);
+  c.sense = sense;
+  c.rhs = rhs;
+  return c;
+}
+
+TEST(IlpTest, BinaryKnapsack) {
+  // max 10a + 6b + 4c with weights {5,4,3} <= 8 => {a,c} = 14 at weight 8.
+  IlpProblem p;
+  p.objective = {-10.0, -6.0, -4.0};
+  p.constraints.push_back(Row({5.0, 4.0, 3.0}, LpConstraintSense::kLessEqual, 8.0));
+  const IlpSolution sol = SolveIlp(p);
+  ASSERT_EQ(sol.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, -14.0, 1e-6);
+  EXPECT_EQ(sol.values, (std::vector<int>{1, 0, 1}));
+}
+
+TEST(IlpTest, ExactlyOneGroupConstraint) {
+  // Two groups of two, pick exactly one per group, minimize cost.
+  IlpProblem p;
+  p.objective = {3.0, 1.0, 5.0, 2.0};
+  p.constraints.push_back(Row({1.0, 1.0, 0.0, 0.0}, LpConstraintSense::kEqual, 1.0));
+  p.constraints.push_back(Row({0.0, 0.0, 1.0, 1.0}, LpConstraintSense::kEqual, 1.0));
+  const IlpSolution sol = SolveIlp(p);
+  ASSERT_EQ(sol.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, 3.0, 1e-6);
+  EXPECT_EQ(sol.values, (std::vector<int>{0, 1, 0, 1}));
+}
+
+TEST(IlpTest, InfeasibleWhenConstraintsConflict) {
+  IlpProblem p;
+  p.objective = {1.0};
+  p.constraints.push_back(Row({1.0}, LpConstraintSense::kGreaterEqual, 2.0));
+  EXPECT_EQ(SolveIlp(p).status, IlpStatus::kInfeasible);  // x binary can't reach 2
+}
+
+TEST(IlpTest, FractionalLpRequiresBranching) {
+  // LP relaxation is fractional (x = 0.5 each); ILP must pick one of them.
+  IlpProblem p;
+  p.objective = {-1.0, -1.0};
+  p.constraints.push_back(Row({2.0, 2.0}, LpConstraintSense::kLessEqual, 3.0));
+  const IlpSolution sol = SolveIlp(p);
+  ASSERT_EQ(sol.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, -1.0, 1e-6);
+  EXPECT_EQ(sol.values[0] + sol.values[1], 1);
+}
+
+// Exhaustive cross-check: random knapsacks vs brute force.
+class IlpRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IlpRandomTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const size_t n = 10;
+  std::vector<double> value(n);
+  std::vector<double> weight(n);
+  for (size_t i = 0; i < n; ++i) {
+    value[i] = 1.0 + static_cast<double>(rng.NextU64(100));
+    weight[i] = 1.0 + static_cast<double>(rng.NextU64(30));
+  }
+  const double capacity = 60.0;
+
+  IlpProblem p;
+  p.objective.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    p.objective[i] = -value[i];
+  }
+  p.constraints.push_back(Row(weight, LpConstraintSense::kLessEqual, capacity));
+  const IlpSolution sol = SolveIlp(p);
+  ASSERT_EQ(sol.status, IlpStatus::kOptimal);
+
+  double best = 0.0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    double v = 0.0;
+    double w = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        v += value[i];
+        w += weight[i];
+      }
+    }
+    if (w <= capacity && v > best) {
+      best = v;
+    }
+  }
+  EXPECT_NEAR(-sol.objective_value, best, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlpRandomTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace blaze

@@ -1,0 +1,131 @@
+// Broader randomized property sweeps over the optimization substrate:
+// solver agreement on larger instances, gap-bounded solves never worse than
+// the relaxation, and simplex feasibility/optimality invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/solver/mckp.h"
+#include "src/solver/simplex.h"
+
+namespace blaze {
+namespace {
+
+std::vector<MckpGroup> RandomCacheInstance(Rng& rng, size_t groups) {
+  std::vector<MckpGroup> out;
+  out.reserve(groups);
+  for (size_t g = 0; g < groups; ++g) {
+    MckpGroup group;
+    group.choices.push_back({0.0, static_cast<double>(1 + rng.NextU64(20))});   // m
+    group.choices.push_back({rng.NextDouble(0.1, 5.0), 0.0});                   // d
+    group.choices.push_back({rng.NextDouble(0.1, 50.0), 0.0});                  // u
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+class MckpGapTest : public ::testing::TestWithParam<uint64_t> {};
+
+// A gap-bounded solve must stay within the gap of the exact optimum.
+TEST_P(MckpGapTest, GapBoundedSolveIsNearExact) {
+  Rng rng(GetParam());
+  const auto groups = RandomCacheInstance(rng, 12);
+  double total = 0.0;
+  for (const auto& group : groups) {
+    total += group.choices[0].weight;
+  }
+  const double capacity = std::floor(total / 3.0);
+  const MckpSolution exact = SolveMckp(groups, capacity);
+  const MckpSolution gapped = SolveMckp(groups, capacity, 200000, 0.01);
+  ASSERT_EQ(exact.status, MckpStatus::kOptimal);
+  ASSERT_EQ(gapped.status, MckpStatus::kOptimal);
+  EXPECT_LE(exact.cost, gapped.cost + 1e-9);
+  EXPECT_LE(gapped.cost, exact.cost * 1.01 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MckpGapTest, ::testing::Range<uint64_t>(500, 512));
+
+class MckpFeasibilityTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Every returned solution must satisfy the capacity constraint and pick a
+// valid choice per group.
+TEST_P(MckpFeasibilityTest, SolutionsAreFeasible) {
+  Rng rng(GetParam());
+  const size_t n = 5 + rng.NextU64(40);
+  const auto groups = RandomCacheInstance(rng, n);
+  const double capacity = static_cast<double>(rng.NextU64(200));
+  const MckpSolution sol = SolveMckp(groups, capacity);
+  if (sol.status == MckpStatus::kInfeasible) {
+    // With zero-weight choices in every group, infeasibility is impossible.
+    ADD_FAILURE() << "instance wrongly infeasible";
+    return;
+  }
+  ASSERT_EQ(sol.choice.size(), n);
+  double weight = 0.0;
+  double cost = 0.0;
+  for (size_t g = 0; g < n; ++g) {
+    ASSERT_GE(sol.choice[g], 0);
+    ASSERT_LT(static_cast<size_t>(sol.choice[g]), groups[g].choices.size());
+    weight += groups[g].choices[sol.choice[g]].weight;
+    cost += groups[g].choices[sol.choice[g]].cost;
+  }
+  EXPECT_LE(weight, capacity + 1e-6);
+  EXPECT_NEAR(cost, sol.cost, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MckpFeasibilityTest, ::testing::Range<uint64_t>(900, 916));
+
+class SimplexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// LP optimum of a fractional knapsack must match the greedy fill.
+TEST_P(SimplexPropertyTest, FractionalKnapsackMatchesGreedy) {
+  Rng rng(GetParam());
+  const size_t n = 5 + rng.NextU64(25);
+  std::vector<double> value(n);
+  std::vector<double> weight(n);
+  for (size_t i = 0; i < n; ++i) {
+    value[i] = rng.NextDouble(1.0, 100.0);
+    weight[i] = rng.NextDouble(1.0, 20.0);
+  }
+  const double capacity = rng.NextDouble(10.0, 100.0);
+
+  LinearProgram lp;
+  lp.objective.resize(n);
+  lp.upper_bounds.assign(n, 1.0);
+  LpConstraint cap;
+  cap.coeffs = weight;
+  cap.sense = LpConstraintSense::kLessEqual;
+  cap.rhs = capacity;
+  for (size_t i = 0; i < n; ++i) {
+    lp.objective[i] = -value[i];
+  }
+  lp.constraints.push_back(cap);
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+
+  // Greedy by value density.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return value[a] / weight[a] > value[b] / weight[b];
+  });
+  double remaining = capacity;
+  double greedy = 0.0;
+  for (size_t i : order) {
+    const double take = std::min(1.0, remaining / weight[i]);
+    if (take <= 0.0) {
+      break;
+    }
+    greedy += take * value[i];
+    remaining -= take * weight[i];
+  }
+  EXPECT_NEAR(-sol.objective_value, greedy, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexPropertyTest, ::testing::Range<uint64_t>(300, 312));
+
+}  // namespace
+}  // namespace blaze

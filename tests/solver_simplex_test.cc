@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/solver/simplex.h"
+
+namespace blaze {
+namespace {
+
+LpConstraint Row(std::vector<double> coeffs, LpConstraintSense sense, double rhs) {
+  LpConstraint c;
+  c.coeffs = std::move(coeffs);
+  c.sense = sense;
+  c.rhs = rhs;
+  return c;
+}
+
+TEST(SimplexTest, SimpleMaximizationAsMinimization) {
+  // max 3x + 2y s.t. x + y <= 4, x <= 2  =>  min -3x - 2y; optimum (2, 2) = -10.
+  LinearProgram lp;
+  lp.objective = {-3.0, -2.0};
+  lp.constraints.push_back(Row({1.0, 1.0}, LpConstraintSense::kLessEqual, 4.0));
+  lp.constraints.push_back(Row({1.0, 0.0}, LpConstraintSense::kLessEqual, 2.0));
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, -10.0, 1e-6);
+  EXPECT_NEAR(sol.values[0], 2.0, 1e-6);
+  EXPECT_NEAR(sol.values[1], 2.0, 1e-6);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // min x + y s.t. x + y == 5, x >= 0, y >= 0 => 5.
+  LinearProgram lp;
+  lp.objective = {1.0, 1.0};
+  lp.constraints.push_back(Row({1.0, 1.0}, LpConstraintSense::kEqual, 5.0));
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, 5.0, 1e-6);
+}
+
+TEST(SimplexTest, GreaterEqualConstraint) {
+  // min 2x + 3y s.t. x + y >= 4, x <= 3 => pick x=3, y=1 => 9.
+  LinearProgram lp;
+  lp.objective = {2.0, 3.0};
+  lp.constraints.push_back(Row({1.0, 1.0}, LpConstraintSense::kGreaterEqual, 4.0));
+  lp.constraints.push_back(Row({1.0, 0.0}, LpConstraintSense::kLessEqual, 3.0));
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, 9.0, 1e-6);
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  // x <= 1 and x >= 2 simultaneously.
+  LinearProgram lp;
+  lp.objective = {1.0};
+  lp.constraints.push_back(Row({1.0}, LpConstraintSense::kLessEqual, 1.0));
+  lp.constraints.push_back(Row({1.0}, LpConstraintSense::kGreaterEqual, 2.0));
+  EXPECT_EQ(SolveLp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnboundedness) {
+  // min -x with no upper bound on x.
+  LinearProgram lp;
+  lp.objective = {-1.0};
+  lp.constraints.push_back(Row({-1.0}, LpConstraintSense::kLessEqual, 0.0));
+  EXPECT_EQ(SolveLp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, RespectsUpperBounds) {
+  // min -x - y with x, y in [0, 1]: optimum -2 at (1,1).
+  LinearProgram lp;
+  lp.objective = {-1.0, -1.0};
+  lp.upper_bounds = {1.0, 1.0};
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, -2.0, 1e-6);
+}
+
+TEST(SimplexTest, NegativeRhsHandled) {
+  // min x s.t. -x <= -3  (i.e. x >= 3).
+  LinearProgram lp;
+  lp.objective = {1.0};
+  lp.constraints.push_back(Row({-1.0}, LpConstraintSense::kLessEqual, -3.0));
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.values[0], 3.0, 1e-6);
+}
+
+TEST(SimplexTest, DegenerateRedundantConstraints) {
+  // Duplicate constraints must not confuse phase 1.
+  LinearProgram lp;
+  lp.objective = {1.0, 2.0};
+  lp.constraints.push_back(Row({1.0, 1.0}, LpConstraintSense::kEqual, 3.0));
+  lp.constraints.push_back(Row({1.0, 1.0}, LpConstraintSense::kEqual, 3.0));
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, 3.0, 1e-6);  // all weight on x
+}
+
+TEST(SimplexTest, MediumRandomishInstanceMatchesGreedyBound) {
+  // Fractional knapsack: LP optimum is the greedy fill. 20 items.
+  const size_t n = 20;
+  LinearProgram lp;
+  lp.objective.resize(n);
+  lp.upper_bounds.assign(n, 1.0);
+  LpConstraint cap;
+  cap.coeffs.resize(n);
+  cap.sense = LpConstraintSense::kLessEqual;
+  cap.rhs = 25.0;
+  double expected = 0.0;
+  double remaining = 25.0;
+  // Items sorted by decreasing value/weight by construction: value 2(n-i), weight ~ i+1.
+  for (size_t i = 0; i < n; ++i) {
+    lp.objective[i] = -2.0 * static_cast<double>(n - i);
+    cap.coeffs[i] = static_cast<double>(i + 1);
+  }
+  for (size_t i = 0; i < n && remaining > 0; ++i) {
+    const double take = std::min(1.0, remaining / cap.coeffs[i]);
+    expected += take * lp.objective[i];
+    remaining -= take * cap.coeffs[i];
+  }
+  lp.constraints.push_back(cap);
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, expected, 1e-6);
+}
+
+}  // namespace
+}  // namespace blaze

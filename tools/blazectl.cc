@@ -1,0 +1,226 @@
+// blazectl — command-line driver for the Blaze engine.
+//
+//   blazectl list
+//   blazectl run --workload pr --system blaze [--scale 1.0] [--iterations N]
+//                [--partitions N] [--executors N] [--threads N]
+//                [--capacity-kib N] [--disk-mbps N] [--format table|json]
+//
+// Runs one (workload, system) pair and reports ACT plus the cache metrics.
+// Systems: spark-mem, spark-memdisk, alluxio, lrc, mrd, lrc-mem, mrd-mem,
+// blaze, blaze-auto, blaze-costaware, blaze-mem, blaze-noprofile, none.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/blaze/blaze_runner.h"
+#include "src/cache/alluxio_coordinator.h"
+#include "src/cache/policies.h"
+#include "src/cache/policy_coordinator.h"
+#include "src/common/stopwatch.h"
+#include "src/common/units.h"
+#include "src/metrics/report.h"
+#include "src/workloads/workload.h"
+
+namespace blaze {
+namespace {
+
+struct CliOptions {
+  std::string command;
+  std::string workload = "pr";
+  std::string system = "blaze";
+  double scale = 1.0;
+  int iterations = 0;  // 0 = workload default
+  size_t partitions = 16;
+  size_t executors = 4;
+  size_t threads = 2;
+  uint64_t capacity_kib = 2048;
+  uint64_t disk_mbps = 32;
+  std::string format = "table";
+};
+
+int Usage() {
+  std::cerr << "usage: blazectl list\n"
+               "       blazectl run --workload <pr|cc|lr|kmeans|gbt|svdpp>\n"
+               "                    --system <spark-mem|spark-memdisk|alluxio|lrc|mrd|\n"
+               "                              lrc-mem|mrd-mem|blaze|blaze-auto|\n"
+               "                              blaze-costaware|blaze-mem|blaze-noprofile|none>\n"
+               "                    [--scale F] [--iterations N] [--partitions N]\n"
+               "                    [--executors N] [--threads N] [--capacity-kib N]\n"
+               "                    [--disk-mbps N] [--format table|json]\n";
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  if (argc < 2) {
+    return false;
+  }
+  options->command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--workload") {
+      options->workload = value;
+    } else if (flag == "--system") {
+      options->system = value;
+    } else if (flag == "--scale") {
+      options->scale = std::atof(value.c_str());
+    } else if (flag == "--iterations") {
+      options->iterations = std::atoi(value.c_str());
+    } else if (flag == "--partitions") {
+      options->partitions = static_cast<size_t>(std::atoi(value.c_str()));
+    } else if (flag == "--executors") {
+      options->executors = static_cast<size_t>(std::atoi(value.c_str()));
+    } else if (flag == "--threads") {
+      options->threads = static_cast<size_t>(std::atoi(value.c_str()));
+    } else if (flag == "--capacity-kib") {
+      options->capacity_kib = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (flag == "--disk-mbps") {
+      options->disk_mbps = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (flag == "--format") {
+      options->format = value;
+    } else {
+      std::cerr << "unknown flag: " << flag << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+void InstallSystem(EngineContext& engine, const std::string& system) {
+  auto policy_mode = [&engine](const char* policy, EvictionMode mode) {
+    engine.SetCoordinator(
+        std::make_unique<PolicyCoordinator>(&engine, MakePolicy(policy), mode));
+  };
+  if (system == "spark-mem") {
+    policy_mode("lru", EvictionMode::kMemOnly);
+  } else if (system == "spark-memdisk") {
+    policy_mode("lru", EvictionMode::kMemAndDisk);
+  } else if (system == "alluxio") {
+    engine.SetCoordinator(std::make_unique<AlluxioCoordinator>(&engine));
+  } else if (system == "lrc") {
+    policy_mode("lrc", EvictionMode::kMemAndDisk);
+  } else if (system == "mrd") {
+    policy_mode("mrd", EvictionMode::kMemAndDisk);
+  } else if (system == "lrc-mem") {
+    policy_mode("lrc", EvictionMode::kMemOnly);
+  } else if (system == "mrd-mem") {
+    policy_mode("mrd", EvictionMode::kMemOnly);
+  } else if (system == "none") {
+    // engine default: cache nothing
+  } else {
+    BLAZE_LOG(kFatal) << "unknown system " << system;
+  }
+}
+
+int RunCommand(const CliOptions& options) {
+  auto workload = MakeWorkload(options.workload);
+  WorkloadParams params = workload->DefaultParams();
+  params.scale = options.scale;
+  params.partitions = options.partitions;
+  if (options.iterations > 0) {
+    params.iterations = options.iterations;
+  }
+
+  EngineConfig config;
+  config.num_executors = options.executors;
+  config.threads_per_executor = options.threads;
+  config.memory_capacity_per_executor =
+      static_cast<uint64_t>(static_cast<double>(KiB(options.capacity_kib)) * options.scale);
+  const bool memory_only = options.system == "spark-mem" || options.system == "lrc-mem" ||
+                           options.system == "mrd-mem" || options.system == "blaze-mem";
+  config.disk_throughput_bytes_per_sec = memory_only ? 0 : options.disk_mbps << 20;
+  EngineContext engine(config);
+
+  Stopwatch act;
+  if (options.system.rfind("blaze", 0) == 0) {
+    BlazeRunConfig run_config;
+    run_config.options = options.system == "blaze-auto" ? BlazeOptions::AutoCacheOnly()
+                         : options.system == "blaze-costaware" ? BlazeOptions::CostAware()
+                         : options.system == "blaze-mem"       ? BlazeOptions::MemoryOnly()
+                                                               : BlazeOptions::Full();
+    if (options.system != "blaze-noprofile") {
+      const WorkloadParams profiling_params = params.ForProfiling();
+      run_config.profiling_driver = workload->MakeDriver(profiling_params);
+    }
+    RunWithBlaze(engine, run_config, workload->MakeDriver(params));
+  } else {
+    InstallSystem(engine, options.system);
+    workload->MakeDriver(params)(engine);
+  }
+  const double act_ms = act.ElapsedMillis();
+  const auto snap = engine.metrics().Snapshot();
+  const TaskMetrics& t = snap.total_task;
+
+  if (options.format == "json") {
+    std::cout << "{\n"
+              << "  \"workload\": \"" << options.workload << "\",\n"
+              << "  \"system\": \"" << options.system << "\",\n"
+              << "  \"act_ms\": " << Fmt(act_ms, 3) << ",\n"
+              << "  \"task_compute_ms\": " << Fmt(t.compute_ms, 3) << ",\n"
+              << "  \"task_disk_ms\": " << Fmt(t.cache_disk_ms, 3) << ",\n"
+              << "  \"task_recompute_ms\": " << Fmt(t.recompute_ms, 3) << ",\n"
+              << "  \"evictions_to_disk\": " << snap.evictions_to_disk << ",\n"
+              << "  \"evictions_discard\": " << snap.evictions_discard << ",\n"
+              << "  \"unpersists\": " << snap.unpersists << ",\n"
+              << "  \"cache_hits_memory\": " << snap.cache_hits_memory << ",\n"
+              << "  \"cache_hits_disk\": " << snap.cache_hits_disk << ",\n"
+              << "  \"cache_misses\": " << snap.cache_misses << ",\n"
+              << "  \"disk_bytes_written\": " << snap.disk_bytes_written_total << ",\n"
+              << "  \"disk_bytes_peak\": " << snap.disk_bytes_peak << ",\n"
+              << "  \"profiling_ms\": " << Fmt(snap.profiling_ms, 3) << ",\n"
+              << "  \"solver_ms\": " << Fmt(snap.solver_ms, 3) << ",\n"
+              << "  \"broadcast_bytes\": " << snap.broadcast_bytes << "\n"
+              << "}\n";
+  } else {
+    TextTable table;
+    table.AddRow({"metric", "value"});
+    table.AddRow({"ACT", FormatMillis(act_ms)});
+    table.AddRow({"task compute+shuffle", FormatMillis(t.compute_ms)});
+    table.AddRow({"task disk I/O", FormatMillis(t.cache_disk_ms)});
+    table.AddRow({"task recompute", FormatMillis(t.recompute_ms)});
+    table.AddRow({"evictions (disk/drop)", std::to_string(snap.evictions_to_disk) + "/" +
+                                               std::to_string(snap.evictions_discard)});
+    table.AddRow({"unpersists", std::to_string(snap.unpersists)});
+    table.AddRow({"hits (mem/disk)", std::to_string(snap.cache_hits_memory) + "/" +
+                                         std::to_string(snap.cache_hits_disk)});
+    table.AddRow({"misses (recomputed)", std::to_string(snap.cache_misses)});
+    table.AddRow({"disk written", FormatBytes(snap.disk_bytes_written_total)});
+    table.AddRow({"disk peak", FormatBytes(snap.disk_bytes_peak)});
+    table.AddRow({"profiling", FormatMillis(snap.profiling_ms)});
+    table.AddRow({"ILP solves", std::to_string(snap.solver_invocations) + " (" +
+                                    FormatMillis(snap.solver_ms) + ")"});
+    table.AddRow({"broadcast", FormatBytes(snap.broadcast_bytes)});
+    std::cout << table.Render(options.workload + " on " + options.system);
+  }
+  return 0;
+}
+
+int ListCommand() {
+  std::cout << "workloads:";
+  for (const auto& name : AllWorkloadNames()) {
+    std::cout << " " << name;
+  }
+  std::cout << "\nsystems: spark-mem spark-memdisk alluxio lrc mrd lrc-mem mrd-mem blaze"
+               " blaze-auto blaze-costaware blaze-mem blaze-noprofile none\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace blaze
+
+int main(int argc, char** argv) {
+  blaze::CliOptions options;
+  if (!blaze::ParseArgs(argc, argv, &options)) {
+    return blaze::Usage();
+  }
+  if (options.command == "list") {
+    return blaze::ListCommand();
+  }
+  if (options.command == "run") {
+    return blaze::RunCommand(options);
+  }
+  return blaze::Usage();
+}

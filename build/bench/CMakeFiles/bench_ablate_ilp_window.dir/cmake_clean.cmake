@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_ilp_window.dir/bench_ablate_ilp_window.cc.o"
+  "CMakeFiles/bench_ablate_ilp_window.dir/bench_ablate_ilp_window.cc.o.d"
+  "bench_ablate_ilp_window"
+  "bench_ablate_ilp_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_ilp_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_shuffle_retention.dir/bench_ablate_shuffle_retention.cc.o"
+  "CMakeFiles/bench_ablate_shuffle_retention.dir/bench_ablate_shuffle_retention.cc.o.d"
+  "bench_ablate_shuffle_retention"
+  "bench_ablate_shuffle_retention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_shuffle_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablate_shuffle_retention.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_recomp_growth.dir/bench_fig05_recomp_growth.cc.o"
+  "CMakeFiles/bench_fig05_recomp_growth.dir/bench_fig05_recomp_growth.cc.o.d"
+  "bench_fig05_recomp_growth"
+  "bench_fig05_recomp_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_recomp_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

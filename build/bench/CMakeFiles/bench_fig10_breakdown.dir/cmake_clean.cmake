@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_breakdown.dir/bench_fig10_breakdown.cc.o"
+  "CMakeFiles/bench_fig10_breakdown.dir/bench_fig10_breakdown.cc.o.d"
+  "bench_fig10_breakdown"
+  "bench_fig10_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

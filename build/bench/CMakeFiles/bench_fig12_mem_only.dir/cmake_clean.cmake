@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_mem_only.dir/bench_fig12_mem_only.cc.o"
+  "CMakeFiles/bench_fig12_mem_only.dir/bench_fig12_mem_only.cc.o.d"
+  "bench_fig12_mem_only"
+  "bench_fig12_mem_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_mem_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

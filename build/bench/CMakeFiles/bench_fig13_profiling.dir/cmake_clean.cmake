@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_profiling.dir/bench_fig13_profiling.cc.o"
+  "CMakeFiles/bench_fig13_profiling.dir/bench_fig13_profiling.cc.o.d"
+  "bench_fig13_profiling"
+  "bench_fig13_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_serialize.dir/bench_micro_serialize.cc.o"
+  "CMakeFiles/bench_micro_serialize.dir/bench_micro_serialize.cc.o.d"
+  "bench_micro_serialize"
+  "bench_micro_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

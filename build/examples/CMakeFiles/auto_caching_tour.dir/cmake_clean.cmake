@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_caching_tour.dir/auto_caching_tour.cpp.o"
+  "CMakeFiles/auto_caching_tour.dir/auto_caching_tour.cpp.o.d"
+  "auto_caching_tour"
+  "auto_caching_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_caching_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_policy.cpp" "examples/CMakeFiles/custom_policy.dir/custom_policy.cpp.o" "gcc" "examples/CMakeFiles/custom_policy.dir/custom_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/blaze_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/blaze/CMakeFiles/blaze_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/blaze_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/blaze_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/blaze_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/blaze_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/blaze_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/blaze_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

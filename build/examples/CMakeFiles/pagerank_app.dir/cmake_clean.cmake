@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_app.dir/pagerank_app.cpp.o"
+  "CMakeFiles/pagerank_app.dir/pagerank_app.cpp.o.d"
+  "pagerank_app"
+  "pagerank_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

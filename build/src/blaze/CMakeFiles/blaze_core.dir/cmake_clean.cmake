@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaze_core.dir/blaze_coordinator.cc.o"
+  "CMakeFiles/blaze_core.dir/blaze_coordinator.cc.o.d"
+  "CMakeFiles/blaze_core.dir/cost_lineage.cc.o"
+  "CMakeFiles/blaze_core.dir/cost_lineage.cc.o.d"
+  "CMakeFiles/blaze_core.dir/cost_model.cc.o"
+  "CMakeFiles/blaze_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/blaze_core.dir/profiler.cc.o"
+  "CMakeFiles/blaze_core.dir/profiler.cc.o.d"
+  "libblaze_core.a"
+  "libblaze_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaze_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaze_cache.dir/alluxio_coordinator.cc.o"
+  "CMakeFiles/blaze_cache.dir/alluxio_coordinator.cc.o.d"
+  "CMakeFiles/blaze_cache.dir/policies.cc.o"
+  "CMakeFiles/blaze_cache.dir/policies.cc.o.d"
+  "CMakeFiles/blaze_cache.dir/policy_coordinator.cc.o"
+  "CMakeFiles/blaze_cache.dir/policy_coordinator.cc.o.d"
+  "libblaze_cache.a"
+  "libblaze_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaze_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaze_common.dir/logging.cc.o"
+  "CMakeFiles/blaze_common.dir/logging.cc.o.d"
+  "CMakeFiles/blaze_common.dir/rng.cc.o"
+  "CMakeFiles/blaze_common.dir/rng.cc.o.d"
+  "CMakeFiles/blaze_common.dir/thread_pool.cc.o"
+  "CMakeFiles/blaze_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/blaze_common.dir/units.cc.o"
+  "CMakeFiles/blaze_common.dir/units.cc.o.d"
+  "libblaze_common.a"
+  "libblaze_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaze_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/dag_scheduler.cc" "src/dataflow/CMakeFiles/blaze_dataflow.dir/dag_scheduler.cc.o" "gcc" "src/dataflow/CMakeFiles/blaze_dataflow.dir/dag_scheduler.cc.o.d"
+  "/root/repo/src/dataflow/engine_context.cc" "src/dataflow/CMakeFiles/blaze_dataflow.dir/engine_context.cc.o" "gcc" "src/dataflow/CMakeFiles/blaze_dataflow.dir/engine_context.cc.o.d"
+  "/root/repo/src/dataflow/rdd_base.cc" "src/dataflow/CMakeFiles/blaze_dataflow.dir/rdd_base.cc.o" "gcc" "src/dataflow/CMakeFiles/blaze_dataflow.dir/rdd_base.cc.o.d"
+  "/root/repo/src/dataflow/shuffle.cc" "src/dataflow/CMakeFiles/blaze_dataflow.dir/shuffle.cc.o" "gcc" "src/dataflow/CMakeFiles/blaze_dataflow.dir/shuffle.cc.o.d"
+  "/root/repo/src/dataflow/task_context.cc" "src/dataflow/CMakeFiles/blaze_dataflow.dir/task_context.cc.o" "gcc" "src/dataflow/CMakeFiles/blaze_dataflow.dir/task_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/blaze_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/blaze_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/blaze_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaze_dataflow.dir/dag_scheduler.cc.o"
+  "CMakeFiles/blaze_dataflow.dir/dag_scheduler.cc.o.d"
+  "CMakeFiles/blaze_dataflow.dir/engine_context.cc.o"
+  "CMakeFiles/blaze_dataflow.dir/engine_context.cc.o.d"
+  "CMakeFiles/blaze_dataflow.dir/rdd_base.cc.o"
+  "CMakeFiles/blaze_dataflow.dir/rdd_base.cc.o.d"
+  "CMakeFiles/blaze_dataflow.dir/shuffle.cc.o"
+  "CMakeFiles/blaze_dataflow.dir/shuffle.cc.o.d"
+  "CMakeFiles/blaze_dataflow.dir/task_context.cc.o"
+  "CMakeFiles/blaze_dataflow.dir/task_context.cc.o.d"
+  "libblaze_dataflow.a"
+  "libblaze_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaze_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaze_metrics.dir/report.cc.o"
+  "CMakeFiles/blaze_metrics.dir/report.cc.o.d"
+  "CMakeFiles/blaze_metrics.dir/run_metrics.cc.o"
+  "CMakeFiles/blaze_metrics.dir/run_metrics.cc.o.d"
+  "libblaze_metrics.a"
+  "libblaze_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaze_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/ilp.cc" "src/solver/CMakeFiles/blaze_solver.dir/ilp.cc.o" "gcc" "src/solver/CMakeFiles/blaze_solver.dir/ilp.cc.o.d"
+  "/root/repo/src/solver/mckp.cc" "src/solver/CMakeFiles/blaze_solver.dir/mckp.cc.o" "gcc" "src/solver/CMakeFiles/blaze_solver.dir/mckp.cc.o.d"
+  "/root/repo/src/solver/simplex.cc" "src/solver/CMakeFiles/blaze_solver.dir/simplex.cc.o" "gcc" "src/solver/CMakeFiles/blaze_solver.dir/simplex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/blaze_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

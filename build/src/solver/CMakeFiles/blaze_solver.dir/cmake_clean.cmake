@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaze_solver.dir/ilp.cc.o"
+  "CMakeFiles/blaze_solver.dir/ilp.cc.o.d"
+  "CMakeFiles/blaze_solver.dir/mckp.cc.o"
+  "CMakeFiles/blaze_solver.dir/mckp.cc.o.d"
+  "CMakeFiles/blaze_solver.dir/simplex.cc.o"
+  "CMakeFiles/blaze_solver.dir/simplex.cc.o.d"
+  "libblaze_solver.a"
+  "libblaze_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaze_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_manager.cc" "src/storage/CMakeFiles/blaze_storage.dir/block_manager.cc.o" "gcc" "src/storage/CMakeFiles/blaze_storage.dir/block_manager.cc.o.d"
+  "/root/repo/src/storage/disk_store.cc" "src/storage/CMakeFiles/blaze_storage.dir/disk_store.cc.o" "gcc" "src/storage/CMakeFiles/blaze_storage.dir/disk_store.cc.o.d"
+  "/root/repo/src/storage/memory_store.cc" "src/storage/CMakeFiles/blaze_storage.dir/memory_store.cc.o" "gcc" "src/storage/CMakeFiles/blaze_storage.dir/memory_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/blaze_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/blaze_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

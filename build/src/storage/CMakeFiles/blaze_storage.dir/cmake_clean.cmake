@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaze_storage.dir/block_manager.cc.o"
+  "CMakeFiles/blaze_storage.dir/block_manager.cc.o.d"
+  "CMakeFiles/blaze_storage.dir/disk_store.cc.o"
+  "CMakeFiles/blaze_storage.dir/disk_store.cc.o.d"
+  "CMakeFiles/blaze_storage.dir/memory_store.cc.o"
+  "CMakeFiles/blaze_storage.dir/memory_store.cc.o.d"
+  "libblaze_storage.a"
+  "libblaze_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaze_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

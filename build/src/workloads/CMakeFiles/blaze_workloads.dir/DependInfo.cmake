@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/connected_components.cc" "src/workloads/CMakeFiles/blaze_workloads.dir/connected_components.cc.o" "gcc" "src/workloads/CMakeFiles/blaze_workloads.dir/connected_components.cc.o.d"
+  "/root/repo/src/workloads/datagen.cc" "src/workloads/CMakeFiles/blaze_workloads.dir/datagen.cc.o" "gcc" "src/workloads/CMakeFiles/blaze_workloads.dir/datagen.cc.o.d"
+  "/root/repo/src/workloads/gbt.cc" "src/workloads/CMakeFiles/blaze_workloads.dir/gbt.cc.o" "gcc" "src/workloads/CMakeFiles/blaze_workloads.dir/gbt.cc.o.d"
+  "/root/repo/src/workloads/kmeans.cc" "src/workloads/CMakeFiles/blaze_workloads.dir/kmeans.cc.o" "gcc" "src/workloads/CMakeFiles/blaze_workloads.dir/kmeans.cc.o.d"
+  "/root/repo/src/workloads/logistic_regression.cc" "src/workloads/CMakeFiles/blaze_workloads.dir/logistic_regression.cc.o" "gcc" "src/workloads/CMakeFiles/blaze_workloads.dir/logistic_regression.cc.o.d"
+  "/root/repo/src/workloads/pagerank.cc" "src/workloads/CMakeFiles/blaze_workloads.dir/pagerank.cc.o" "gcc" "src/workloads/CMakeFiles/blaze_workloads.dir/pagerank.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/blaze_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/blaze_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/svdpp.cc" "src/workloads/CMakeFiles/blaze_workloads.dir/svdpp.cc.o" "gcc" "src/workloads/CMakeFiles/blaze_workloads.dir/svdpp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/blaze_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/blaze_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/blaze/CMakeFiles/blaze_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/blaze_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/blaze_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/blaze_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/blaze_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

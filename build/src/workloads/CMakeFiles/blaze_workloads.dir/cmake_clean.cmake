@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaze_workloads.dir/connected_components.cc.o"
+  "CMakeFiles/blaze_workloads.dir/connected_components.cc.o.d"
+  "CMakeFiles/blaze_workloads.dir/datagen.cc.o"
+  "CMakeFiles/blaze_workloads.dir/datagen.cc.o.d"
+  "CMakeFiles/blaze_workloads.dir/gbt.cc.o"
+  "CMakeFiles/blaze_workloads.dir/gbt.cc.o.d"
+  "CMakeFiles/blaze_workloads.dir/kmeans.cc.o"
+  "CMakeFiles/blaze_workloads.dir/kmeans.cc.o.d"
+  "CMakeFiles/blaze_workloads.dir/logistic_regression.cc.o"
+  "CMakeFiles/blaze_workloads.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/blaze_workloads.dir/pagerank.cc.o"
+  "CMakeFiles/blaze_workloads.dir/pagerank.cc.o.d"
+  "CMakeFiles/blaze_workloads.dir/registry.cc.o"
+  "CMakeFiles/blaze_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/blaze_workloads.dir/svdpp.cc.o"
+  "CMakeFiles/blaze_workloads.dir/svdpp.cc.o.d"
+  "libblaze_workloads.a"
+  "libblaze_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaze_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libblaze_workloads.a"
+)

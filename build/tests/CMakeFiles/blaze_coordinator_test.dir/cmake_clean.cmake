@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaze_coordinator_test.dir/blaze_coordinator_test.cc.o"
+  "CMakeFiles/blaze_coordinator_test.dir/blaze_coordinator_test.cc.o.d"
+  "blaze_coordinator_test"
+  "blaze_coordinator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaze_coordinator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

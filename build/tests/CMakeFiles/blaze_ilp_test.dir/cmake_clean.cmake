@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaze_ilp_test.dir/blaze_ilp_test.cc.o"
+  "CMakeFiles/blaze_ilp_test.dir/blaze_ilp_test.cc.o.d"
+  "blaze_ilp_test"
+  "blaze_ilp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaze_ilp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_checkpoint_test.dir/broadcast_checkpoint_test.cc.o"
+  "CMakeFiles/broadcast_checkpoint_test.dir/broadcast_checkpoint_test.cc.o.d"
+  "broadcast_checkpoint_test"
+  "broadcast_checkpoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

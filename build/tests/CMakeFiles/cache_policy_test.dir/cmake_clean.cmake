@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_policy_test.dir/cache_policy_test.cc.o"
+  "CMakeFiles/cache_policy_test.dir/cache_policy_test.cc.o.d"
+  "cache_policy_test"
+  "cache_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_lineage_test.dir/cost_lineage_test.cc.o"
+  "CMakeFiles/cost_lineage_test.dir/cost_lineage_test.cc.o.d"
+  "cost_lineage_test"
+  "cost_lineage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_lineage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_analysis_test.dir/dag_analysis_test.cc.o"
+  "CMakeFiles/dag_analysis_test.dir/dag_analysis_test.cc.o.d"
+  "dag_analysis_test"
+  "dag_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

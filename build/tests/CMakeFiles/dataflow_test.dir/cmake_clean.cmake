@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_test.dir/dataflow_test.cc.o"
+  "CMakeFiles/dataflow_test.dir/dataflow_test.cc.o.d"
+  "dataflow_test"
+  "dataflow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_invariants_test.dir/engine_invariants_test.cc.o"
+  "CMakeFiles/engine_invariants_test.dir/engine_invariants_test.cc.o.d"
+  "engine_invariants_test"
+  "engine_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

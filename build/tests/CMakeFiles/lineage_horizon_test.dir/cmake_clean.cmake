@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lineage_horizon_test.dir/lineage_horizon_test.cc.o"
+  "CMakeFiles/lineage_horizon_test.dir/lineage_horizon_test.cc.o.d"
+  "lineage_horizon_test"
+  "lineage_horizon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lineage_horizon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lineage_horizon_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_rdd_test.dir/pair_rdd_test.cc.o"
+  "CMakeFiles/pair_rdd_test.dir/pair_rdd_test.cc.o.d"
+  "pair_rdd_test"
+  "pair_rdd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_rdd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

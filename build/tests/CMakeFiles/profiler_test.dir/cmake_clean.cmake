@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiler_test.dir/profiler_test.cc.o"
+  "CMakeFiles/profiler_test.dir/profiler_test.cc.o.d"
+  "profiler_test"
+  "profiler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

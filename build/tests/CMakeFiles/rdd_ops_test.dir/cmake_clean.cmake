@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdd_ops_test.dir/rdd_ops_test.cc.o"
+  "CMakeFiles/rdd_ops_test.dir/rdd_ops_test.cc.o.d"
+  "rdd_ops_test"
+  "rdd_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdd_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

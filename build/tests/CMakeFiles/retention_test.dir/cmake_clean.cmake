@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retention_test.dir/retention_test.cc.o"
+  "CMakeFiles/retention_test.dir/retention_test.cc.o.d"
+  "retention_test"
+  "retention_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

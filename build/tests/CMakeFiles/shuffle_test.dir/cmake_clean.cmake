@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shuffle_test.dir/shuffle_test.cc.o"
+  "CMakeFiles/shuffle_test.dir/shuffle_test.cc.o.d"
+  "shuffle_test"
+  "shuffle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shuffle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_ilp_test.dir/solver_ilp_test.cc.o"
+  "CMakeFiles/solver_ilp_test.dir/solver_ilp_test.cc.o.d"
+  "solver_ilp_test"
+  "solver_ilp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_ilp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

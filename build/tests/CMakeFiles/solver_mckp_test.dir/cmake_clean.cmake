@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_mckp_test.dir/solver_mckp_test.cc.o"
+  "CMakeFiles/solver_mckp_test.dir/solver_mckp_test.cc.o.d"
+  "solver_mckp_test"
+  "solver_mckp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_mckp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

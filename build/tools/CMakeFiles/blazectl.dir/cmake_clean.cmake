@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blazectl.dir/blazectl.cc.o"
+  "CMakeFiles/blazectl.dir/blazectl.cc.o.d"
+  "blazectl"
+  "blazectl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blazectl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

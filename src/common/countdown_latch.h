@@ -1,0 +1,56 @@
+// One-shot countdown latch: initialized with a count, decremented once per
+// completed unit of work; waiters are released when the count hits zero. Used
+// by the DAG scheduler so a stage completes the moment its last task does,
+// instead of sequentially draining every executor pool.
+#ifndef SRC_COMMON_COUNTDOWN_LATCH_H_
+#define SRC_COMMON_COUNTDOWN_LATCH_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace blaze {
+
+class CountdownLatch {
+ public:
+  explicit CountdownLatch(size_t count) : count_(count) {}
+
+  CountdownLatch(const CountdownLatch&) = delete;
+  CountdownLatch& operator=(const CountdownLatch&) = delete;
+
+  // Decrements the count; wakes all waiters when it reaches zero. Must be
+  // called exactly `count` times in total.
+  //
+  // The decrement happens under the mutex (no lock-free fast path anywhere):
+  // the waiter typically destroys the latch right after Wait() returns, so
+  // the final CountDown must be fully finished — mutex released, nothing left
+  // to touch — before Wait can possibly observe zero. The lock costs ~ns per
+  // task completion, noise next to the task itself.
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--count_ == 0) {
+      cv_.notify_all();
+    }
+  }
+
+  // Blocks until the count reaches zero. Returns immediately for a zero count.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+  size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  size_t count_;
+  std::condition_variable cv_;
+};
+
+}  // namespace blaze
+
+#endif  // SRC_COMMON_COUNTDOWN_LATCH_H_

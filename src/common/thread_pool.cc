@@ -8,16 +8,20 @@ namespace blaze {
 
 ThreadPool::ThreadPool(size_t num_threads, std::string name) : name_(std::move(name)) {
   BLAZE_CHECK_GT(num_threads, 0u);
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    shutdown_.store(true, std::memory_order_release);
   }
   work_cv_.notify_all();
   for (auto& t : threads_) {
@@ -26,38 +30,97 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
+  BLAZE_CHECK(!shutdown_.load(std::memory_order_acquire))
+      << "Submit() after shutdown on pool " << name_;
+  const size_t index = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  // Both counters rise before the task becomes visible in a deque so a worker
+  // popping it immediately can never drive either count below zero.
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  queued_.fetch_add(1, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    BLAZE_CHECK(!shutdown_) << "Submit() after shutdown on pool " << name_;
-    queue_.push_back(std::move(fn));
+    std::lock_guard<std::mutex> lock(queues_[index]->mu);
+    queues_[index]->tasks.push_back(std::move(fn));
   }
+  // Taking sleep_mu_ orders the queued_ increment against a worker's predicate
+  // check, so a worker that saw queued_ == 0 is guaranteed to get the notify.
+  { std::lock_guard<std::mutex> lock(sleep_mu_); }
   work_cv_.notify_one();
 }
 
-void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+void ThreadPool::SubmitBatch(std::vector<std::function<void()>> fns) {
+  if (fns.empty()) {
+    return;
+  }
+  BLAZE_CHECK(!shutdown_.load(std::memory_order_acquire))
+      << "SubmitBatch() after shutdown on pool " << name_;
+  const size_t n = queues_.size();
+  const size_t start = next_queue_.fetch_add(fns.size(), std::memory_order_relaxed);
+  pending_.fetch_add(fns.size(), std::memory_order_acq_rel);
+  queued_.fetch_add(fns.size(), std::memory_order_release);
+  for (size_t w = 0; w < n && w < fns.size(); ++w) {
+    WorkerQueue& queue = *queues_[(start + w) % n];
+    std::lock_guard<std::mutex> lock(queue.mu);
+    for (size_t i = w; i < fns.size(); i += n) {
+      queue.tasks.push_back(std::move(fns[i]));
+    }
+  }
+  { std::lock_guard<std::mutex> lock(sleep_mu_); }
+  work_cv_.notify_all();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(sleep_mu_);
+  idle_cv_.wait(lock, [this] { return pending_.load(std::memory_order_acquire) == 0; });
+}
+
+bool ThreadPool::TakeTask(size_t index, std::function<void()>& out) {
+  {
+    WorkerQueue& own = *queues_[index];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_release);
+      return true;
+    }
+  }
+  const size_t n = queues_.size();
+  for (size_t k = 1; k < n; ++k) {
+    WorkerQueue& victim = *queues_[(index + k) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      // Steal from the opposite end the owner pops from.
+      out = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_release);
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
   for (;;) {
     std::function<void()> fn;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        return;  // shutdown with nothing left to do
+    if (TakeTask(index, fn)) {
+      fn();
+      fn = nullptr;  // drop closure state before declaring the task done
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(sleep_mu_);
+        idle_cv_.notify_all();
       }
-      fn = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
+      continue;
     }
-    fn();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --active_;
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    work_cv_.wait(lock, [this] {
+      return shutdown_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (shutdown_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;  // shutdown with nothing left to do
     }
-    idle_cv_.notify_all();
   }
 }
 

@@ -1,12 +1,23 @@
-// Fixed-size worker pool. Each simulated executor owns one pool, which models
-// the executor's task slots ("cores" in Spark terms).
+// Work-stealing worker pool. Each simulated executor owns one pool, which
+// models the executor's task slots ("cores" in Spark terms).
+//
+// Every worker owns a deque guarded by its own mutex: submissions are spread
+// round-robin across the deques, workers pop their own deque from the front
+// and steal from the back of a sibling's when theirs runs dry. The only
+// shared state on the task hot path is a pair of relaxed atomics (queued /
+// in-flight counts); the pool-wide mutex is touched solely to park and wake
+// idle workers, so submitting and running tasks never serialize on one lock.
 #ifndef SRC_COMMON_THREAD_POOL_H_
 #define SRC_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -20,23 +31,44 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues work. Never blocks; tasks run FIFO across the worker threads.
+  // Enqueues work. Never blocks; tasks run FIFO per deque, with idle workers
+  // stealing from the back of their siblings' deques.
   void Submit(std::function<void()> fn);
 
-  // Blocks until every submitted task has finished and the queue is empty.
+  // Enqueues a batch of tasks, locking each worker deque at most once and
+  // issuing one wakeup — the fast path for a stage's per-partition fan-out.
+  void SubmitBatch(std::vector<std::function<void()>> fns);
+
+  // Blocks until every submitted task has finished and the queues are empty.
   void Wait();
 
   size_t num_threads() const { return threads_.size(); }
 
- private:
-  void WorkerLoop();
+  // Number of tasks executed by a worker other than the one they were
+  // enqueued on (diagnostics for tests and the contention benchmark).
+  uint64_t steal_count() const { return steals_.load(std::memory_order_relaxed); }
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // signalled when work arrives or shutting down
-  std::condition_variable idle_cv_;   // signalled when the pool may have drained
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
+ private:
+  // One per worker thread; aligned out so two deques never share a line.
+  struct alignas(64) WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t index);
+  // Pops the worker's own deque, then sweeps siblings for a steal.
+  bool TakeTask(size_t index, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::atomic<size_t> next_queue_{0};    // round-robin submission cursor
+  std::atomic<uint64_t> queued_{0};      // tasks sitting in deques
+  std::atomic<uint64_t> pending_{0};     // queued + currently running
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<bool> shutdown_{false};
+
+  std::mutex sleep_mu_;                  // parks idle workers and Wait()ers only
+  std::condition_variable work_cv_;      // signalled when work arrives or shutting down
+  std::condition_variable idle_cv_;      // signalled when the pool drains
   std::string name_;
   std::vector<std::thread> threads_;
 };

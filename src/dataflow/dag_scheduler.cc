@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/common/countdown_latch.h"
 #include "src/common/logging.h"
 #include "src/dataflow/engine_context.h"
 #include "src/dataflow/task_context.h"
@@ -202,11 +203,14 @@ void DagScheduler::RunStageTasks(const StagePlan& stage, int job_id,
   EngineContext& engine = *engine_;
   const RddBase& terminal = *stage.terminal;
   const size_t num_partitions = terminal.num_partitions();
-  std::mutex results_mu;
+  CountdownLatch latch(num_partitions);
 
+  // One batch per executor pool: each pool is locked once for its whole
+  // per-partition fan-out instead of once per task.
+  std::vector<std::vector<std::function<void()>>> batches(engine.num_executors());
   for (uint32_t p = 0; p < num_partitions; ++p) {
     const size_t executor = engine.ExecutorFor(p);
-    engine.worker_pool(executor).Submit([&, p, executor] {
+    batches[executor].push_back([&, p, executor] {
       // Task attempts: injected launch failures are retried, as Spark's
       // TaskSetManager re-offers failed tasks (fault-injection testing hook).
       int attempt = 0;
@@ -230,18 +234,24 @@ void DagScheduler::RunStageTasks(const StagePlan& stage, int job_id,
         }
       }
       if (process != nullptr) {
-        std::any result = (*process)(block);
-        std::lock_guard<std::mutex> lock(results_mu);
-        (*results)[p] = std::move(result);
+        // Each task owns its distinct (*results)[p] slot; the latch's release
+        // ordering publishes the writes to the waiting driver without a lock.
+        (*results)[p] = (*process)(block);
       }
       tc.metrics().compute_ms = task_watch.ElapsedMillis() - tc.metrics().cache_disk_ms -
                                 tc.metrics().ilp_wait_ms;
       engine.metrics().AddTask(tc.metrics());
+      latch.CountDown();
     });
   }
   for (size_t e = 0; e < engine.num_executors(); ++e) {
-    engine.worker_pool(e).Wait();
+    if (!batches[e].empty()) {
+      engine.worker_pool(e).SubmitBatch(std::move(batches[e]));
+    }
   }
+  // The stage completes when its last task does — no sequential sweep over
+  // every executor pool.
+  latch.Wait();
 }
 
 }  // namespace blaze

@@ -55,6 +55,10 @@ EngineContext::EngineContext(const EngineConfig& config)
 }
 
 EngineContext::~EngineContext() {
+  // Quiesce the scheduler and coordinator first: the coordinator's dtor joins
+  // its async prefetch pool, whose in-flight sweeps read executor state.
+  scheduler_.reset();
+  coordinator_.reset();
   executors_.clear();  // drains pools and removes per-executor disk dirs
   if (owns_disk_root_) {
     std::error_code ec;

@@ -8,85 +8,97 @@ namespace blaze {
 
 void ShuffleService::PutBucket(int shuffle_id, uint32_t map_part, uint32_t reduce_part,
                                BlockPtr bucket) {
-  std::lock_guard<std::mutex> lock(mu_);
+  Shard& shard = ShardFor(shuffle_id, reduce_part);
+  std::lock_guard<SpinLock> lock(shard.mu);
   const Key key{shuffle_id, map_part, reduce_part};
-  auto it = buckets_.find(key);
-  if (it != buckets_.end()) {
-    approx_bytes_ -= it->second->SizeBytes();
+  auto it = shard.buckets.find(key);
+  if (it != shard.buckets.end()) {
+    approx_bytes_.fetch_sub(it->second->SizeBytes(), std::memory_order_relaxed);
     it->second = std::move(bucket);
-    approx_bytes_ += it->second->SizeBytes();
+    approx_bytes_.fetch_add(it->second->SizeBytes(), std::memory_order_relaxed);
     return;
   }
-  approx_bytes_ += bucket->SizeBytes();
-  buckets_.emplace(key, std::move(bucket));
-  ++bucket_counts_[shuffle_id];
+  approx_bytes_.fetch_add(bucket->SizeBytes(), std::memory_order_relaxed);
+  shard.buckets.emplace(key, std::move(bucket));
+  ++shard.bucket_counts[shuffle_id];
 }
 
 BlockPtr ShuffleService::GetBucket(int shuffle_id, uint32_t map_part,
                                    uint32_t reduce_part) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = buckets_.find(Key{shuffle_id, map_part, reduce_part});
-  return it == buckets_.end() ? nullptr : it->second;
+  const Shard& shard = ShardFor(shuffle_id, reduce_part);
+  std::lock_guard<SpinLock> lock(shard.mu);
+  auto it = shard.buckets.find(Key{shuffle_id, map_part, reduce_part});
+  return it == shard.buckets.end() ? nullptr : it->second;
 }
 
 bool ShuffleService::HasAllOutputs(int shuffle_id, size_t num_map, size_t num_reduce) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = bucket_counts_.find(shuffle_id);
-  return it != bucket_counts_.end() && it->second == num_map * num_reduce;
-}
-
-uint64_t ShuffleService::approx_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return approx_bytes_;
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<SpinLock> lock(shard.mu);
+    auto it = shard.bucket_counts.find(shuffle_id);
+    if (it != shard.bucket_counts.end()) {
+      total += it->second;
+    }
+  }
+  return total == num_map * num_reduce;
 }
 
 void ShuffleService::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  buckets_.clear();
-  bucket_counts_.clear();
-  approx_bytes_ = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<SpinLock> lock(shard.mu);
+    for (const auto& [key, bucket] : shard.buckets) {
+      approx_bytes_.fetch_sub(bucket->SizeBytes(), std::memory_order_relaxed);
+    }
+    shard.buckets.clear();
+    shard.bucket_counts.clear();
+  }
+  std::lock_guard<std::mutex> lock(retention_mu_);
+  last_used_job_.clear();
+}
+
+void ShuffleService::ClearShuffleInShards(int shuffle_id) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<SpinLock> lock(shard.mu);
+    for (auto it = shard.buckets.begin(); it != shard.buckets.end();) {
+      if (it->first.shuffle_id == shuffle_id) {
+        approx_bytes_.fetch_sub(it->second->SizeBytes(), std::memory_order_relaxed);
+        it = shard.buckets.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    shard.bucket_counts.erase(shuffle_id);
+  }
 }
 
 void ShuffleService::ClearShuffle(int shuffle_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ClearShuffleLocked(shuffle_id);
-}
-
-void ShuffleService::ClearShuffleLocked(int shuffle_id) {
-  for (auto it = buckets_.begin(); it != buckets_.end();) {
-    if (it->first.shuffle_id == shuffle_id) {
-      approx_bytes_ -= it->second->SizeBytes();
-      it = buckets_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  bucket_counts_.erase(shuffle_id);
+  ClearShuffleInShards(shuffle_id);
+  std::lock_guard<std::mutex> lock(retention_mu_);
   last_used_job_.erase(shuffle_id);
 }
 
 void ShuffleService::MarkUsed(int shuffle_id, int job_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(retention_mu_);
   int& last = last_used_job_[shuffle_id];
   last = std::max(last, job_id);
 }
 
 void ShuffleService::DropStale(int current_job, int retention_jobs) {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<int> stale;
-  for (const auto& [shuffle_id, last_used] : last_used_job_) {
-    if (last_used <= current_job - retention_jobs) {
-      stale.push_back(shuffle_id);
+  {
+    std::lock_guard<std::mutex> lock(retention_mu_);
+    for (const auto& [shuffle_id, last_used] : last_used_job_) {
+      if (last_used <= current_job - retention_jobs) {
+        stale.push_back(shuffle_id);
+      }
+    }
+    for (int shuffle_id : stale) {
+      last_used_job_.erase(shuffle_id);
     }
   }
   for (int shuffle_id : stale) {
-    ClearShuffleLocked(shuffle_id);
+    ClearShuffleInShards(shuffle_id);
   }
-}
-
-int ShuffleService::NewShuffleId() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return next_shuffle_id_++;
 }
 
 }  // namespace blaze

@@ -6,20 +6,31 @@
 // stage skipping across jobs and makes recomputation of a shuffled dataset a
 // re-aggregation rather than a full upstream re-execution — exactly Spark's
 // recovery behaviour for shuffle children.
+//
+// The bucket map is striped over kNumShards shards keyed by a hash of
+// (shuffle_id, reduce_part), each with its own spinlock, so the M×R bucket
+// writes of a map stage fan out across locks instead of serializing on one.
+// Byte accounting is a relaxed atomic; whole-shuffle queries (HasAllOutputs,
+// ClearShuffle, DropStale) aggregate across shards.
 #ifndef SRC_DATAFLOW_SHUFFLE_H_
 #define SRC_DATAFLOW_SHUFFLE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/spinlock.h"
 #include "src/storage/block.h"
 
 namespace blaze {
 
 class ShuffleService {
  public:
+  static constexpr size_t kNumShards = 16;
+
   // Registers the bucket for (shuffle, map_partition, reduce_partition).
   void PutBucket(int shuffle_id, uint32_t map_part, uint32_t reduce_part, BlockPtr bucket);
 
@@ -31,7 +42,7 @@ class ShuffleService {
   bool HasAllOutputs(int shuffle_id, size_t num_map, size_t num_reduce) const;
 
   // Total bytes held (diagnostics only; Spark keeps these on local disk).
-  uint64_t approx_bytes() const;
+  uint64_t approx_bytes() const { return approx_bytes_.load(std::memory_order_relaxed); }
 
   void Clear();
 
@@ -47,7 +58,7 @@ class ShuffleService {
   void MarkUsed(int shuffle_id, int job_id);
   void DropStale(int current_job, int retention_jobs);
 
-  int NewShuffleId();
+  int NewShuffleId() { return next_shuffle_id_.fetch_add(1, std::memory_order_relaxed); }
 
  private:
   struct Key {
@@ -64,14 +75,31 @@ class ShuffleService {
     }
   };
 
-  void ClearShuffleLocked(int shuffle_id);
+  struct Shard {
+    mutable SpinLock mu;  // guards ~tens-of-ns sections; see spinlock.h
+    std::unordered_map<Key, BlockPtr, KeyHash> buckets;
+    // This shard's bucket count per shuffle id; HasAllOutputs sums them.
+    std::unordered_map<int, size_t> bucket_counts;
+  };
 
-  mutable std::mutex mu_;
-  std::unordered_map<Key, BlockPtr, KeyHash> buckets_;
-  std::unordered_map<int, size_t> bucket_counts_;  // per shuffle id
-  std::unordered_map<int, int> last_used_job_;     // per shuffle id
-  uint64_t approx_bytes_ = 0;
-  int next_shuffle_id_ = 0;
+  // All buckets of one (shuffle, reduce partition) land in one shard, so a
+  // reduce task's fetch sweep stays on a single lock while different reduce
+  // partitions (and shuffles) spread across shards.
+  Shard& ShardFor(int shuffle_id, uint32_t reduce_part) const {
+    uint64_t h = (static_cast<uint64_t>(shuffle_id) << 32) | reduce_part;
+    h *= 0x9E3779B97F4A7C15ULL;
+    h ^= h >> 29;
+    return shards_[h % kNumShards];
+  }
+
+  void ClearShuffleInShards(int shuffle_id);
+
+  mutable std::array<Shard, kNumShards> shards_;
+  std::atomic<uint64_t> approx_bytes_{0};
+  std::atomic<int> next_shuffle_id_{0};
+
+  mutable std::mutex retention_mu_;             // guards last_used_job_ only
+  std::unordered_map<int, int> last_used_job_;  // per shuffle id
 };
 
 }  // namespace blaze

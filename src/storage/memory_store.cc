@@ -6,82 +6,96 @@
 
 namespace blaze {
 
-void MemoryStore::Put(const BlockId& id, BlockPtr data, uint64_t size_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = blocks_.find(id);
-  if (it != blocks_.end()) {
-    used_ -= it->second.size_bytes;
-    blocks_.erase(it);
+void MemoryStore::Reserve(const BlockId& id, uint64_t add_bytes, uint64_t remove_bytes) {
+  uint64_t cur = used_.load(std::memory_order_relaxed);
+  uint64_t desired;
+  do {
+    desired = cur - remove_bytes + add_bytes;
+    BLAZE_CHECK_LE(desired, capacity_)
+        << "MemoryStore overflow inserting " << id.ToString() << " (" << add_bytes
+        << " B into " << (capacity_ - (cur - remove_bytes)) << " B free)";
+  } while (!used_.compare_exchange_weak(cur, desired, std::memory_order_relaxed));
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (desired > peak &&
+         !peak_.compare_exchange_weak(peak, desired, std::memory_order_relaxed)) {
   }
-  BLAZE_CHECK_LE(used_ + size_bytes, capacity_)
-      << "MemoryStore overflow inserting " << id.ToString() << " (" << size_bytes
-      << " B into " << (capacity_ - used_) << " B free)";
+}
+
+void MemoryStore::Put(const BlockId& id, BlockPtr data, uint64_t size_bytes) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<SpinLock> lock(shard.mu);
+  auto it = shard.blocks.find(id);
+  // Holding the shard lock makes find-then-reserve atomic for this key; the
+  // reservation itself re-checks capacity against concurrent shards' puts.
+  Reserve(id, size_bytes, it != shard.blocks.end() ? it->second.size_bytes : 0);
+  const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (it != shard.blocks.end()) {
+    // Replacement: new payload and insertion recency, preserved access stats.
+    MemoryEntry& entry = it->second;
+    entry.data = std::move(data);
+    entry.size_bytes = size_bytes;
+    entry.insert_seq = seq;
+    entry.last_access_seq = seq;
+    return;
+  }
   MemoryEntry entry;
   entry.id = id;
   entry.data = std::move(data);
   entry.size_bytes = size_bytes;
-  entry.insert_seq = ++seq_;
-  entry.last_access_seq = entry.insert_seq;
-  used_ += size_bytes;
-  if (used_ > peak_) {
-    peak_ = used_;
-  }
-  blocks_.emplace(id, std::move(entry));
-}
-
-uint64_t MemoryStore::peak_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return peak_;
+  entry.insert_seq = seq;
+  entry.last_access_seq = seq;
+  shard.blocks.emplace(id, std::move(entry));
 }
 
 std::optional<BlockPtr> MemoryStore::Get(const BlockId& id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = blocks_.find(id);
-  if (it == blocks_.end()) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<SpinLock> lock(shard.mu);
+  auto it = shard.blocks.find(id);
+  if (it == shard.blocks.end()) {
     return std::nullopt;
   }
-  it->second.last_access_seq = ++seq_;
+  it->second.last_access_seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   ++it->second.access_count;
   return it->second.data;
 }
 
 std::optional<BlockPtr> MemoryStore::Peek(const BlockId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = blocks_.find(id);
-  if (it == blocks_.end()) {
+  const Shard& shard = ShardFor(id);
+  std::lock_guard<SpinLock> lock(shard.mu);
+  auto it = shard.blocks.find(id);
+  if (it == shard.blocks.end()) {
     return std::nullopt;
   }
   return it->second.data;
 }
 
 bool MemoryStore::Contains(const BlockId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return blocks_.contains(id);
+  const Shard& shard = ShardFor(id);
+  std::lock_guard<SpinLock> lock(shard.mu);
+  return shard.blocks.contains(id);
 }
 
 uint64_t MemoryStore::Remove(const BlockId& id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = blocks_.find(id);
-  if (it == blocks_.end()) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<SpinLock> lock(shard.mu);
+  auto it = shard.blocks.find(id);
+  if (it == shard.blocks.end()) {
     return 0;
   }
   const uint64_t size = it->second.size_bytes;
-  used_ -= size;
-  blocks_.erase(it);
+  shard.blocks.erase(it);
+  used_.fetch_sub(size, std::memory_order_relaxed);
   return size;
 }
 
-uint64_t MemoryStore::used_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return used_;
-}
-
 std::vector<MemoryEntry> MemoryStore::Entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<MemoryEntry> out;
-  out.reserve(blocks_.size());
-  for (const auto& [id, entry] : blocks_) {
-    out.push_back(entry);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<SpinLock> lock(shard.mu);
+    out.reserve(out.size() + shard.blocks.size());
+    for (const auto& [id, entry] : shard.blocks) {
+      out.push_back(entry);
+    }
   }
   return out;
 }

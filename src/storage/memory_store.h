@@ -2,15 +2,26 @@
 // MemoryStore: bounded capacity, insertion bookkeeping for LRU-style policies.
 // Admission control (whether to accept a block, whom to evict) lives in the
 // cache coordinator; this class only tracks residency and usage.
+//
+// The block map is striped over kNumShards shards (hash of BlockId), each
+// with its own spinlock, so concurrent hits on different blocks never
+// serialize on one lock. used_/peak_ are atomics maintained by a capacity-reservation
+// protocol: Put reserves its delta with a CAS that re-checks the capacity
+// bound on every attempt, so the overflow check is exactly as strict as the
+// old single-lock store — used_ can never pass capacity, even transiently.
+// used_bytes() is therefore an O(1) atomic load, and eviction scans get a
+// shard-merged snapshot from Entries().
 #ifndef SRC_STORAGE_MEMORY_STORE_H_
 #define SRC_STORAGE_MEMORY_STORE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/spinlock.h"
 #include "src/storage/block.h"
 
 namespace blaze {
@@ -26,10 +37,14 @@ struct MemoryEntry {
 
 class MemoryStore {
  public:
+  static constexpr size_t kNumShards = 8;
+
   explicit MemoryStore(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
 
   // Inserts (or replaces) a block. The caller must have made room: inserting
   // beyond capacity is a checked error — the coordinator owns eviction.
+  // Replacing an existing block keeps its access statistics (access_count):
+  // re-materialization is not a loss of history.
   void Put(const BlockId& id, BlockPtr data, uint64_t size_bytes);
 
   // Returns the block and bumps its access recency, or nullopt.
@@ -43,21 +58,37 @@ class MemoryStore {
   // Removes the block; returns its size or 0 if absent.
   uint64_t Remove(const BlockId& id);
 
-  uint64_t used_bytes() const;
-  uint64_t peak_bytes() const;
+  // O(1): atomic loads, no lock.
+  uint64_t used_bytes() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
   uint64_t capacity_bytes() const { return capacity_; }
 
-  // Snapshot of the resident entries (data pointers included) for victim
-  // selection by eviction policies.
+  // Shard-merged snapshot of the resident entries (data pointers included)
+  // for victim selection by eviction policies. Shards are locked one at a
+  // time, so the snapshot is per-shard consistent.
   std::vector<MemoryEntry> Entries() const;
 
  private:
-  mutable std::mutex mu_;
+  // Shard critical sections are a map probe plus a few field updates (tens of
+  // ns), the regime where SpinLock beats a futex mutex — see spinlock.h.
+  struct alignas(64) Shard {
+    mutable SpinLock mu;
+    std::unordered_map<BlockId, MemoryEntry, BlockIdHash> blocks;
+  };
+
+  Shard& ShardFor(const BlockId& id) const {
+    return shards_[BlockIdHash{}(id) % kNumShards];
+  }
+
+  // Atomically applies (+add_bytes, -remove_bytes) to used_; fatal if the
+  // result would exceed capacity (the exact old overflow check). Updates peak_.
+  void Reserve(const BlockId& id, uint64_t add_bytes, uint64_t remove_bytes);
+
   uint64_t capacity_;
-  uint64_t used_ = 0;
-  uint64_t peak_ = 0;
-  uint64_t seq_ = 0;
-  std::unordered_map<BlockId, MemoryEntry, BlockIdHash> blocks_;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+  std::atomic<uint64_t> seq_{0};
+  mutable std::array<Shard, kNumShards> shards_;
 };
 
 }  // namespace blaze

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <set>
+#include <vector>
 
+#include "src/common/countdown_latch.h"
 #include "src/common/rng.h"
 #include "src/common/stopwatch.h"
 #include "src/common/thread_pool.h"
@@ -138,6 +141,64 @@ TEST(ThreadPoolTest, TasksRunConcurrently) {
   }
   pool.Wait();
   EXPECT_GE(max_in_flight.load(), 2);
+}
+
+TEST(ThreadPoolTest, SubmitBatchRunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> batch;
+  for (int i = 0; i < 100; ++i) {
+    batch.push_back([&count] { count.fetch_add(1); });
+  }
+  pool.SubmitBatch(std::move(batch));
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+  pool.SubmitBatch({});  // empty batch is a no-op
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, BatchSpreadsAcrossWorkersConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  std::vector<std::function<void()>> batch;
+  for (int i = 0; i < 16; ++i) {
+    batch.push_back([&] {
+      const int now = in_flight.fetch_add(1) + 1;
+      int expected = max_in_flight.load();
+      while (now > expected && !max_in_flight.compare_exchange_weak(expected, now)) {
+      }
+      Stopwatch w;
+      while (w.ElapsedMillis() < 5) {
+      }
+      in_flight.fetch_sub(1);
+    });
+  }
+  pool.SubmitBatch(std::move(batch));
+  pool.Wait();
+  EXPECT_GE(max_in_flight.load(), 2);
+}
+
+TEST(CountdownLatchTest, WaitReturnsWhenCountHitsZero) {
+  CountdownLatch latch(3);
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit([&] {
+      done.fetch_add(1);
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+  EXPECT_EQ(done.load(), 3);
+  pool.Wait();
+}
+
+TEST(CountdownLatchTest, ZeroCountWaitsNothing) {
+  CountdownLatch latch(0);
+  latch.Wait();  // must not block
+  EXPECT_EQ(latch.count(), 0u);
 }
 
 TEST(StopwatchTest, MeasuresElapsedTime) {

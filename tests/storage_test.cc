@@ -39,6 +39,52 @@ TEST(MemoryStoreTest, ReplaceUpdatesAccounting) {
   EXPECT_EQ(store.used_bytes(), 800u);
 }
 
+TEST(MemoryStoreTest, ReplacePreservesAccessStats) {
+  MemoryStore store(KiB(64));
+  const BlockId id{1, 0};
+  store.Put(id, IntBlock(1, 100), 400);
+  (void)store.Get(id);
+  (void)store.Get(id);
+  store.Put(id, IntBlock(2, 200), 800);  // replacement must not reset stats
+  const auto entries = store.Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].access_count, 2u);
+  EXPECT_EQ(RowsOf<int>(entries[0].data)[0], 2);  // ...but payload is the new one
+}
+
+TEST(MemoryStoreTest, ReplaceBumpsInsertionRecency) {
+  MemoryStore store(KiB(64));
+  store.Put(BlockId{1, 0}, IntBlock(1, 10), 64);
+  store.Put(BlockId{1, 1}, IntBlock(2, 10), 64);
+  store.Put(BlockId{1, 0}, IntBlock(3, 10), 64);  // re-insert the older block
+  const auto entries = store.Entries();
+  const MemoryEntry* replaced = nullptr;
+  const MemoryEntry* untouched = nullptr;
+  for (const auto& entry : entries) {
+    (entry.id.partition == 0 ? replaced : untouched) = &entry;
+  }
+  ASSERT_NE(replaced, nullptr);
+  ASSERT_NE(untouched, nullptr);
+  EXPECT_GT(replaced->insert_seq, untouched->insert_seq);
+  EXPECT_GT(replaced->last_access_seq, untouched->last_access_seq);
+}
+
+TEST(MemoryStoreTest, UsedBytesMatchesEntriesAcrossShards) {
+  MemoryStore store(MiB(4));
+  // Spread keys well past the shard count so every shard holds entries.
+  for (uint32_t p = 0; p < 64; ++p) {
+    store.Put(BlockId{2, p}, IntBlock(1, 10), 100 + p);
+  }
+  store.Remove(BlockId{2, 3});
+  store.Remove(BlockId{2, 40});
+  uint64_t live = 0;
+  for (const auto& entry : store.Entries()) {
+    live += entry.size_bytes;
+  }
+  EXPECT_EQ(store.Entries().size(), 62u);
+  EXPECT_EQ(store.used_bytes(), live);
+}
+
 TEST(MemoryStoreTest, OverflowIsFatal) {
   MemoryStore store(100);
   EXPECT_DEATH(store.Put(BlockId{1, 0}, IntBlock(1, 1000), 4096), "overflow");

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI driver: builds and runs the test suite in the plain config, then again
+# with ThreadSanitizer (BLAZE_SANITIZE=thread) in a separate build tree so
+# data races on the concurrent hot paths fail the pipeline.
+#
+# Usage: tools/ci.sh [plain|tsan|all]   (default: all)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+mode="${1:-all}"
+jobs="$(nproc)"
+
+case "$mode" in
+  plain|tsan|all) ;;
+  *) echo "usage: tools/ci.sh [plain|tsan|all]" >&2; exit 2 ;;
+esac
+
+run_config() {
+  local name="$1" build_dir="$2"
+  shift 2
+  echo "=== [$name] configure ==="
+  cmake -B "$build_dir" -S . "$@"
+  echo "=== [$name] build ==="
+  cmake --build "$build_dir" -j "$jobs"
+  echo "=== [$name] ctest ==="
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+}
+
+if [[ "$mode" == "plain" || "$mode" == "all" ]]; then
+  run_config plain build
+fi
+
+if [[ "$mode" == "tsan" || "$mode" == "all" ]]; then
+  # TSan slows execution ~5-15x; scale the per-test ctest timeout through
+  # the environment instead of editing test properties.
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    run_config tsan build-tsan -DBLAZE_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+echo "CI OK ($mode)"

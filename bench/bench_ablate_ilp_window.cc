@@ -3,13 +3,16 @@
 // size on PageRank under full Blaze.
 #include <iostream>
 
+#include "bench/harness.h"
+
 #include "src/blaze/blaze_runner.h"
 #include "src/common/stopwatch.h"
 #include "src/common/units.h"
 #include "src/metrics/report.h"
 #include "src/workloads/pagerank.h"
 
-int main() {
+int main(int argc, char** argv) {
+  blaze::BenchArgs(argc, argv);
   using namespace blaze;
   TextTable table;
   table.AddRow({"window (jobs)", "ACT (ms)", "solver total (ms)", "recompute (ms)",

@@ -8,6 +8,8 @@
 // recomputation explodes — the regime closest to the paper's most expensive
 // recovery chains.
 #include <iostream>
+
+#include "bench/harness.h"
 #include <memory>
 
 #include "src/cache/policies.h"
@@ -17,7 +19,8 @@
 #include "src/metrics/report.h"
 #include "src/workloads/pagerank.h"
 
-int main() {
+int main(int argc, char** argv) {
+  blaze::BenchArgs(argc, argv);
   using namespace blaze;
   TextTable table;
   table.AddRow({"shuffle retention", "ACT (ms)", "recompute (ms)", "task total (ms)"});

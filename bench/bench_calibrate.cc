@@ -5,6 +5,8 @@
 // stays fast.
 #include <cstdlib>
 #include <iostream>
+
+#include "bench/harness.h"
 #include <memory>
 
 #include "src/cache/policies.h"
@@ -14,7 +16,8 @@
 #include "src/metrics/report.h"
 #include "src/workloads/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
+  blaze::BenchArgs(argc, argv);
   using namespace blaze;
   if (const char* env = std::getenv("BLAZE_CALIBRATE"); env == nullptr || env[0] != '1') {
     std::cout << "bench_calibrate: set BLAZE_CALIBRATE=1 to run the calibration sweep\n";

@@ -3,6 +3,8 @@
 // power-law in-degree distribution concentrates some adjacency/contribution
 // partitions on a few executors, whose stores then thrash.
 #include <iostream>
+
+#include "bench/harness.h"
 #include <memory>
 
 #include "src/cache/policies.h"
@@ -11,7 +13,8 @@
 #include "src/metrics/report.h"
 #include "src/workloads/pagerank.h"
 
-int main() {
+int main(int argc, char** argv) {
+  blaze::BenchArgs(argc, argv);
   using namespace blaze;
   EngineConfig config;
   config.num_executors = 10;  // the paper's ten executor machines

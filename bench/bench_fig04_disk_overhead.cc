@@ -8,7 +8,8 @@
 #include "src/metrics/report.h"
 #include "src/workloads/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
+  blaze::BenchArgs(argc, argv);
   using namespace blaze;
   TextTable table;
   table.AddRow({"workload", "disk I/O (ms)", "compute+shuffle (ms)", "disk share"});

@@ -8,7 +8,8 @@
 #include "bench/harness.h"
 #include "src/metrics/report.h"
 
-int main() {
+int main(int argc, char** argv) {
+  blaze::BenchArgs(argc, argv);
   using namespace blaze;
   const BenchResult result = RunBench({"pr", "spark-mem"});
   TextTable table;

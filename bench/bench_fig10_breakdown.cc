@@ -9,7 +9,8 @@
 #include "src/metrics/report.h"
 #include "src/workloads/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
+  blaze::BenchArgs(argc, argv);
   using namespace blaze;
   for (const std::string& workload : AllWorkloadNames()) {
     TextTable table;

@@ -10,7 +10,8 @@
 #include "src/metrics/report.h"
 #include "src/workloads/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
+  blaze::BenchArgs(argc, argv);
   using namespace blaze;
   const std::vector<std::string> systems{"spark-memdisk", "blaze-auto", "blaze-costaware",
                                          "blaze"};

@@ -6,7 +6,8 @@
 #include "bench/harness.h"
 #include "src/metrics/report.h"
 
-int main() {
+int main(int argc, char** argv) {
+  blaze::BenchArgs(argc, argv);
   using namespace blaze;
   const std::vector<std::string> workloads{"pr", "cc", "lr", "svdpp"};
   const std::vector<std::string> systems{"spark-mem", "lrc-mem", "mrd-mem", "blaze-mem"};

@@ -1,9 +1,14 @@
 #include "bench/harness.h"
 
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "src/blaze/blaze_runner.h"
+#include "src/common/trace.h"
 #include "src/cache/alluxio_coordinator.h"
 #include "src/cache/policies.h"
 #include "src/cache/policy_coordinator.h"
@@ -96,7 +101,80 @@ void InstallBaseline(EngineContext& engine, const std::string& system) {
   }
 }
 
+// "out.json" + ("pr", "blaze") -> "out.pr.blaze.json"; the audit log goes to
+// the same stem with ".audit.jsonl". One file pair per (workload, system) so
+// a figure sweep under BLAZE_TRACE never overwrites its own runs.
+std::string TracePathFor(const std::string& base, const RunSpec& spec) {
+  const size_t dot = base.rfind('.');
+  const std::string stem = dot == std::string::npos ? base : base.substr(0, dot);
+  const std::string ext = dot == std::string::npos ? ".json" : base.substr(dot);
+  return stem + "." + spec.workload + "." + spec.system + ext;
+}
+
+void ExportTrace(const RunSpec& spec, EngineContext& engine, const std::string& base,
+                 const RunMetricsSnapshot& metrics) {
+  trace::Stop();
+  const trace::Dump dump = trace::Drain();
+  const std::string trace_path = TracePathFor(base, spec);
+  if (!trace::WriteChromeTrace(dump, trace_path)) {
+    BLAZE_LOG(kError) << "failed to write trace to " << trace_path;
+    return;
+  }
+  const size_t dot = trace_path.rfind('.');
+  const std::string audit_path =
+      (dot == std::string::npos ? trace_path : trace_path.substr(0, dot)) + ".audit.jsonl";
+  std::ofstream audit_file(audit_path, std::ios::trunc);
+  engine.audit().WriteJsonl(audit_file);
+  std::cerr << "[" << spec.workload << "/" << spec.system << "] trace -> " << trace_path
+            << ", audit -> " << audit_path << " (" << engine.audit().Snapshot().size()
+            << " records, " << engine.audit().dropped() << " dropped)\n"
+            << trace::SummaryText(dump)
+            << "  task.run   " << metrics.task_run_hist.ToString() << "\n"
+            << "  disk.io    " << metrics.disk_io_hist.ToString() << "\n"
+            << "  ilp.wait   " << metrics.ilp_wait_hist.ToString() << "\n";
+}
+
 }  // namespace
+
+void BenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace=", 8) == 0) {
+      setenv("BLAZE_TRACE", arg + 8, /*overwrite=*/1);
+    } else if (std::strncmp(arg, "--scale=", 8) == 0) {
+      setenv("BLAZE_BENCH_SCALE", arg + 8, /*overwrite=*/1);
+    } else {
+      BLAZE_LOG(kFatal) << "unknown flag " << arg
+                        << " (supported: --trace=PATH, --scale=X)";
+    }
+  }
+}
+
+std::vector<std::string> FilterFromEnv(std::vector<std::string> defaults,
+                                       const char* env_var) {
+  const char* env = std::getenv(env_var);
+  if (env == nullptr || *env == '\0') {
+    return defaults;
+  }
+  std::vector<std::string> wanted;
+  std::stringstream ss{std::string(env)};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      wanted.push_back(item);
+    }
+  }
+  std::vector<std::string> out;
+  for (const std::string& name : defaults) {
+    for (const std::string& w : wanted) {
+      if (name == w) {
+        out.push_back(name);
+        break;
+      }
+    }
+  }
+  return out;
+}
 
 double GlobalBenchScale() {
   const char* env = std::getenv("BLAZE_BENCH_SCALE");
@@ -167,6 +245,14 @@ BenchResult RunBench(const RunSpec& spec) {
   const bool memory_only = spec.system == "spark-mem" || spec.system == "lrc-mem" ||
                            spec.system == "mrd-mem" || spec.system == "blaze-mem";
   config.disk_throughput_bytes_per_sec = memory_only ? 0 : kDiskThroughput;
+
+  const char* trace_env = std::getenv("BLAZE_TRACE");
+  const bool tracing = trace_env != nullptr && *trace_env != '\0';
+  if (tracing) {
+    // Start() also clears buffers left over from the previous (workload,
+    // system) pair, so each run's export covers only its own engine.
+    trace::Start();
+  }
   EngineContext engine(config);
 
   BenchResult result;
@@ -187,6 +273,9 @@ BenchResult RunBench(const RunSpec& spec) {
   }
   result.act_ms = act.ElapsedMillis();
   result.metrics = engine.metrics().Snapshot();
+  if (tracing) {
+    ExportTrace(spec, engine, trace_env, result.metrics);
+  }
   return result;
 }
 

@@ -6,6 +6,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/stopwatch.h"
+#include "src/common/trace.h"
 #include "src/dataflow/task_context.h"
 #include "src/solver/mckp.h"
 
@@ -52,6 +53,7 @@ double BlazeCoordinator::DiskThroughput() const {
 void BlazeCoordinator::OnJobStart(const JobInfo& job) {
   lineage_.ObserveJobStart(job);
   if (options_.ilp) {
+    TRACE_SCOPE("ilp.plan", "cache", trace::TArg("job", job.job_id));
     Stopwatch watch;
     RunIlpPlan(job.job_id);
     engine_->metrics().RecordSolve(watch.ElapsedMillis());
@@ -71,6 +73,8 @@ std::optional<BlockPtr> BlazeCoordinator::Lookup(const RddBase& rdd, uint32_t pa
   BlockManager& bm = engine_->block_manager(engine_->ExecutorFor(partition));
   if (auto hit = bm.memory().Get(id)) {
     engine_->metrics().RecordCacheHit(/*from_memory=*/true);
+    TRACE_EVENT("cache.hit", "cache", trace::TArg("rdd", id.rdd_id),
+                trace::TArg("part", id.partition), trace::TArg("tier", "memory"));
     return hit;
   }
   if (options_.use_disk) {
@@ -82,9 +86,13 @@ std::optional<BlockPtr> BlazeCoordinator::Lookup(const RddBase& rdd, uint32_t pa
       tc.metrics().cache_disk_ms += read_ms + decode_watch.ElapsedMillis();
       tc.metrics().cache_disk_bytes_read += bytes->size();
       engine_->metrics().RecordCacheHit(/*from_memory=*/false);
+      TRACE_EVENT("cache.hit", "cache", trace::TArg("rdd", id.rdd_id),
+                  trace::TArg("part", id.partition), trace::TArg("tier", "disk"));
       return block;
     }
   }
+  TRACE_EVENT("cache.miss", "cache", trace::TArg("rdd", id.rdd_id),
+              trace::TArg("part", id.partition));
   return std::nullopt;
 }
 
@@ -116,7 +124,8 @@ bool BlazeCoordinator::DiskHasRoom(size_t executor, uint64_t bytes) const {
 }
 
 void BlazeCoordinator::EvictBlock(size_t executor, const MemoryEntry& victim, bool spill,
-                                  TaskContext* tc) {
+                                  TaskContext* tc, const char* reason, double score,
+                                  uint32_t candidates) {
   BlockManager& bm = engine_->block_manager(executor);
   spill = spill && DiskHasRoom(executor, victim.size_bytes);
   if (spill && options_.use_disk) {
@@ -132,8 +141,12 @@ void BlazeCoordinator::EvictBlock(size_t executor, const MemoryEntry& victim, bo
     lineage_.SetState(victim.id.rdd_id, victim.id.partition, PartitionState::kNone);
   }
   bm.memory().Remove(victim.id);
-  engine_->metrics().RecordEviction(executor, victim.size_bytes,
-                                    /*to_disk=*/spill && options_.use_disk);
+  const bool to_disk = spill && options_.use_disk;
+  engine_->metrics().RecordEviction(executor, victim.size_bytes, to_disk);
+  engine_->audit().Evict(static_cast<uint32_t>(executor), victim.id.rdd_id,
+                         victim.id.partition, victim.size_bytes, to_disk,
+                         options_.cost_aware_eviction ? "BlazeCost" : "BlazeLRU", reason,
+                         score, candidates);
 }
 
 bool BlazeCoordinator::EnsureSpace(size_t executor, uint64_t needed, double incoming_cost,
@@ -194,7 +207,11 @@ bool BlazeCoordinator::EnsureSpace(size_t executor, uint64_t needed, double inco
       const BlockCost cost = estimator.Estimate(victim.id.rdd_id, victim.id.partition);
       spill = cost.cost_d_ms < cost.cost_r_ms;
     }
-    EvictBlock(executor, victim, spill, &tc);
+    const double score = options_.cost_aware_eviction
+                             ? VictimCost(estimator, victim.id)
+                             : static_cast<double>(victim.last_access_seq);
+    EvictBlock(executor, victim, spill, &tc, "displaced_by_admission", score,
+               static_cast<uint32_t>(entries.size()));
   }
   return true;
 }
@@ -251,6 +268,9 @@ void BlazeCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
   if (want_memory && EnsureSpace(executor, size, admission_cost, tc)) {
     bm.memory().Put(id, block, size);
     lineage_.SetState(rdd.id(), partition, PartitionState::kMemory);
+    engine_->audit().Admit(static_cast<uint32_t>(executor), id.rdd_id, id.partition, size,
+                           /*to_disk=*/false, "Blaze",
+                           planned ? "ilp_planned" : "admission_cost_won");
     return;
   }
 
@@ -265,6 +285,9 @@ void BlazeCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
     tc.metrics().cache_disk_bytes_written += size;
     lineage_.SetState(rdd.id(), partition, PartitionState::kDisk);
     engine_->metrics().RecordEviction(executor, size, /*to_disk=*/true);
+    engine_->audit().Admit(static_cast<uint32_t>(executor), id.rdd_id, id.partition, size,
+                           /*to_disk=*/true, "Blaze",
+                           planned ? "ilp_planned_disk" : "disk_cheaper_than_recompute");
   }
 }
 
@@ -284,9 +307,15 @@ void BlazeCoordinator::UnpersistRdd(const RddBase& rdd) {
     const size_t executor = engine_->ExecutorFor(p);
     std::lock_guard<std::mutex> lock(*executor_mu_[executor]);
     BlockManager& bm = engine_->block_manager(executor);
-    bm.RemoveFromMemory(BlockId{rdd.id(), p});
-    bm.RemoveFromDisk(BlockId{rdd.id(), p});
+    const BlockId id{rdd.id(), p};
+    const bool resident = bm.memory().Contains(id) || bm.disk().Contains(id);
+    bm.RemoveFromMemory(id);
+    bm.RemoveFromDisk(id);
     lineage_.SetState(rdd.id(), p, PartitionState::kNone);
+    if (resident) {
+      engine_->audit().Unpersist(static_cast<uint32_t>(executor), id.rdd_id, id.partition,
+                                 /*size_bytes=*/0, "Blaze", "user_unpersist");
+    }
   }
 }
 
@@ -300,6 +329,9 @@ void BlazeCoordinator::AutoUnpersist() {
         bm.memory().Remove(entry.id);
         lineage_.SetState(entry.id.rdd_id, entry.id.partition, PartitionState::kNone);
         engine_->metrics().RecordUnpersist();
+        engine_->audit().Unpersist(static_cast<uint32_t>(e), entry.id.rdd_id,
+                                   entry.id.partition, entry.size_bytes, "Blaze",
+                                   "refcount_zero");
       }
     }
     for (const BlockId& id : bm.disk().Blocks()) {
@@ -307,6 +339,8 @@ void BlazeCoordinator::AutoUnpersist() {
         bm.RemoveFromDisk(id);
         lineage_.SetState(id.rdd_id, id.partition, PartitionState::kNone);
         engine_->metrics().RecordUnpersist();
+        engine_->audit().Unpersist(static_cast<uint32_t>(e), id.rdd_id, id.partition,
+                                   /*size_bytes=*/0, "Blaze", "refcount_zero");
       }
     }
   }
@@ -392,6 +426,8 @@ void BlazeCoordinator::RunIlpPlan(int job_id) {
     std::vector<uint64_t> group_sizes;
     std::vector<double> group_d_cost;
     std::vector<double> group_u_cost;
+    Stopwatch solve_watch;
+    const uint64_t solve_start_us = trace::Enabled() ? ProcessMicros() : 0;
     constexpr int kFixedPointRounds = 2;
     for (int round = 0; round < kFixedPointRounds; ++round) {
       std::vector<MckpGroup> groups;
@@ -440,6 +476,35 @@ void BlazeCoordinator::RunIlpPlan(int job_id) {
         }
         round_estimator.OverrideState(group_ids[g].rdd_id, group_ids[g].partition,
                                       planned_state);
+      }
+    }
+    const double solve_ms = solve_watch.ElapsedMillis();
+    uint32_t chose_memory = 0;
+    uint32_t chose_disk = 0;
+    uint32_t chose_drop = 0;
+    if (solution.status != MckpStatus::kInfeasible) {
+      for (size_t g = 0; g < group_ids.size(); ++g) {
+        if (solution.choice[g] == 0) {
+          ++chose_memory;
+        } else if (options_.use_disk && solution.choice[g] == 1) {
+          ++chose_disk;
+        } else {
+          ++chose_drop;
+        }
+      }
+    }
+    const char* status = solution.status == MckpStatus::kOptimal     ? "optimal"
+                         : solution.status == MckpStatus::kNodeLimit ? "node_limit"
+                                                                     : "infeasible";
+    if (!group_ids.empty()) {
+      engine_->audit().IlpSolve(static_cast<uint32_t>(e), job_id,
+                                static_cast<uint32_t>(group_ids.size()), chose_memory,
+                                chose_disk, chose_drop, solve_ms, "MCKP", status);
+      if (solve_start_us != 0 && trace::Enabled()) {
+        trace::Complete("ilp.solve", "cache", solve_start_us, trace::TArg("job", job_id),
+                        trace::TArg("executor", static_cast<uint64_t>(e)),
+                        trace::TArg("universe", static_cast<uint64_t>(group_ids.size())),
+                        trace::TArg("status", status));
       }
     }
     if (group_ids.empty() || solution.status == MckpStatus::kInfeasible) {
@@ -508,12 +573,15 @@ void BlazeCoordinator::RunIlpPlan(int job_id) {
         victim.id = id;
         victim.data = *data;
         victim.size_bytes = (*data)->SizeBytes();
-        EvictBlock(e, victim, /*spill=*/state == PartitionState::kDisk, nullptr);
+        EvictBlock(e, victim, /*spill=*/state == PartitionState::kDisk, nullptr,
+                   "ilp_demote", /*score=*/0.0, static_cast<uint32_t>(group_ids.size()));
       } else if (current == PartitionState::kDisk) {
         if (state == PartitionState::kNone) {
           bm.RemoveFromDisk(id);
           lineage_.SetState(id.rdd_id, id.partition, PartitionState::kNone);
           engine_->metrics().RecordUnpersist();
+          engine_->audit().Unpersist(static_cast<uint32_t>(e), id.rdd_id, id.partition,
+                                     /*size_bytes=*/0, "MCKP", "ilp_drop");
         } else {
           // d -> m prefetch: reload if the dataset is still alive and it fits.
           auto rdd = engine_->FindRdd(id.rdd_id);
@@ -532,6 +600,8 @@ void BlazeCoordinator::RunIlpPlan(int job_id) {
             bm.memory().Put(id, std::move(block), size);
             bm.RemoveFromDisk(id);
             lineage_.SetState(id.rdd_id, id.partition, PartitionState::kMemory);
+            engine_->audit().Admit(static_cast<uint32_t>(e), id.rdd_id, id.partition, size,
+                                   /*to_disk=*/false, "MCKP", "ilp_promote");
           }
         }
       } else {

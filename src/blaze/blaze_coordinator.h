@@ -71,8 +71,10 @@ class BlazeCoordinator : public CacheCoordinator {
   // `incoming_cost` (paper §4.1's admission comparison). Executor lock held.
   bool EnsureSpace(size_t executor, uint64_t needed, double incoming_cost, TaskContext& tc);
 
-  // Spills or discards one resident victim; updates lineage state and metrics.
-  void EvictBlock(size_t executor, const MemoryEntry& victim, bool spill, TaskContext* tc);
+  // Spills or discards one resident victim; updates lineage state, metrics,
+  // and the cache audit log (reason/score/candidates describe the decision).
+  void EvictBlock(size_t executor, const MemoryEntry& victim, bool spill, TaskContext* tc,
+                  const char* reason, double score, uint32_t candidates);
 
   // True if `bytes` more fit under the optional disk budget.
   bool DiskHasRoom(size_t executor, uint64_t bytes) const;

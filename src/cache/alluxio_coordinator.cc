@@ -89,9 +89,12 @@ void AlluxioCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
     // Straight to the disk tier.
     const DiskOpResult op = bm.disk().Put(id, raw->bytes());
     engine_->metrics().RecordDiskStoreDelta(static_cast<int64_t>(op.bytes));
+    engine_->metrics().RecordDiskIo(op.elapsed_ms);
     tc.metrics().cache_disk_ms += op.elapsed_ms;
     tc.metrics().cache_disk_bytes_written += op.bytes;
     engine_->metrics().RecordEviction(executor, size, /*to_disk=*/true);
+    engine_->audit().Admit(static_cast<uint32_t>(executor), id.rdd_id, id.partition, size,
+                           /*to_disk=*/true, "AlluxioLRU", "exceeds_tier_capacity");
     return;
   }
   // LRU-evict serialized victims from the memory tier to the disk tier.
@@ -109,13 +112,21 @@ void AlluxioCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
     if (!bm.disk().Contains(entries[victim].id)) {
       const DiskOpResult op = bm.disk().Put(entries[victim].id, victim_raw->bytes());
       engine_->metrics().RecordDiskStoreDelta(static_cast<int64_t>(op.bytes));
+      engine_->metrics().RecordDiskIo(op.elapsed_ms);
       tc.metrics().cache_disk_ms += op.elapsed_ms;
       tc.metrics().cache_disk_bytes_written += op.bytes;
     }
     tier.Remove(entries[victim].id);
     engine_->metrics().RecordEviction(executor, entries[victim].size_bytes, /*to_disk=*/true);
+    engine_->audit().Evict(static_cast<uint32_t>(executor), entries[victim].id.rdd_id,
+                           entries[victim].id.partition, entries[victim].size_bytes,
+                           /*to_disk=*/true, "AlluxioLRU", "tier_capacity",
+                           static_cast<double>(entries[victim].last_access_seq),
+                           static_cast<uint32_t>(entries.size()));
   }
   tier.Put(id, std::move(raw), size);
+  engine_->audit().Admit(static_cast<uint32_t>(executor), id.rdd_id, id.partition, size,
+                         /*to_disk=*/false, "AlluxioLRU", "annotated");
 }
 
 bool AlluxioCoordinator::IsManaged(const RddBase& rdd) const {
@@ -127,8 +138,14 @@ void AlluxioCoordinator::UnpersistRdd(const RddBase& rdd) {
     const size_t executor = engine_->ExecutorFor(p);
     std::lock_guard<std::mutex> lock(*executor_mu_[executor]);
     const BlockId id{rdd.id(), p};
+    const bool resident = mem_tier_[executor]->Contains(id) ||
+                          engine_->block_manager(executor).disk().Contains(id);
     mem_tier_[executor]->Remove(id);
     engine_->block_manager(executor).RemoveFromDisk(id);
+    if (resident) {
+      engine_->audit().Unpersist(static_cast<uint32_t>(executor), id.rdd_id, id.partition,
+                                 /*size_bytes=*/0, "AlluxioLRU", "user_unpersist");
+    }
   }
 }
 

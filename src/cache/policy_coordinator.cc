@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/stopwatch.h"
+#include "src/common/trace.h"
 #include "src/dataflow/task_context.h"
 
 namespace blaze {
@@ -99,6 +100,8 @@ std::optional<BlockPtr> PolicyCoordinator::Lookup(const RddBase& rdd, uint32_t p
   BlockManager& bm = engine_->block_manager(engine_->ExecutorFor(partition));
   if (auto hit = bm.memory().Get(id)) {
     engine_->metrics().RecordCacheHit(/*from_memory=*/true);
+    TRACE_EVENT("cache.hit", "cache", trace::TArg("rdd", id.rdd_id),
+                trace::TArg("part", id.partition), trace::TArg("tier", "memory"));
     return hit;
   }
   if (mode_ == EvictionMode::kMemAndDisk) {
@@ -110,9 +113,13 @@ std::optional<BlockPtr> PolicyCoordinator::Lookup(const RddBase& rdd, uint32_t p
       tc.metrics().cache_disk_ms += read_ms + decode_watch.ElapsedMillis();
       tc.metrics().cache_disk_bytes_read += bytes->size();
       engine_->metrics().RecordCacheHit(/*from_memory=*/false);
+      TRACE_EVENT("cache.hit", "cache", trace::TArg("rdd", id.rdd_id),
+                  trace::TArg("part", id.partition), trace::TArg("tier", "disk"));
       return block;
     }
   }
+  TRACE_EVENT("cache.miss", "cache", trace::TArg("rdd", id.rdd_id),
+              trace::TArg("part", id.partition));
   // Full miss: learning policies observe it as potential regret. (The policy
   // state is guarded by the digest mutex, like SelectVictim calls.)
   {
@@ -148,6 +155,11 @@ bool PolicyCoordinator::EnsureSpace(size_t executor, uint64_t needed, RddId inco
     }
     bm.memory().Remove(victim.id);
     engine_->metrics().RecordEviction(executor, victim.size_bytes, to_disk);
+    engine_->audit().Evict(static_cast<uint32_t>(executor), victim.id.rdd_id,
+                           victim.id.partition, victim.size_bytes, to_disk, policy_->name(),
+                           "capacity_pressure",
+                           static_cast<double>(victim.last_access_seq),
+                           static_cast<uint32_t>(candidates.size()));
   }
   return true;
 }
@@ -168,6 +180,8 @@ void PolicyCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
   const uint64_t size = block->SizeBytes();
   if (size <= bm.memory().capacity_bytes() && EnsureSpace(executor, size, rdd.id(), tc)) {
     bm.memory().Put(id, block, size);
+    engine_->audit().Admit(static_cast<uint32_t>(executor), id.rdd_id, id.partition, size,
+                           /*to_disk=*/false, policy_->name(), "annotated");
     return;
   }
   // Does not fit in memory at all: MEM_AND_DISK stores it straight on disk.
@@ -175,6 +189,8 @@ void PolicyCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
     tc.metrics().cache_disk_ms += bm.SpillToDisk(id, *block);
     tc.metrics().cache_disk_bytes_written += size;
     engine_->metrics().RecordEviction(executor, size, /*to_disk=*/true);
+    engine_->audit().Admit(static_cast<uint32_t>(executor), id.rdd_id, id.partition, size,
+                           /*to_disk=*/true, policy_->name(), "exceeds_memory_capacity");
   }
 }
 
@@ -187,8 +203,14 @@ void PolicyCoordinator::UnpersistRdd(const RddBase& rdd) {
     const size_t executor = engine_->ExecutorFor(p);
     std::lock_guard<std::mutex> lock(*executor_mu_[executor]);
     BlockManager& bm = engine_->block_manager(executor);
-    bm.RemoveFromMemory(BlockId{rdd.id(), p});
-    bm.RemoveFromDisk(BlockId{rdd.id(), p});
+    const BlockId id{rdd.id(), p};
+    const bool resident = bm.memory().Contains(id) || bm.disk().Contains(id);
+    bm.RemoveFromMemory(id);
+    bm.RemoveFromDisk(id);
+    if (resident) {
+      engine_->audit().Unpersist(static_cast<uint32_t>(executor), id.rdd_id, id.partition,
+                                 /*size_bytes=*/0, policy_->name(), "user_unpersist");
+    }
   }
 }
 

@@ -1,0 +1,31 @@
+#include "src/common/clock.h"
+
+#include <chrono>
+
+namespace blaze {
+
+namespace {
+
+std::chrono::steady_clock::time_point Epoch() {
+  static const auto anchor = std::chrono::steady_clock::now();
+  return anchor;
+}
+
+// Pins the anchor during this TU's dynamic initialization instead of at the
+// first (possibly much later) timestamped event.
+[[maybe_unused]] const bool g_anchored = (Epoch(), true);
+
+}  // namespace
+
+uint64_t ProcessMicros() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - Epoch())
+                                   .count());
+}
+
+double ProcessMillis() {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - Epoch())
+      .count();
+}
+
+}  // namespace blaze

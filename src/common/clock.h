@@ -1,0 +1,22 @@
+// Process-start-anchored monotonic clock.
+//
+// One anchor shared by the logger and the flight recorder (src/common/trace.h)
+// so a log line's timestamp and a trace span's ts refer to the same zero and
+// can be cross-referenced directly. The anchor is taken on first use (an eager
+// initializer in clock.cc pins it to process start in practice).
+#ifndef SRC_COMMON_CLOCK_H_
+#define SRC_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace blaze {
+
+// Microseconds elapsed since the process-start anchor (steady clock).
+uint64_t ProcessMicros();
+
+// Milliseconds elapsed since the process-start anchor, with sub-ms precision.
+double ProcessMillis();
+
+}  // namespace blaze
+
+#endif  // SRC_COMMON_CLOCK_H_

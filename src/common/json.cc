@@ -1,0 +1,392 @@
+#include "src/common/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace blaze::json {
+
+Value Value::MakeBool(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::MakeNumber(double d) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+Value Value::MakeString(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::MakeArray(Array a) {
+  Value v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(a);
+  return v;
+}
+
+Value Value::MakeObject(Object o) {
+  Value v;
+  v.type_ = Type::kObject;
+  v.object_ = std::move(o);
+  return v;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (type_ != Type::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : object_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 256;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> Run(std::string* error) {
+    std::optional<Value> v = ParseValue(0);
+    if (v.has_value()) {
+      SkipWhitespace();
+      if (pos_ != text_.size()) {
+        Fail("trailing characters after document");
+        v.reset();
+      }
+    }
+    if (!v.has_value() && error != nullptr) {
+      *error = error_;
+    }
+    return v;
+  }
+
+ private:
+  void Fail(const char* message) {
+    if (error_.empty()) {
+      error_ = std::string(message) + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (text_.substr(pos_, n) == lit) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Value> ParseValue(int depth) {
+    if (depth > kMaxDepth) {
+      Fail("nesting too deep");
+      return std::nullopt;
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return std::nullopt;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        std::optional<std::string> s = ParseString();
+        if (!s.has_value()) {
+          return std::nullopt;
+        }
+        return Value::MakeString(std::move(*s));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) {
+          return Value::MakeBool(true);
+        }
+        Fail("invalid literal");
+        return std::nullopt;
+      case 'f':
+        if (ConsumeLiteral("false")) {
+          return Value::MakeBool(false);
+        }
+        Fail("invalid literal");
+        return std::nullopt;
+      case 'n':
+        if (ConsumeLiteral("null")) {
+          return Value::MakeNull();
+        }
+        Fail("invalid literal");
+        return std::nullopt;
+      default:
+        return ParseNumber();
+    }
+  }
+
+  std::optional<Value> ParseObject(int depth) {
+    Consume('{');
+    Object members;
+    SkipWhitespace();
+    if (Consume('}')) {
+      return Value::MakeObject(std::move(members));
+    }
+    for (;;) {
+      SkipWhitespace();
+      std::optional<std::string> key = ParseString();
+      if (!key.has_value()) {
+        Fail("expected object key");
+        return std::nullopt;
+      }
+      SkipWhitespace();
+      if (!Consume(':')) {
+        Fail("expected ':' in object");
+        return std::nullopt;
+      }
+      std::optional<Value> value = ParseValue(depth + 1);
+      if (!value.has_value()) {
+        return std::nullopt;
+      }
+      members.emplace_back(std::move(*key), std::move(*value));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return Value::MakeObject(std::move(members));
+      }
+      Fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Value> ParseArray(int depth) {
+    Consume('[');
+    Array elements;
+    SkipWhitespace();
+    if (Consume(']')) {
+      return Value::MakeArray(std::move(elements));
+    }
+    for (;;) {
+      std::optional<Value> value = ParseValue(depth + 1);
+      if (!value.has_value()) {
+        return std::nullopt;
+      }
+      elements.push_back(std::move(*value));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return Value::MakeArray(std::move(elements));
+      }
+      Fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> ParseString() {
+    if (!Consume('"')) {
+      Fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("unescaped control character in string");
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              Fail("invalid \\u escape");
+              return std::nullopt;
+            }
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs not combined).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          Fail("invalid escape");
+          return std::nullopt;
+      }
+    }
+    Fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Value> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      Fail("invalid number");
+      return std::nullopt;
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        Fail("invalid number fraction");
+        return std::nullopt;
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        Fail("invalid number exponent");
+        return std::nullopt;
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return Value::MakeNumber(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<Value> Parse(std::string_view text, std::string* error) {
+  return Parser(text).Run(error);
+}
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace blaze::json

@@ -1,0 +1,70 @@
+// Minimal JSON: a recursive-descent parser (for validating the flight
+// recorder's Chrome-trace output and the cache audit log) and a string
+// escaper (for producing it). No external dependencies; supports the full
+// JSON grammar including \uXXXX escapes (BMP only).
+#ifndef SRC_COMMON_JSON_H_
+#define SRC_COMMON_JSON_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace blaze::json {
+
+class Value;
+using Array = std::vector<Value>;
+// Object members in document order. std::map would need a complete Value.
+using Object = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  static Value MakeNull() { return Value(); }
+  static Value MakeBool(bool b);
+  static Value MakeNumber(double d);
+  static Value MakeString(std::string s);
+  static Value MakeArray(Array a);
+  static Value MakeObject(Object o);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const Array& as_array() const { return array_; }
+  const Object& as_object() const { return object_; }
+
+  // Object member lookup (first match); nullptr if absent or not an object.
+  const Value* Find(std::string_view key) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+// Parses one JSON document (trailing whitespace allowed, trailing garbage is
+// an error). On failure returns nullopt and, if error != nullptr, a message
+// with the byte offset.
+std::optional<Value> Parse(std::string_view text, std::string* error = nullptr);
+
+// Escapes a string for embedding inside JSON double quotes.
+std::string Escape(std::string_view s);
+
+}  // namespace blaze::json
+
+#endif  // SRC_COMMON_JSON_H_

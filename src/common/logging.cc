@@ -1,16 +1,39 @@
 #include "src/common/logging.h"
 
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
+
+#include "src/common/clock.h"
 
 namespace blaze {
 
 namespace {
 
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+// BLAZE_LOG_LEVEL=debug|info|warn|error (case-sensitive) overrides the kInfo
+// default at process start; unknown values are ignored.
+int InitialLevel() {
+  const char* env = std::getenv("BLAZE_LOG_LEVEL");
+  if (env != nullptr) {
+    if (std::strcmp(env, "debug") == 0) {
+      return static_cast<int>(LogLevel::kDebug);
+    }
+    if (std::strcmp(env, "info") == 0) {
+      return static_cast<int>(LogLevel::kInfo);
+    }
+    if (std::strcmp(env, "warn") == 0) {
+      return static_cast<int>(LogLevel::kWarn);
+    }
+    if (std::strcmp(env, "error") == 0) {
+      return static_cast<int>(LogLevel::kError);
+    }
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int> g_min_level{InitialLevel()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -43,10 +66,14 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
       base = p + 1;
     }
   }
-  auto now = std::chrono::steady_clock::now().time_since_epoch();
-  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
-  stream_ << "[" << LevelName(level) << " " << ms % 1000000 << " " << base << ":" << line
-          << "] ";
+  // Seconds.millis since process start — the same anchored clock the flight
+  // recorder stamps events with, so log lines line up with trace timestamps.
+  const uint64_t us = ProcessMicros();
+  char ts[32];
+  std::snprintf(ts, sizeof(ts), "%llu.%03llu",
+                static_cast<unsigned long long>(us / 1000000),
+                static_cast<unsigned long long>((us / 1000) % 1000));
+  stream_ << "[" << LevelName(level) << " " << ts << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

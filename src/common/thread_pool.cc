@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/trace.h"
 
 namespace blaze {
 
@@ -94,6 +95,8 @@ bool ThreadPool::TakeTask(size_t index, std::function<void()>& out) {
       victim.tasks.pop_back();
       queued_.fetch_sub(1, std::memory_order_release);
       steals_.fetch_add(1, std::memory_order_relaxed);
+      TRACE_EVENT("pool.steal", "pool", trace::TArg("worker", static_cast<uint64_t>(index)),
+                  trace::TArg("victim", static_cast<uint64_t>((index + k) % n)));
       return true;
     }
   }
@@ -101,6 +104,7 @@ bool ThreadPool::TakeTask(size_t index, std::function<void()>& out) {
 }
 
 void ThreadPool::WorkerLoop(size_t index) {
+  trace::SetThreadName(name_ + "/w" + std::to_string(index));
   for (;;) {
     std::function<void()> fn;
     if (TakeTask(index, fn)) {
@@ -112,13 +116,22 @@ void ThreadPool::WorkerLoop(size_t index) {
       }
       continue;
     }
-    std::unique_lock<std::mutex> lock(sleep_mu_);
-    work_cv_.wait(lock, [this] {
-      return shutdown_.load(std::memory_order_acquire) ||
-             queued_.load(std::memory_order_acquire) > 0;
-    });
-    if (shutdown_.load(std::memory_order_acquire) &&
-        queued_.load(std::memory_order_acquire) == 0) {
+    const uint64_t park_start = trace::Enabled() ? ProcessMicros() : 0;
+    bool exit_loop = false;
+    {
+      std::unique_lock<std::mutex> lock(sleep_mu_);
+      work_cv_.wait(lock, [this] {
+        return shutdown_.load(std::memory_order_acquire) ||
+               queued_.load(std::memory_order_acquire) > 0;
+      });
+      exit_loop = shutdown_.load(std::memory_order_acquire) &&
+                  queued_.load(std::memory_order_acquire) == 0;
+    }
+    if (park_start != 0 && trace::Enabled()) {
+      trace::Complete("pool.park", "pool", park_start,
+                      trace::TArg("worker", static_cast<uint64_t>(index)));
+    }
+    if (exit_loop) {
       return;  // shutdown with nothing left to do
     }
   }

@@ -1,0 +1,312 @@
+#include "src/common/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "src/common/json.h"
+#include "src/common/spinlock.h"
+
+namespace blaze::trace {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+std::atomic<uint64_t> g_seq{0};
+std::atomic<uint32_t> g_next_tid{1};
+std::atomic<size_t> g_capacity{Config{}.capacity_per_thread};
+
+// One ring per emitting thread. The owner thread emits under mu (always
+// uncontended except while a drain briefly holds it); Drain()/Reset() are the
+// only other lockers. The registry keeps a shared_ptr so the buffer — and the
+// events of a thread that has exited — survive until drained.
+struct ThreadBuffer {
+  SpinLock mu;
+  std::vector<Event> slots;  // sized lazily on first emit
+  uint64_t head = 0;         // events ever emitted
+  uint64_t drained = 0;      // events consumed (or overwritten)
+  uint64_t dropped = 0;      // events overwritten before being drained
+  uint32_t tid = 0;
+  std::string name;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: emitters may outlive exit order
+  return *registry;
+}
+
+thread_local std::shared_ptr<ThreadBuffer> t_buffer;
+thread_local std::string t_name;
+
+ThreadBuffer* GetBuffer() {
+  if (t_buffer == nullptr) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    buffer->tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+    buffer->name = t_name.empty() ? "thread-" + std::to_string(buffer->tid) : t_name;
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.buffers.push_back(buffer);
+    t_buffer = std::move(buffer);
+  }
+  return t_buffer.get();
+}
+
+void AppendArgsJson(std::ostream& os, const Arg* args, size_t num_args) {
+  os << "{";
+  for (size_t a = 0; a < num_args; ++a) {
+    if (a > 0) {
+      os << ",";
+    }
+    os << "\"" << json::Escape(args[a].key != nullptr ? args[a].key : "arg") << "\":";
+    char buf[32];
+    switch (args[a].type) {
+      case ArgType::kInt:
+        std::snprintf(buf, sizeof(buf), "%" PRId64, args[a].i);
+        os << buf;
+        break;
+      case ArgType::kUint:
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, args[a].u);
+        os << buf;
+        break;
+      case ArgType::kDouble:
+        std::snprintf(buf, sizeof(buf), "%.6g", args[a].d);
+        os << buf;
+        break;
+      case ArgType::kBool:
+        os << (args[a].b ? "true" : "false");
+        break;
+      case ArgType::kStr:
+        os << "\"" << json::Escape(args[a].s != nullptr ? args[a].s : "") << "\"";
+        break;
+      case ArgType::kNone:
+        os << "null";
+        break;
+    }
+  }
+  os << "}";
+}
+
+}  // namespace
+
+namespace internal {
+
+void Emit(Event&& event) {
+  ThreadBuffer* buffer = GetBuffer();
+  event.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  event.tid = buffer->tid;
+  std::lock_guard<SpinLock> lock(buffer->mu);
+  if (buffer->slots.empty()) {
+    buffer->slots.resize(std::max<size_t>(1, g_capacity.load(std::memory_order_relaxed)));
+  }
+  const size_t cap = buffer->slots.size();
+  if (buffer->head - buffer->drained == cap) {
+    // Ring full: overwrite the oldest undrained event (flight-recorder
+    // semantics — keep the most recent window) and account the loss.
+    ++buffer->dropped;
+    ++buffer->drained;
+  }
+  buffer->slots[buffer->head % cap] = event;
+  ++buffer->head;
+}
+
+}  // namespace internal
+
+void Start(const Config& config) {
+  Reset();
+  g_capacity.store(std::max<size_t>(1, config.capacity_per_thread), std::memory_order_relaxed);
+  internal::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Stop() { internal::g_enabled.store(false, std::memory_order_relaxed); }
+
+void Reset() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& buffer : registry.buffers) {
+    std::lock_guard<SpinLock> buf_lock(buffer->mu);
+    buffer->slots.clear();
+    buffer->slots.shrink_to_fit();
+    buffer->head = 0;
+    buffer->drained = 0;
+    buffer->dropped = 0;
+  }
+  // Prune buffers whose owning thread has exited (registry holds the only
+  // reference): their tid will not be reused, their events are gone anyway.
+  std::erase_if(registry.buffers,
+                [](const std::shared_ptr<ThreadBuffer>& b) { return b.use_count() == 1; });
+}
+
+void SetThreadName(const std::string& name) {
+  t_name = name;
+  if (t_buffer != nullptr) {
+    std::lock_guard<SpinLock> lock(t_buffer->mu);
+    t_buffer->name = name;
+  }
+}
+
+void EmitInstant(const char* name, const char* cat, const Arg* args, size_t num_args) {
+  Event event;
+  event.name = name;
+  event.cat = cat;
+  event.phase = 'i';
+  event.ts_us = ProcessMicros();
+  event.num_args = static_cast<uint8_t>(std::min(num_args, kMaxArgs));
+  for (size_t a = 0; a < event.num_args; ++a) {
+    event.args[a] = args[a];
+  }
+  internal::Emit(std::move(event));
+}
+
+void EmitComplete(const char* name, const char* cat, uint64_t start_us, uint64_t dur_us,
+                  const Arg* args, size_t num_args) {
+  Event event;
+  event.name = name;
+  event.cat = cat;
+  event.phase = 'X';
+  event.ts_us = start_us;
+  event.dur_us = dur_us;
+  event.num_args = static_cast<uint8_t>(std::min(num_args, kMaxArgs));
+  for (size_t a = 0; a < event.num_args; ++a) {
+    event.args[a] = args[a];
+  }
+  internal::Emit(std::move(event));
+}
+
+void ScopedSpan::Finish() {
+  const uint64_t now = ProcessMicros();
+  EmitComplete(name_, cat_, start_us_, now > start_us_ ? now - start_us_ : 0, args_,
+               num_args_);
+}
+
+uint64_t Dump::total_events() const {
+  uint64_t total = 0;
+  for (const ThreadDump& td : threads) {
+    total += td.events.size();
+  }
+  return total;
+}
+
+uint64_t Dump::total_dropped() const {
+  uint64_t total = 0;
+  for (const ThreadDump& td : threads) {
+    total += td.dropped;
+  }
+  return total;
+}
+
+Dump Drain() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    buffers = registry.buffers;
+  }
+  Dump dump;
+  for (auto& buffer : buffers) {
+    ThreadDump td;
+    std::lock_guard<SpinLock> lock(buffer->mu);
+    td.tid = buffer->tid;
+    td.name = buffer->name;
+    td.dropped = buffer->dropped;
+    buffer->dropped = 0;
+    const size_t cap = buffer->slots.size();
+    if (cap > 0) {
+      td.events.reserve(buffer->head - buffer->drained);
+      for (uint64_t i = buffer->drained; i < buffer->head; ++i) {
+        td.events.push_back(buffer->slots[i % cap]);
+      }
+    }
+    buffer->drained = buffer->head;
+    if (!td.events.empty() || td.dropped > 0) {
+      dump.threads.push_back(std::move(td));
+    }
+  }
+  std::sort(dump.threads.begin(), dump.threads.end(),
+            [](const ThreadDump& a, const ThreadDump& b) { return a.tid < b.tid; });
+  return dump;
+}
+
+void WriteChromeTrace(const Dump& dump, std::ostream& os) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const ThreadDump& td : dump.threads) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << td.tid
+       << ",\"args\":{\"name\":\"" << json::Escape(td.name) << "\"}}";
+    for (const Event& event : td.events) {
+      os << ",{\"name\":\"" << json::Escape(event.name != nullptr ? event.name : "")
+         << "\",\"cat\":\"" << json::Escape(event.cat != nullptr ? event.cat : "")
+         << "\",\"ph\":\"" << event.phase << "\",\"pid\":1,\"tid\":" << event.tid
+         << ",\"ts\":" << event.ts_us;
+      if (event.phase == 'X') {
+        os << ",\"dur\":" << event.dur_us;
+      }
+      os << ",\"args\":";
+      AppendArgsJson(os, event.args, event.num_args);
+      os << "}";
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
+     << dump.total_dropped() << "}}";
+}
+
+bool WriteChromeTrace(const Dump& dump, const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return false;
+  }
+  WriteChromeTrace(dump, file);
+  return file.good();
+}
+
+std::string SummaryText(const Dump& dump) {
+  struct NameStats {
+    uint64_t count = 0;
+    uint64_t total_dur_us = 0;
+    bool has_spans = false;
+  };
+  std::map<std::string, NameStats> by_name;
+  for (const ThreadDump& td : dump.threads) {
+    for (const Event& event : td.events) {
+      NameStats& stats = by_name[event.name != nullptr ? event.name : "?"];
+      ++stats.count;
+      if (event.phase == 'X') {
+        stats.total_dur_us += event.dur_us;
+        stats.has_spans = true;
+      }
+    }
+  }
+  std::ostringstream os;
+  os << "trace summary: " << dump.total_events() << " events across " << dump.threads.size()
+     << " threads, " << dump.total_dropped() << " dropped\n";
+  for (const auto& [name, stats] : by_name) {
+    os << "  " << name << ": n=" << stats.count;
+    if (stats.has_spans) {
+      os << " total=" << stats.total_dur_us / 1000.0 << "ms"
+         << " mean=" << stats.total_dur_us / 1000.0 / static_cast<double>(stats.count)
+         << "ms";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace blaze::trace

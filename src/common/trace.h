@@ -1,0 +1,274 @@
+// Flight recorder: low-overhead engine tracing.
+//
+// Every thread that emits owns a private fixed-capacity ring buffer of POD
+// event records; emission never allocates, never touches a shared lock, and
+// never blocks on another thread (the per-buffer spinlock is only ever
+// contended by a drain, which is rare and brief). When the ring wraps, the
+// oldest undrained events are overwritten and counted as drops — the recorder
+// keeps the most recent window, like an aircraft flight recorder. When
+// tracing is disabled, every TRACE_* call site costs one relaxed atomic load
+// and a predicted branch; argument expressions are not evaluated.
+//
+// Usage:
+//   TRACE_SCOPE("task.run", "sched", TArg("job", job_id), TArg("part", p));
+//   TRACE_EVENT("pool.steal", "pool", TArg("queue", victim_index));
+//   trace::Complete("block.spill", "storage", start_us, TArg("bytes", n));
+//
+// Names, categories, and argument keys must be string literals (or otherwise
+// outlive the drain): the recorder stores the pointers, not copies.
+//
+// The buffered events are drained on demand (engine shutdown, end of a bench
+// run) into a Chrome trace_event JSON — loadable in Perfetto or
+// chrome://tracing — plus a compact text summary. Timestamps come from the
+// process-start-anchored clock shared with the logger (src/common/clock.h).
+#ifndef SRC_COMMON_TRACE_H_
+#define SRC_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace blaze::trace {
+
+// --- typed event arguments --------------------------------------------------
+
+enum class ArgType : uint8_t { kNone = 0, kInt, kUint, kDouble, kBool, kStr };
+
+struct Arg {
+  const char* key = nullptr;  // static string
+  ArgType type = ArgType::kNone;
+  union {
+    int64_t i;
+    uint64_t u;
+    double d;
+    bool b;
+    const char* s;  // static string
+  };
+};
+
+inline Arg TArg(const char* key, int32_t v) {
+  Arg a;
+  a.key = key;
+  a.type = ArgType::kInt;
+  a.i = v;
+  return a;
+}
+inline Arg TArg(const char* key, int64_t v) {
+  Arg a;
+  a.key = key;
+  a.type = ArgType::kInt;
+  a.i = v;
+  return a;
+}
+inline Arg TArg(const char* key, uint32_t v) {
+  Arg a;
+  a.key = key;
+  a.type = ArgType::kUint;
+  a.u = v;
+  return a;
+}
+inline Arg TArg(const char* key, uint64_t v) {
+  Arg a;
+  a.key = key;
+  a.type = ArgType::kUint;
+  a.u = v;
+  return a;
+}
+inline Arg TArg(const char* key, double v) {
+  Arg a;
+  a.key = key;
+  a.type = ArgType::kDouble;
+  a.d = v;
+  return a;
+}
+inline Arg TArg(const char* key, bool v) {
+  Arg a;
+  a.key = key;
+  a.type = ArgType::kBool;
+  a.b = v;
+  return a;
+}
+inline Arg TArg(const char* key, const char* v) {
+  Arg a;
+  a.key = key;
+  a.type = ArgType::kStr;
+  a.s = v;
+  return a;
+}
+
+// --- event record -----------------------------------------------------------
+
+inline constexpr size_t kMaxArgs = 4;
+
+// One trace record. phase follows the Chrome trace_event convention:
+// 'X' = complete span (ts + dur), 'i' = instant event.
+struct Event {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  uint64_t ts_us = 0;
+  uint64_t dur_us = 0;
+  uint64_t seq = 0;  // global relaxed-atomic sequence number
+  uint32_t tid = 0;
+  char phase = 'i';
+  uint8_t num_args = 0;
+  Arg args[kMaxArgs];
+};
+
+// --- lifecycle --------------------------------------------------------------
+
+struct Config {
+  // Ring capacity per emitting thread, in events (~136 B each). Rings are
+  // allocated lazily on a thread's first emission.
+  size_t capacity_per_thread = 1 << 14;
+};
+
+// True when the recorder is collecting. Relaxed load; the hot-path gate.
+inline bool Enabled();
+
+// Clears all buffered events and drop counters, then starts collecting.
+void Start(const Config& config = {});
+
+// Stops collecting. Buffered events are retained until Drain()/Reset().
+void Stop();
+
+// Discards all buffered events, resets drop counters, releases ring storage,
+// and prunes buffers of threads that have exited.
+void Reset();
+
+// Names the calling thread in trace output ("executor-0/w1"). Sticky: applies
+// to the thread's buffer whether it exists yet or not.
+void SetThreadName(const std::string& name);
+
+// --- emission ---------------------------------------------------------------
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+// Appends one event to the calling thread's ring (creating it on first use).
+// seq and tid are filled in here.
+void Emit(Event&& event);
+}  // namespace internal
+
+inline bool Enabled() { return internal::g_enabled.load(std::memory_order_relaxed); }
+
+void EmitInstant(const char* name, const char* cat, const Arg* args, size_t num_args);
+void EmitComplete(const char* name, const char* cat, uint64_t start_us, uint64_t dur_us,
+                  const Arg* args, size_t num_args);
+
+// Emits an instant event with typed args. Use via TRACE_EVENT.
+template <typename... As>
+inline void Instant(const char* name, const char* cat, As... as) {
+  static_assert(sizeof...(As) <= kMaxArgs, "too many trace args");
+  if constexpr (sizeof...(As) == 0) {
+    EmitInstant(name, cat, nullptr, 0);
+  } else {
+    const Arg args[] = {as...};
+    EmitInstant(name, cat, args, sizeof...(As));
+  }
+}
+
+// Emits a complete span that started at start_us (ProcessMicros) and ends now.
+// For spans whose payload (byte counts, results) is only known at the end.
+template <typename... As>
+inline void Complete(const char* name, const char* cat, uint64_t start_us, As... as) {
+  static_assert(sizeof...(As) <= kMaxArgs, "too many trace args");
+  const uint64_t now = ProcessMicros();
+  const uint64_t dur = now > start_us ? now - start_us : 0;
+  if constexpr (sizeof...(As) == 0) {
+    EmitComplete(name, cat, start_us, dur, nullptr, 0);
+  } else {
+    const Arg args[] = {as...};
+    EmitComplete(name, cat, start_us, dur, args, sizeof...(As));
+  }
+}
+
+// RAII span: Begin() captures the name and args, the destructor emits one 'X'
+// event covering the scope. Inactive (and arg-free) unless Begin() ran.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ~ScopedSpan() {
+    if (active_) {
+      Finish();
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  template <typename... As>
+  void Begin(const char* name, const char* cat, As... as) {
+    static_assert(sizeof...(As) <= kMaxArgs, "too many trace args");
+    name_ = name;
+    cat_ = cat;
+    num_args_ = static_cast<uint8_t>(sizeof...(As));
+    size_t i = 0;
+    ((args_[i++] = as), ...);
+    active_ = true;
+    start_us_ = ProcessMicros();
+  }
+
+ private:
+  void Finish();
+
+  bool active_ = false;
+  uint8_t num_args_ = 0;
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  uint64_t start_us_ = 0;
+  Arg args_[kMaxArgs];
+};
+
+#define BLAZE_TRACE_CONCAT_INNER(a, b) a##b
+#define BLAZE_TRACE_CONCAT(a, b) BLAZE_TRACE_CONCAT_INNER(a, b)
+
+// Scoped span over the enclosing block. Args are evaluated only when tracing
+// is enabled. Declares a local; not usable as a braceless if-body.
+#define TRACE_SCOPE(...)                                                      \
+  ::blaze::trace::ScopedSpan BLAZE_TRACE_CONCAT(blaze_trace_scope_, __LINE__); \
+  if (::blaze::trace::Enabled())                                              \
+  BLAZE_TRACE_CONCAT(blaze_trace_scope_, __LINE__).Begin(__VA_ARGS__)
+
+// Instant event. Args are evaluated only when tracing is enabled.
+#define TRACE_EVENT(...)                     \
+  do {                                       \
+    if (::blaze::trace::Enabled()) {         \
+      ::blaze::trace::Instant(__VA_ARGS__);  \
+    }                                        \
+  } while (0)
+
+// --- drain & export ---------------------------------------------------------
+
+struct ThreadDump {
+  uint32_t tid = 0;
+  std::string name;
+  uint64_t dropped = 0;          // events overwritten before this drain
+  std::vector<Event> events;     // oldest first
+};
+
+struct Dump {
+  std::vector<ThreadDump> threads;  // ordered by tid
+
+  uint64_t total_events() const;
+  uint64_t total_dropped() const;
+};
+
+// Consumes all buffered events. Safe to call while threads are still
+// emitting; such events land in the next drain.
+Dump Drain();
+
+// Writes the dump as Chrome trace_event JSON (Perfetto / chrome://tracing).
+void WriteChromeTrace(const Dump& dump, std::ostream& os);
+// File variant; returns false if the file could not be opened.
+bool WriteChromeTrace(const Dump& dump, const std::string& path);
+
+// Compact per-event-name summary: count, total/mean span duration, drops.
+std::string SummaryText(const Dump& dump);
+
+}  // namespace blaze::trace
+
+#endif  // SRC_COMMON_TRACE_H_

@@ -8,6 +8,7 @@
 
 #include "src/common/countdown_latch.h"
 #include "src/common/logging.h"
+#include "src/common/trace.h"
 #include "src/dataflow/engine_context.h"
 #include "src/dataflow/task_context.h"
 
@@ -160,6 +161,8 @@ std::vector<std::any> DagScheduler::RunJob(
   std::lock_guard<std::mutex> run_lock(run_mu_);
   EngineContext& engine = *engine_;
   const int job_id = next_job_id_.fetch_add(1);
+  TRACE_SCOPE("job.run", "sched", trace::TArg("job", job_id),
+              trace::TArg("target", target->id()));
 
   const JobInfo job_info = AnalyzeJob(target, job_id);
   engine.coordinator().OnJobStart(job_info);
@@ -178,6 +181,9 @@ std::vector<std::any> DagScheduler::RunJob(
       continue;  // stage skipping: map outputs persist across jobs
     }
 
+    TRACE_SCOPE("stage.run", "sched", trace::TArg("job", job_id),
+                trace::TArg("stage", plan.stage_index),
+                trace::TArg("partitions", static_cast<uint64_t>(plan.terminal->num_partitions())));
     StageInfo stage_info;
     stage_info.job_id = job_id;
     stage_info.stage_index = plan.stage_index;
@@ -210,7 +216,16 @@ void DagScheduler::RunStageTasks(const StagePlan& stage, int job_id,
   std::vector<std::vector<std::function<void()>>> batches(engine.num_executors());
   for (uint32_t p = 0; p < num_partitions; ++p) {
     const size_t executor = engine.ExecutorFor(p);
-    batches[executor].push_back([&, p, executor] {
+    const uint64_t enqueue_us = trace::Enabled() ? ProcessMicros() : 0;
+    batches[executor].push_back([&, p, executor, enqueue_us] {
+      if (enqueue_us != 0 && trace::Enabled()) {
+        // Time the task sat in the worker deque before a thread picked it up.
+        trace::Complete("task.queue_wait", "sched", enqueue_us, trace::TArg("job", job_id),
+                        trace::TArg("stage", stage.stage_index), trace::TArg("part", p));
+      }
+      TRACE_SCOPE("task.run", "sched", trace::TArg("job", job_id),
+                  trace::TArg("stage", stage.stage_index), trace::TArg("part", p),
+                  trace::TArg("executor", static_cast<uint64_t>(executor)));
       // Task attempts: injected launch failures are retried, as Spark's
       // TaskSetManager re-offers failed tasks (fault-injection testing hook).
       int attempt = 0;
@@ -238,9 +253,10 @@ void DagScheduler::RunStageTasks(const StagePlan& stage, int job_id,
         // ordering publishes the writes to the waiting driver without a lock.
         (*results)[p] = (*process)(block);
       }
-      tc.metrics().compute_ms = task_watch.ElapsedMillis() - tc.metrics().cache_disk_ms -
+      const double wall_ms = task_watch.ElapsedMillis();
+      tc.metrics().compute_ms = wall_ms - tc.metrics().cache_disk_ms -
                                 tc.metrics().ilp_wait_ms;
-      engine.metrics().AddTask(tc.metrics());
+      engine.metrics().AddTask(tc.metrics(), wall_ms);
       latch.CountDown();
     });
   }

@@ -31,7 +31,9 @@ std::filesystem::path MakeUniqueDiskRoot() {
 }  // namespace
 
 EngineContext::EngineContext(const EngineConfig& config)
-    : config_(config), metrics_(config.num_executors) {
+    : config_(config),
+      metrics_(config.num_executors),
+      audit_(config.num_executors, config.audit_log_capacity) {
   BLAZE_CHECK_GT(config.num_executors, 0u);
   if (config.disk_root.empty()) {
     disk_root_ = MakeUniqueDiskRoot();

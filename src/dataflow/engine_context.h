@@ -18,6 +18,7 @@
 #include "src/dataflow/cache_coordinator.h"
 #include "src/dataflow/rdd_base.h"
 #include "src/dataflow/shuffle.h"
+#include "src/metrics/audit_log.h"
 #include "src/metrics/run_metrics.h"
 #include "src/storage/block_manager.h"
 
@@ -43,6 +44,8 @@ struct EngineConfig {
   // retries up to max_task_attempts, as Spark's TaskSetManager does.
   double task_failure_rate = 0.0;
   int max_task_attempts = 4;
+  // Cache-decision audit records retained per executor (flight-recorder ring).
+  size_t audit_log_capacity = 4096;
 };
 
 class EngineContext {
@@ -63,6 +66,8 @@ class EngineContext {
   // Reliable storage for RddBase::Checkpoint(); outside the cache tiers.
   DiskStore& checkpoint_store() { return *checkpoint_store_; }
   RunMetrics& metrics() { return metrics_; }
+  // Structured record of every cache decision (evict/admit/unpersist/solve).
+  CacheAuditLog& audit() { return audit_; }
   DagScheduler& scheduler() { return *scheduler_; }
 
   CacheCoordinator& coordinator() { return *coordinator_; }
@@ -104,6 +109,7 @@ class EngineContext {
 
   EngineConfig config_;
   RunMetrics metrics_;
+  CacheAuditLog audit_;
   std::filesystem::path disk_root_;
   bool owns_disk_root_ = false;
   std::vector<std::unique_ptr<Executor>> executors_;

@@ -4,10 +4,15 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/trace.h"
+
 namespace blaze {
 
 void ShuffleService::PutBucket(int shuffle_id, uint32_t map_part, uint32_t reduce_part,
                                BlockPtr bucket) {
+  TRACE_SCOPE("shuffle.put", "shuffle", trace::TArg("shuffle", shuffle_id),
+              trace::TArg("map", map_part), trace::TArg("reduce", reduce_part),
+              trace::TArg("bytes", bucket->SizeBytes()));
   Shard& shard = ShardFor(shuffle_id, reduce_part);
   std::lock_guard<SpinLock> lock(shard.mu);
   const Key key{shuffle_id, map_part, reduce_part};

@@ -1,6 +1,7 @@
 #include "src/dataflow/task_context.h"
 
 #include "src/common/logging.h"
+#include "src/common/trace.h"
 #include "src/dataflow/engine_context.h"
 
 namespace blaze {
@@ -41,6 +42,8 @@ BlockPtr TaskContext::GetBlock(const RddBase& rdd, uint32_t index) {
   const bool recovery =
       coordinator.IsManaged(rdd) && engine_->WasComputedBefore(block_id);
   Stopwatch recovery_watch;
+  const uint64_t recovery_start_us =
+      recovery && trace::Enabled() ? ProcessMicros() : 0;
   if (recovery) {
     ++recovery_depth_;
   }
@@ -54,6 +57,10 @@ BlockPtr TaskContext::GetBlock(const RddBase& rdd, uint32_t index) {
       metrics_.recompute_ms += ms;
       engine_->metrics().RecordRecompute(job_id_, ms);
       engine_->metrics().RecordCacheMiss();
+      if (recovery_start_us != 0 && trace::Enabled()) {
+        trace::Complete("task.recompute", "storage", recovery_start_us,
+                        trace::TArg("rdd", rdd.id()), trace::TArg("part", index));
+      }
     }
   }
   return block;
@@ -78,14 +85,24 @@ BlockPtr TaskContext::ComputeBlock(const RddBase& rdd, uint32_t index) {
 
 std::vector<BlockPtr> TaskContext::ReadShuffleBuckets(int shuffle_id, size_t num_map,
                                                       uint32_t reduce_partition) {
+  const uint64_t fetch_start_us = trace::Enabled() ? ProcessMicros() : 0;
   std::vector<BlockPtr> buckets;
   buckets.reserve(num_map);
+  uint64_t fetched_bytes = 0;
   for (uint32_t m = 0; m < num_map; ++m) {
     BlockPtr bucket = engine_->shuffle().GetBucket(shuffle_id, m, reduce_partition);
     BLAZE_CHECK(bucket != nullptr)
         << "missing shuffle output: shuffle " << shuffle_id << " map " << m << " reduce "
         << reduce_partition;
+    fetched_bytes += bucket->SizeBytes();
     buckets.push_back(std::move(bucket));
+  }
+  if (fetch_start_us != 0 && trace::Enabled()) {
+    trace::Complete("shuffle.fetch", "shuffle", fetch_start_us,
+                    trace::TArg("shuffle", shuffle_id),
+                    trace::TArg("reduce", reduce_partition),
+                    trace::TArg("maps", static_cast<uint64_t>(num_map)),
+                    trace::TArg("bytes", fetched_bytes));
   }
   return buckets;
 }
@@ -96,8 +113,10 @@ std::vector<BlockPtr> TaskContext::ReadOrRebuildShuffleBuckets(const RddBase& sh
   const Dependency& dep = shuffled.dependencies()[0];
   BLAZE_CHECK(dep.is_shuffle);
   const size_t num_map = dep.parent->num_partitions();
+  const uint64_t fetch_start_us = trace::Enabled() ? ProcessMicros() : 0;
   std::vector<BlockPtr> buckets;
   buckets.reserve(num_map);
+  uint64_t fetched_bytes = 0;
   for (uint32_t m = 0; m < num_map; ++m) {
     BlockPtr bucket = engine_->shuffle().GetBucket(dep.shuffle_id, m, reduce_partition);
     if (bucket == nullptr) {
@@ -112,7 +131,15 @@ std::vector<BlockPtr> TaskContext::ReadOrRebuildShuffleBuckets(const RddBase& sh
       }
       bucket = std::move(rebuilt[reduce_partition]);
     }
+    fetched_bytes += bucket->SizeBytes();
     buckets.push_back(std::move(bucket));
+  }
+  if (fetch_start_us != 0 && trace::Enabled()) {
+    trace::Complete("shuffle.fetch", "shuffle", fetch_start_us,
+                    trace::TArg("shuffle", dep.shuffle_id),
+                    trace::TArg("reduce", reduce_partition),
+                    trace::TArg("maps", static_cast<uint64_t>(num_map)),
+                    trace::TArg("bytes", fetched_bytes));
   }
   return buckets;
 }

@@ -1,0 +1,174 @@
+#include "src/metrics/audit_log.h"
+
+#include <algorithm>
+#include <mutex>
+#include <ostream>
+
+#include "src/common/clock.h"
+#include "src/common/json.h"
+#include "src/common/trace.h"
+
+namespace blaze {
+
+const char* AuditKindName(AuditKind kind) {
+  switch (kind) {
+    case AuditKind::kAdmit:
+      return "admit";
+    case AuditKind::kEvict:
+      return "evict";
+    case AuditKind::kUnpersist:
+      return "unpersist";
+    case AuditKind::kIlpSolve:
+      return "ilp_solve";
+  }
+  return "?";
+}
+
+CacheAuditLog::CacheAuditLog(size_t num_executors, size_t capacity_per_executor)
+    : rings_(std::max<size_t>(1, num_executors)),
+      capacity_(std::max<size_t>(1, capacity_per_executor)) {}
+
+void CacheAuditLog::Push(uint32_t executor, AuditRecord&& record) {
+  record.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  record.ts_us = ProcessMicros();
+  Ring& ring = rings_[executor % rings_.size()];
+  std::lock_guard<SpinLock> lock(ring.mu);
+  if (ring.slots.size() < capacity_) {
+    ring.slots.push_back(record);
+  } else {
+    // Ring full: overwrite the oldest record, flight-recorder style.
+    ring.slots[ring.head % capacity_] = record;
+    ++ring.dropped;
+  }
+  ++ring.head;
+}
+
+void CacheAuditLog::Admit(uint32_t executor, uint32_t rdd_id, uint32_t partition,
+                          uint64_t size_bytes, bool to_disk, const char* policy,
+                          const char* reason) {
+  TRACE_EVENT("cache.admit", "cache", trace::TArg("rdd", rdd_id),
+              trace::TArg("part", partition), trace::TArg("bytes", size_bytes),
+              trace::TArg("reason", reason));
+  AuditRecord r;
+  r.kind = AuditKind::kAdmit;
+  r.executor = executor;
+  r.rdd_id = rdd_id;
+  r.partition = partition;
+  r.size_bytes = size_bytes;
+  r.to_disk = to_disk;
+  r.policy = policy;
+  r.reason = reason;
+  Push(executor, std::move(r));
+}
+
+void CacheAuditLog::Evict(uint32_t executor, uint32_t rdd_id, uint32_t partition,
+                          uint64_t size_bytes, bool to_disk, const char* policy,
+                          const char* reason, double score, uint32_t candidates) {
+  TRACE_EVENT("cache.evict", "cache", trace::TArg("rdd", rdd_id),
+              trace::TArg("part", partition), trace::TArg("bytes", size_bytes),
+              trace::TArg("to_disk", to_disk));
+  AuditRecord r;
+  r.kind = AuditKind::kEvict;
+  r.executor = executor;
+  r.rdd_id = rdd_id;
+  r.partition = partition;
+  r.size_bytes = size_bytes;
+  r.to_disk = to_disk;
+  r.policy = policy;
+  r.reason = reason;
+  r.score = score;
+  r.candidates = candidates;
+  Push(executor, std::move(r));
+}
+
+void CacheAuditLog::Unpersist(uint32_t executor, uint32_t rdd_id, uint32_t partition,
+                              uint64_t size_bytes, const char* policy, const char* reason) {
+  TRACE_EVENT("cache.unpersist", "cache", trace::TArg("rdd", rdd_id),
+              trace::TArg("part", partition), trace::TArg("reason", reason));
+  AuditRecord r;
+  r.kind = AuditKind::kUnpersist;
+  r.executor = executor;
+  r.rdd_id = rdd_id;
+  r.partition = partition;
+  r.size_bytes = size_bytes;
+  r.policy = policy;
+  r.reason = reason;
+  Push(executor, std::move(r));
+}
+
+void CacheAuditLog::IlpSolve(uint32_t executor, int32_t job_id, uint32_t universe,
+                             uint32_t chose_memory, uint32_t chose_disk, uint32_t chose_drop,
+                             double solve_ms, const char* policy, const char* reason) {
+  TRACE_EVENT("cache.ilp_solve", "cache", trace::TArg("job", job_id),
+              trace::TArg("universe", universe), trace::TArg("mem", chose_memory),
+              trace::TArg("solve_ms", solve_ms));
+  AuditRecord r;
+  r.kind = AuditKind::kIlpSolve;
+  r.executor = executor;
+  r.policy = policy;
+  r.reason = reason;
+  r.job_id = job_id;
+  r.universe = universe;
+  r.chose_memory = chose_memory;
+  r.chose_disk = chose_disk;
+  r.chose_drop = chose_drop;
+  r.solve_ms = solve_ms;
+  Push(executor, std::move(r));
+}
+
+std::vector<AuditRecord> CacheAuditLog::Snapshot() const {
+  std::vector<AuditRecord> out;
+  for (const Ring& ring : rings_) {
+    std::lock_guard<SpinLock> lock(ring.mu);
+    const size_t n = ring.slots.size();
+    out.reserve(out.size() + n);
+    // Oldest first: when the ring has wrapped, head % capacity is the oldest.
+    const size_t start = ring.head > n ? ring.head % capacity_ : 0;
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(ring.slots[(start + i) % n]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AuditRecord& a, const AuditRecord& b) { return a.seq < b.seq; });
+  return out;
+}
+
+void CacheAuditLog::WriteJsonl(std::ostream& os) const {
+  for (const AuditRecord& r : Snapshot()) {
+    os << "{\"seq\":" << r.seq << ",\"ts_us\":" << r.ts_us << ",\"kind\":\""
+       << AuditKindName(r.kind) << "\",\"executor\":" << r.executor;
+    if (r.kind == AuditKind::kIlpSolve) {
+      os << ",\"job\":" << r.job_id << ",\"universe\":" << r.universe
+         << ",\"chose_memory\":" << r.chose_memory << ",\"chose_disk\":" << r.chose_disk
+         << ",\"chose_drop\":" << r.chose_drop << ",\"solve_ms\":" << r.solve_ms;
+    } else {
+      os << ",\"rdd\":" << r.rdd_id << ",\"partition\":" << r.partition
+         << ",\"bytes\":" << r.size_bytes << ",\"to_disk\":" << (r.to_disk ? "true" : "false");
+      if (r.kind == AuditKind::kEvict) {
+        os << ",\"score\":" << r.score << ",\"candidates\":" << r.candidates;
+      }
+    }
+    os << ",\"policy\":\"" << json::Escape(r.policy != nullptr ? r.policy : "")
+       << "\",\"reason\":\"" << json::Escape(r.reason != nullptr ? r.reason : "") << "\"}\n";
+  }
+}
+
+uint64_t CacheAuditLog::dropped() const {
+  uint64_t total = 0;
+  for (const Ring& ring : rings_) {
+    std::lock_guard<SpinLock> lock(ring.mu);
+    total += ring.dropped;
+  }
+  return total;
+}
+
+void CacheAuditLog::Reset() {
+  for (Ring& ring : rings_) {
+    std::lock_guard<SpinLock> lock(ring.mu);
+    ring.slots.clear();
+    ring.head = 0;
+    ring.dropped = 0;
+  }
+}
+
+}  // namespace blaze

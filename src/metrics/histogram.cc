@@ -1,0 +1,102 @@
+#include "src/metrics/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace blaze {
+
+namespace {
+
+size_t BucketIndex(double ms) {
+  if (ms <= LatencyHistogram::kMinMs) {
+    return 0;
+  }
+  const double idx =
+      std::log(ms / LatencyHistogram::kMinMs) / std::log(LatencyHistogram::kGrowth);
+  return std::min<size_t>(LatencyHistogram::kNumBuckets - 1, static_cast<size_t>(idx));
+}
+
+double BucketLowerMs(size_t index) {
+  return LatencyHistogram::kMinMs * std::pow(LatencyHistogram::kGrowth,
+                                             static_cast<double>(index));
+}
+
+}  // namespace
+
+std::string HistogramSnapshot::ToString() const {
+  if (count == 0) {
+    return "n=0";
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.3gms p50=%.3gms p95=%.3gms p99=%.3gms max=%.3gms",
+                static_cast<unsigned long long>(count), mean_ms, p50_ms, p95_ms, p99_ms,
+                max_ms);
+  return buf;
+}
+
+void LatencyHistogram::Record(double ms) {
+  if (!(ms >= 0.0)) {  // also filters NaN
+    ms = 0.0;
+  }
+  ++buckets_[BucketIndex(ms)];
+  ++count_;
+  sum_ms_ += ms;
+  max_ms_ = std::max(max_ms_, ms);
+}
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ms_ += other.sum_ms_;
+  max_ms_ = std::max(max_ms_, other.max_ms_);
+}
+
+double LatencyHistogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const double target = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const uint64_t next = seen + buckets_[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate within the bucket, and never report beyond the observed max.
+      const double lo = BucketLowerMs(i);
+      const double hi = BucketLowerMs(i + 1);
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets_[i]);
+      return std::min(max_ms_, lo + (hi - lo) * frac);
+    }
+    seen = next;
+  }
+  return max_ms_;
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_;
+  if (count_ > 0) {
+    s.mean_ms = sum_ms_ / static_cast<double>(count_);
+    s.p50_ms = Percentile(0.50);
+    s.p95_ms = Percentile(0.95);
+    s.p99_ms = Percentile(0.99);
+    s.max_ms = max_ms_;
+  }
+  return s;
+}
+
+void LatencyHistogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ms_ = 0.0;
+  max_ms_ = 0.0;
+}
+
+}  // namespace blaze

@@ -10,10 +10,21 @@ RunMetrics::RunMetrics(size_t num_executors) {
   snap_.evicted_bytes_per_executor.assign(num_executors, 0);
 }
 
-void RunMetrics::AddTask(const TaskMetrics& m) {
+void RunMetrics::AddTask(const TaskMetrics& m, double task_wall_ms) {
   std::lock_guard<std::mutex> lock(mu_);
   snap_.total_task.MergeFrom(m);
   ++snap_.num_tasks;
+  if (task_wall_ms > 0.0) {
+    task_run_hist_.Record(task_wall_ms);
+  }
+  if (m.ilp_wait_ms > 0.0) {
+    ilp_wait_hist_.Record(m.ilp_wait_ms);
+  }
+}
+
+void RunMetrics::RecordDiskIo(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  disk_io_hist_.Record(ms);
 }
 
 void RunMetrics::RecordEviction(size_t executor, uint64_t bytes, bool to_disk) {
@@ -86,7 +97,11 @@ void RunMetrics::RecordTaskFailure() {
 
 RunMetricsSnapshot RunMetrics::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return snap_;
+  RunMetricsSnapshot out = snap_;
+  out.task_run_hist = task_run_hist_.Snapshot();
+  out.disk_io_hist = disk_io_hist_.Snapshot();
+  out.ilp_wait_hist = ilp_wait_hist_.Snapshot();
+  return out;
 }
 
 void RunMetrics::Reset() {
@@ -95,6 +110,9 @@ void RunMetrics::Reset() {
   snap_ = RunMetricsSnapshot{};
   snap_.evicted_bytes_per_executor.assign(n, 0);
   disk_bytes_current_ = 0;
+  task_run_hist_.Reset();
+  disk_io_hist_.Reset();
+  ilp_wait_hist_.Reset();
 }
 
 }  // namespace blaze

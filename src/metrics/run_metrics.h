@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "src/metrics/histogram.h"
+
 namespace blaze {
 
 // Per-task timing breakdown, accumulated by the TaskContext while a task runs.
@@ -51,13 +53,18 @@ struct RunMetricsSnapshot {
   uint64_t broadcast_bytes = 0;     // bytes shipped by Broadcast variables
   double broadcast_ms = 0.0;
   uint64_t task_failures = 0;       // injected task-attempt failures (retried)
+  HistogramSnapshot task_run_hist;  // wall time per task
+  HistogramSnapshot disk_io_hist;   // per spill/load operation
+  HistogramSnapshot ilp_wait_hist;  // per task that blocked on a decision layer
 };
 
 class RunMetrics {
  public:
   explicit RunMetrics(size_t num_executors);
 
-  void AddTask(const TaskMetrics& m);
+  // task_wall_ms, when positive, feeds the task-run latency histogram.
+  void AddTask(const TaskMetrics& m, double task_wall_ms = 0.0);
+  void RecordDiskIo(double ms);  // one spill or load operation
   void RecordEviction(size_t executor, uint64_t bytes, bool to_disk);
   void RecordUnpersist();
   void RecordCacheHit(bool from_memory);
@@ -76,6 +83,9 @@ class RunMetrics {
   mutable std::mutex mu_;
   RunMetricsSnapshot snap_;
   int64_t disk_bytes_current_ = 0;
+  LatencyHistogram task_run_hist_;
+  LatencyHistogram disk_io_hist_;
+  LatencyHistogram ilp_wait_hist_;
 };
 
 }  // namespace blaze

@@ -1,6 +1,7 @@
 #include "src/storage/block_manager.h"
 
 #include "src/common/stopwatch.h"
+#include "src/common/trace.h"
 
 namespace blaze {
 
@@ -14,6 +15,7 @@ BlockManager::BlockManager(size_t executor_id, const BlockManagerConfig& config,
 double BlockManager::SpillToDisk(const BlockId& id, const BlockData& data,
                                  uint64_t* bytes_out) {
   Stopwatch watch;
+  const uint64_t spill_start_us = trace::Enabled() ? ProcessMicros() : 0;
   ByteSink sink;
   data.EncodeTo(sink);
   const std::vector<uint8_t> encoded = sink.TakeData();
@@ -29,14 +31,35 @@ double BlockManager::SpillToDisk(const BlockId& id, const BlockData& data,
   if (bytes_out != nullptr) {
     *bytes_out = op.bytes;
   }
-  return watch.ElapsedMillis();
+  const double elapsed_ms = watch.ElapsedMillis();
+  if (metrics_ != nullptr) {
+    metrics_->RecordDiskIo(elapsed_ms);
+  }
+  if (spill_start_us != 0 && trace::Enabled()) {
+    trace::Complete("block.spill", "storage", spill_start_us, trace::TArg("rdd", id.rdd_id),
+                    trace::TArg("part", id.partition), trace::TArg("bytes", op.bytes),
+                    trace::TArg("executor", static_cast<uint64_t>(executor_id_)));
+  }
+  return elapsed_ms;
 }
 
 std::optional<std::vector<uint8_t>> BlockManager::ReadFromDisk(const BlockId& id, double* ms) {
+  const uint64_t load_start_us = trace::Enabled() ? ProcessMicros() : 0;
   DiskOpResult op;
   auto bytes = disk_.Get(id, &op);
   if (ms != nullptr) {
     *ms = op.elapsed_ms;
+  }
+  if (bytes.has_value()) {
+    if (metrics_ != nullptr) {
+      metrics_->RecordDiskIo(op.elapsed_ms);
+    }
+    if (load_start_us != 0 && trace::Enabled()) {
+      trace::Complete("block.load", "storage", load_start_us, trace::TArg("rdd", id.rdd_id),
+                      trace::TArg("part", id.partition),
+                      trace::TArg("bytes", static_cast<uint64_t>(bytes->size())),
+                      trace::TArg("executor", static_cast<uint64_t>(executor_id_)));
+    }
   }
   return bytes;
 }

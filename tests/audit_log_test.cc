@@ -1,0 +1,166 @@
+// Cache-decision audit log tests: ring accounting, JSONL export parsed back
+// through the in-tree JSON parser, and an end-to-end check that a forced
+// eviction produces a record naming the policy and the reason.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/cache/policies.h"
+#include "src/cache/policy_coordinator.h"
+#include "src/common/json.h"
+#include "src/common/units.h"
+#include "src/dataflow/engine_context.h"
+#include "src/dataflow/rdd.h"
+#include "src/metrics/audit_log.h"
+
+namespace blaze {
+namespace {
+
+TEST(CacheAuditLogTest, SnapshotIsInDecisionOrderAcrossExecutors) {
+  CacheAuditLog log(3);
+  log.Admit(2, /*rdd=*/1, /*part=*/0, 100, /*to_disk=*/false, "LRU", "annotated");
+  log.Evict(0, /*rdd=*/1, /*part=*/0, 100, /*to_disk=*/true, "LRU", "capacity_pressure",
+            /*score=*/4.0, /*candidates=*/2);
+  log.Unpersist(1, /*rdd=*/1, /*part=*/0, 100, "LRU", "user_unpersist");
+  log.IlpSolve(0, /*job=*/7, /*universe=*/12, /*mem=*/8, /*disk=*/3, /*drop=*/1,
+               /*solve_ms=*/1.5, "MCKP", "optimal");
+  const auto records = log.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].kind, AuditKind::kAdmit);
+  EXPECT_EQ(records[1].kind, AuditKind::kEvict);
+  EXPECT_EQ(records[2].kind, AuditKind::kUnpersist);
+  EXPECT_EQ(records[3].kind, AuditKind::kIlpSolve);
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LT(records[i - 1].seq, records[i].seq);
+  }
+  EXPECT_EQ(records[1].executor, 0u);
+  EXPECT_TRUE(records[1].to_disk);
+  EXPECT_EQ(records[1].candidates, 2u);
+  EXPECT_EQ(records[3].job_id, 7);
+  EXPECT_EQ(records[3].universe, 12u);
+  EXPECT_EQ(records[3].chose_memory, 8u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(CacheAuditLogTest, RingWrapKeepsNewestAndCountsDrops) {
+  CacheAuditLog log(1, /*capacity_per_executor=*/4);
+  for (uint32_t i = 0; i < 10; ++i) {
+    log.Admit(0, /*rdd=*/i, /*part=*/0, 1, false, "LRU", "annotated");
+  }
+  const auto records = log.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(log.dropped(), 6u);
+  for (size_t k = 0; k < records.size(); ++k) {
+    EXPECT_EQ(records[k].rdd_id, 6u + k);  // newest window, oldest first
+  }
+  log.Reset();
+  EXPECT_TRUE(log.Snapshot().empty());
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(CacheAuditLogTest, JsonlExportParsesLineByLine) {
+  CacheAuditLog log(2);
+  log.Admit(0, 3, 1, 2048, /*to_disk=*/true, "AlluxioLRU", "exceeds_tier_capacity");
+  log.Evict(1, 4, 2, 512, /*to_disk=*/false, "BlazeCost", "displaced_by_admission",
+            /*score=*/0.25, /*candidates=*/9);
+  log.IlpSolve(1, 5, 20, 10, 6, 4, 2.75, "MCKP", "node_limit");
+  std::ostringstream os;
+  log.WriteJsonl(os);
+
+  std::istringstream lines(os.str());
+  std::string line;
+  std::vector<json::Value> parsed;
+  while (std::getline(lines, line)) {
+    std::string error;
+    auto v = json::Parse(line, &error);
+    ASSERT_TRUE(v.has_value()) << error << " in: " << line;
+    parsed.push_back(std::move(*v));
+  }
+  ASSERT_EQ(parsed.size(), 3u);
+
+  EXPECT_EQ(parsed[0].Find("kind")->as_string(), "admit");
+  EXPECT_EQ(parsed[0].Find("rdd")->as_number(), 3.0);
+  EXPECT_EQ(parsed[0].Find("to_disk")->as_bool(), true);
+  EXPECT_EQ(parsed[0].Find("policy")->as_string(), "AlluxioLRU");
+  EXPECT_EQ(parsed[0].Find("reason")->as_string(), "exceeds_tier_capacity");
+
+  EXPECT_EQ(parsed[1].Find("kind")->as_string(), "evict");
+  EXPECT_EQ(parsed[1].Find("score")->as_number(), 0.25);
+  EXPECT_EQ(parsed[1].Find("candidates")->as_number(), 9.0);
+
+  EXPECT_EQ(parsed[2].Find("kind")->as_string(), "ilp_solve");
+  EXPECT_EQ(parsed[2].Find("job")->as_number(), 5.0);
+  EXPECT_EQ(parsed[2].Find("universe")->as_number(), 20.0);
+  EXPECT_EQ(parsed[2].Find("chose_memory")->as_number(), 10.0);
+  EXPECT_EQ(parsed[2].Find("chose_disk")->as_number(), 6.0);
+  EXPECT_EQ(parsed[2].Find("chose_drop")->as_number(), 4.0);
+  EXPECT_EQ(parsed[2].Find("solve_ms")->as_number(), 2.75);
+  EXPECT_EQ(parsed[2].Find("reason")->as_string(), "node_limit");
+
+  // Every record carries the common envelope.
+  for (const json::Value& record : parsed) {
+    EXPECT_NE(record.Find("seq"), nullptr);
+    EXPECT_NE(record.Find("ts_us"), nullptr);
+    EXPECT_NE(record.Find("executor"), nullptr);
+  }
+}
+
+// A memory store too small for the annotated working set must produce an
+// audit trail that explains each eviction: which policy chose the victim,
+// why, and out of how many candidates.
+TEST(CacheAuditLogTest, ForcedEvictionIsExplainedEndToEnd) {
+  EngineConfig config;
+  config.num_executors = 1;
+  config.threads_per_executor = 1;
+  config.memory_capacity_per_executor = KiB(2);  // holds one ~1.6 KiB block
+  EngineContext engine(config);
+  engine.SetCoordinator(std::make_unique<PolicyCoordinator>(&engine, MakePolicy("lru"),
+                                                            EvictionMode::kMemAndDisk));
+  // Two annotated single-partition datasets whose blocks each fit alone but
+  // not together: admitting the second must evict the first. (A dataset never
+  // evicts its own sibling partitions — those go straight to disk instead.)
+  auto first = Generate<int>(&engine, "audited.first", 1,
+                             [](uint32_t) { return std::vector<int>(400, 1); });
+  auto second = Generate<int>(&engine, "audited.second", 1,
+                              [](uint32_t) { return std::vector<int>(400, 2); });
+  first->Cache();
+  first->Count();
+  second->Cache();
+  second->Count();
+
+  size_t admits = 0;
+  size_t evicts = 0;
+  for (const AuditRecord& record : engine.audit().Snapshot()) {
+    if (record.kind == AuditKind::kAdmit) {
+      ++admits;
+      EXPECT_STREQ(record.reason, "annotated");
+    } else if (record.kind == AuditKind::kEvict) {
+      ++evicts;
+      EXPECT_STREQ(record.policy, "LRU");
+      EXPECT_STREQ(record.reason, "capacity_pressure");
+      EXPECT_EQ(record.executor, 0u);
+      EXPECT_EQ(record.rdd_id, first->id());  // LRU picks the older dataset
+      EXPECT_GT(record.size_bytes, 0u);
+      EXPECT_GE(record.candidates, 1u);
+      EXPECT_TRUE(record.to_disk);  // MEM_AND_DISK spills instead of discarding
+    }
+  }
+  EXPECT_EQ(admits, 2u);   // both blocks were annotated and admitted
+  EXPECT_EQ(evicts, 1u);   // admitting the second displaced the first
+
+  second->Unpersist();
+  bool saw_unpersist = false;
+  for (const AuditRecord& record : engine.audit().Snapshot()) {
+    if (record.kind == AuditKind::kUnpersist) {
+      EXPECT_STREQ(record.reason, "user_unpersist");
+      EXPECT_EQ(record.rdd_id, second->id());
+      saw_unpersist = true;
+    }
+  }
+  EXPECT_TRUE(saw_unpersist);
+}
+
+}  // namespace
+}  // namespace blaze

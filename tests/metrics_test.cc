@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "src/metrics/histogram.h"
 #include "src/metrics/report.h"
 #include "src/metrics/run_metrics.h"
 
@@ -98,6 +99,83 @@ TEST(RunMetricsTest, ResetPreservesExecutorCount) {
   const auto snap = metrics.Snapshot();
   EXPECT_EQ(snap.evicted_bytes_per_executor.size(), 3u);
   EXPECT_EQ(snap.evictions_to_disk, 0u);
+}
+
+TEST(LatencyHistogramTest, EmptySnapshotIsAllZero) {
+  LatencyHistogram hist;
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.mean_ms, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p99_ms, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max_ms, 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreOrderedAndBounded) {
+  LatencyHistogram hist;
+  for (int i = 1; i <= 1000; ++i) {
+    hist.Record(static_cast<double>(i) * 0.1);  // 0.1ms .. 100ms, uniform
+  }
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_NEAR(snap.mean_ms, 50.05, 0.01);
+  EXPECT_LE(snap.p50_ms, snap.p95_ms);
+  EXPECT_LE(snap.p95_ms, snap.p99_ms);
+  EXPECT_LE(snap.p99_ms, snap.max_ms);
+  EXPECT_DOUBLE_EQ(snap.max_ms, 100.0);
+  // Geometric buckets with 1.25 growth bound relative error to ~25%.
+  EXPECT_NEAR(snap.p50_ms, 50.0, 13.0);
+  EXPECT_NEAR(snap.p95_ms, 95.0, 24.0);
+}
+
+TEST(LatencyHistogramTest, SingleValueClampsToObservedMax) {
+  LatencyHistogram hist;
+  hist.Record(7.0);
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  // Percentiles must not overshoot the one observed value (bucket upper
+  // bounds would otherwise report up to 25% more); low percentiles may
+  // interpolate below it, within one bucket's relative error.
+  EXPECT_LE(snap.p50_ms, 7.0);
+  EXPECT_NEAR(snap.p50_ms, 7.0, 7.0 * 0.25);
+  EXPECT_DOUBLE_EQ(snap.p99_ms, 7.0);
+  EXPECT_DOUBLE_EQ(snap.max_ms, 7.0);
+}
+
+TEST(LatencyHistogramTest, MergeAndResetBehave) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(1.0);
+  b.Record(100.0);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Snapshot().count, 2u);
+  EXPECT_DOUBLE_EQ(a.Snapshot().max_ms, 100.0);
+  a.Reset();
+  EXPECT_EQ(a.Snapshot().count, 0u);
+}
+
+TEST(LatencyHistogramTest, IgnoresNonFiniteAndClampsNegative) {
+  LatencyHistogram hist;
+  hist.Record(-5.0);                // clamped to 0
+  hist.Record(0.0);                 // below kMinMs -> first bucket
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_DOUBLE_EQ(snap.max_ms, 0.0);
+}
+
+TEST(RunMetricsTest, HistogramsFlowIntoSnapshot) {
+  RunMetrics metrics(1);
+  TaskMetrics t;
+  t.compute_ms = 5.0;
+  t.ilp_wait_ms = 2.0;
+  metrics.AddTask(t, /*task_wall_ms=*/8.0);
+  metrics.RecordDiskIo(3.0);
+  const auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.task_run_hist.count, 1u);
+  EXPECT_NEAR(snap.task_run_hist.max_ms, 8.0, 1e-9);
+  EXPECT_EQ(snap.ilp_wait_hist.count, 1u);
+  EXPECT_EQ(snap.disk_io_hist.count, 1u);
+  metrics.Reset();
+  EXPECT_EQ(metrics.Snapshot().task_run_hist.count, 0u);
 }
 
 TEST(TextTableTest, RendersAlignedColumns) {

@@ -26,8 +26,30 @@ run_config() {
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 }
 
+trace_smoke() {
+  # End-to-end flight-recorder smoke: run a small fig09 sweep with tracing
+  # on, then validate the exported Chrome trace + audit JSONL. A baseline
+  # run must show scheduler spans and at least one eviction audit record;
+  # the Blaze run must additionally show an ILP solve.
+  echo "=== [plain] trace smoke ==="
+  local smoke_dir="build/trace-smoke"
+  rm -rf "$smoke_dir" && mkdir -p "$smoke_dir"
+  BLAZE_TRACE="$smoke_dir/fig09.json" \
+    BLAZE_BENCH_SCALE=0.25 \
+    BLAZE_BENCH_WORKLOADS=pr \
+    BLAZE_BENCH_SYSTEMS=spark-memdisk,blaze \
+    ./build/bench/bench_fig09_end_to_end
+  ./build/tools/trace_validate "$smoke_dir/fig09.pr.spark-memdisk.json" \
+    --require-span job.run --require-span stage.run --require-span task.run \
+    --require-audit evict
+  ./build/tools/trace_validate "$smoke_dir/fig09.pr.blaze.json" \
+    --require-span job.run --require-span task.run --require-span ilp.solve \
+    --require-audit ilp_solve
+}
+
 if [[ "$mode" == "plain" || "$mode" == "all" ]]; then
   run_config plain build
+  trace_smoke
 fi
 
 if [[ "$mode" == "tsan" || "$mode" == "all" ]]; then

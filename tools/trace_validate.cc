@@ -1,0 +1,166 @@
+// Validates a flight-recorder export pair: the Chrome trace_event JSON and
+// the cache-audit JSONL written next to it. Used by tools/ci.sh as a smoke
+// check that instrumentation actually fires end-to-end.
+//
+//   trace_validate TRACE.json [--audit FILE.jsonl]
+//                  [--require-span NAME]... [--require-audit KIND]...
+//
+// Checks, in order:
+//   - the trace file parses as JSON with a non-empty "traceEvents" array;
+//   - every event has a name/ph, and spans (ph == "X") carry ts + dur;
+//   - each --require-span NAME appears at least once as a complete span;
+//   - every audit line parses as JSON with seq/ts_us/kind;
+//   - each --require-audit KIND appears at least once.
+// The audit path defaults to the trace path with .json -> .audit.jsonl.
+// Exits 0 on success; prints the first failure and exits 1 otherwise.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "trace_validate: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string audit_path;
+  std::vector<std::string> required_spans;
+  std::vector<std::string> required_audits;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--audit" && i + 1 < argc) {
+      audit_path = argv[++i];
+    } else if (arg == "--require-span" && i + 1 < argc) {
+      required_spans.push_back(argv[++i]);
+    } else if (arg == "--require-audit" && i + 1 < argc) {
+      required_audits.push_back(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Fail("unknown flag " + arg);
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      return Fail("unexpected argument " + arg);
+    }
+  }
+  if (trace_path.empty()) {
+    return Fail(
+        "usage: trace_validate TRACE.json [--audit FILE.jsonl] "
+        "[--require-span NAME]... [--require-audit KIND]...");
+  }
+  if (audit_path.empty()) {
+    const size_t dot = trace_path.rfind('.');
+    audit_path =
+        (dot == std::string::npos ? trace_path : trace_path.substr(0, dot)) + ".audit.jsonl";
+  }
+
+  // --- trace file -----------------------------------------------------------
+  std::string text;
+  if (!ReadFile(trace_path, &text)) {
+    return Fail("cannot read " + trace_path);
+  }
+  std::string error;
+  const auto doc = blaze::json::Parse(text, &error);
+  if (!doc) {
+    return Fail(trace_path + ": " + error);
+  }
+  const blaze::json::Value* events = doc->Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Fail(trace_path + ": missing traceEvents array");
+  }
+  if (events->as_array().empty()) {
+    return Fail(trace_path + ": traceEvents is empty");
+  }
+  std::map<std::string, uint64_t> span_counts;
+  uint64_t num_events = 0;
+  for (const blaze::json::Value& event : events->as_array()) {
+    if (!event.is_object()) {
+      return Fail(trace_path + ": traceEvents entry is not an object");
+    }
+    const blaze::json::Value* name = event.Find("name");
+    const blaze::json::Value* ph = event.Find("ph");
+    if (name == nullptr || !name->is_string() || ph == nullptr || !ph->is_string()) {
+      return Fail(trace_path + ": event without string name/ph");
+    }
+    if (ph->as_string() == "M") {
+      continue;  // thread_name metadata
+    }
+    ++num_events;
+    const blaze::json::Value* ts = event.Find("ts");
+    if (ts == nullptr || !ts->is_number()) {
+      return Fail(trace_path + ": event '" + name->as_string() + "' lacks numeric ts");
+    }
+    if (ph->as_string() == "X") {
+      const blaze::json::Value* dur = event.Find("dur");
+      if (dur == nullptr || !dur->is_number()) {
+        return Fail(trace_path + ": span '" + name->as_string() + "' lacks numeric dur");
+      }
+      ++span_counts[name->as_string()];
+    }
+  }
+  for (const std::string& span : required_spans) {
+    if (span_counts[span] == 0) {
+      return Fail(trace_path + ": no complete span named '" + span + "'");
+    }
+  }
+
+  // --- audit file -----------------------------------------------------------
+  std::map<std::string, uint64_t> kind_counts;
+  uint64_t num_records = 0;
+  {
+    std::ifstream in(audit_path);
+    if (!in && !required_audits.empty()) {
+      return Fail("cannot read " + audit_path);
+    }
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty()) {
+        continue;
+      }
+      const auto record = blaze::json::Parse(line, &error);
+      if (!record) {
+        return Fail(audit_path + ":" + std::to_string(line_no) + ": " + error);
+      }
+      const blaze::json::Value* kind = record->Find("kind");
+      if (!record->is_object() || kind == nullptr || !kind->is_string() ||
+          record->Find("seq") == nullptr || record->Find("ts_us") == nullptr) {
+        return Fail(audit_path + ":" + std::to_string(line_no) +
+                    ": record lacks seq/ts_us/kind");
+      }
+      ++num_records;
+      ++kind_counts[kind->as_string()];
+    }
+  }
+  for (const std::string& kind : required_audits) {
+    if (kind_counts[kind] == 0) {
+      return Fail(audit_path + ": no audit record of kind '" + kind + "'");
+    }
+  }
+
+  std::fprintf(stderr, "trace_validate: OK — %llu trace events (%zu span names), %llu audit records\n",
+               static_cast<unsigned long long>(num_events), span_counts.size(),
+               static_cast<unsigned long long>(num_records));
+  return 0;
+}

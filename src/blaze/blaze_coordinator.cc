@@ -299,6 +299,14 @@ bool BlazeCoordinator::IsManaged(const RddBase& rdd) const {
   return lineage_.FutureRefCount(rdd.id(), -1, /*include_current=*/false) > 0;
 }
 
+bool BlazeCoordinator::IsCacheCandidate(const RddBase& rdd) const {
+  if (!options_.auto_cache) {
+    return rdd.storage_level() != StorageLevel::kNone;
+  }
+  return lineage_.FutureRefCount(rdd.id(), lineage_.current_job(), /*include_current=*/true) >
+         0;
+}
+
 void BlazeCoordinator::UnpersistRdd(const RddBase& rdd) {
   if (options_.auto_cache) {
     return;  // Blaze manages lifetimes itself; user annotations are ignored.

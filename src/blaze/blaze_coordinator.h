@@ -56,6 +56,10 @@ class BlazeCoordinator : public CacheCoordinator {
   void BlockComputed(const RddBase& rdd, uint32_t partition, const BlockPtr& block,
                      double compute_ms, TaskContext& tc) override;
   bool IsManaged(const RddBase& rdd) const override;
+  // Fusion consults this before eliding an intermediate block: mirrors
+  // BlockComputed's admission gate (predicted future references in auto mode,
+  // user annotation otherwise), so anything Blaze might cache materializes.
+  bool IsCacheCandidate(const RddBase& rdd) const override;
   void UnpersistRdd(const RddBase& rdd) override;
 
   CostLineage& lineage() { return lineage_; }

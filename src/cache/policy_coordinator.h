@@ -32,6 +32,11 @@ class PolicyCoordinator : public CacheCoordinator {
   void BlockComputed(const RddBase& rdd, uint32_t partition, const BlockPtr& block,
                      double compute_ms, TaskContext& tc) override;
   bool IsManaged(const RddBase& rdd) const override;
+  // Spark-style candidate selection is annotation-only: fusion breaks exactly
+  // at user Cache() points, everything else pipelines through.
+  bool IsCacheCandidate(const RddBase& rdd) const override {
+    return rdd.storage_level() != StorageLevel::kNone;
+  }
   void UnpersistRdd(const RddBase& rdd) override;
 
  private:

@@ -46,6 +46,13 @@ class CacheCoordinator {
   // recomputation cost): i.e. the coordinator intended it to be resident.
   virtual bool IsManaged(const RddBase& rdd) const = 0;
 
+  // True if the coordinator would want this dataset's blocks offered for
+  // admission when they are computed. Operator fusion consults this before
+  // eliding an intermediate: a candidate always materializes so the
+  // coordinator sees its BlockComputed offers (Blaze's auto-caching hook).
+  // Default: fuse through anything the coordinator doesn't manage.
+  virtual bool IsCacheCandidate(const RddBase& rdd) const { return IsManaged(rdd); }
+
   // User annotation path: drop every partition of `rdd` from every tier.
   virtual void UnpersistRdd(const RddBase& rdd) = 0;
 };

@@ -165,6 +165,18 @@ std::vector<std::any> DagScheduler::RunJob(
               trace::TArg("target", target->id()));
 
   const JobInfo job_info = AnalyzeJob(target, job_id);
+
+  // Fan-out nodes (more than one dependent in this job) are fusion barriers:
+  // every consumer must read the same materialized block instead of re-running
+  // the shared upstream chain per consumer.
+  auto fanout = std::make_shared<EngineContext::FusionBarrierSet>();
+  for (const JobRddInfo& rinfo : job_info.rdds) {
+    if (rinfo.num_dependents_in_job > 1) {
+      fanout->insert(rinfo.rdd->id());
+    }
+  }
+  engine.SetJobFanoutBarriers(std::move(fanout));
+
   engine.coordinator().OnJobStart(job_info);
 
   const std::vector<StagePlan> plans = PlanStages(target);

@@ -89,6 +89,17 @@ std::shared_ptr<RddBase> EngineContext::FindRdd(RddId id) const {
   return it == registry_.end() ? nullptr : it->second.lock();
 }
 
+void EngineContext::SetJobFanoutBarriers(std::shared_ptr<const FusionBarrierSet> barriers) {
+  std::lock_guard<std::mutex> lock(fusion_mu_);
+  fanout_barriers_ = std::move(barriers);
+}
+
+std::shared_ptr<const EngineContext::FusionBarrierSet> EngineContext::job_fanout_barriers()
+    const {
+  std::lock_guard<std::mutex> lock(fusion_mu_);
+  return fanout_barriers_;
+}
+
 bool EngineContext::WasComputedBefore(const BlockId& id) const {
   std::lock_guard<std::mutex> lock(computed_mu_);
   return computed_.contains(id);

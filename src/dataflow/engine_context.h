@@ -46,6 +46,11 @@ struct EngineConfig {
   int max_task_attempts = 4;
   // Cache-decision audit records retained per executor (flight-recorder ring).
   size_t audit_log_capacity = 4096;
+  // Pipelined narrow-stage execution: chains of one-parent narrow transforms
+  // stream rows through composed operators instead of materializing a block
+  // per operator (off = the pre-fusion per-operator block behavior, kept as a
+  // kill switch and for A/B benchmarking).
+  bool enable_fusion = true;
 };
 
 class EngineContext {
@@ -80,6 +85,15 @@ class EngineContext {
   void RegisterRdd(const std::shared_ptr<RddBase>& rdd);
   void UnregisterRdd(RddId id);
   std::shared_ptr<RddBase> FindRdd(RddId id) const;
+
+  // --- fusion barriers --------------------------------------------------------------
+  // RDD ids with >1 dependent in the running job (fan-out nodes): fusing
+  // through them would recompute the shared chain once per consumer, so they
+  // always materialize. Installed by the scheduler at job start; tasks
+  // snapshot the shared_ptr once at TaskContext construction.
+  using FusionBarrierSet = std::unordered_set<RddId>;
+  void SetJobFanoutBarriers(std::shared_ptr<const FusionBarrierSet> barriers);
+  std::shared_ptr<const FusionBarrierSet> job_fanout_barriers() const;
 
   // --- recomputation attribution ---------------------------------------------------
   // A block's second materialization is a recovery (the recompute cost the
@@ -124,6 +138,9 @@ class EngineContext {
 
   mutable std::mutex computed_mu_;
   std::unordered_set<BlockId, BlockIdHash> computed_;
+
+  mutable std::mutex fusion_mu_;
+  std::shared_ptr<const FusionBarrierSet> fanout_barriers_;
 };
 
 }  // namespace blaze

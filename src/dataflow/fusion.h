@@ -1,0 +1,67 @@
+// Row channel for pipelined (fused) narrow-stage execution.
+//
+// A fused chain of narrow transforms executes as one pass per partition: the
+// upstream operator pushes rows into a RowSink instead of materializing a
+// block, and each link forwards transformed rows to the next sink. The dual
+// Push overloads preserve value category across the chain — rows read out of
+// a cached block enter as const& (copied only where a link must own them),
+// while rows produced inside the chain move all the way to the final
+// collection buffer.
+//
+// Fusion *barriers* — points that must still materialize a real block through
+// the BlockManager — are decided by TaskContext::IsFusionBarrier:
+//   (a) user Cache()/Checkpoint() annotations,
+//   (b) datasets the active cache coordinator marks as caching candidates
+//       (CacheCoordinator::IsCacheCandidate — Blaze's auto-caching hook),
+//   (c) multi-consumer fan-out nodes within the running job,
+//   (d) shuffle/stage boundaries (stage terminals are always fetched with
+//       TaskContext::GetBlock, which never fuses).
+#ifndef SRC_DATAFLOW_FUSION_H_
+#define SRC_DATAFLOW_FUSION_H_
+
+#include <utility>
+#include <vector>
+
+namespace blaze {
+
+template <typename T>
+class RowSink {
+ public:
+  virtual ~RowSink() = default;
+  virtual void Push(const T& row) = 0;
+  virtual void Push(T&& row) = 0;
+};
+
+// Terminal sink: collects the chain's output rows into a vector.
+template <typename T>
+class CollectSink final : public RowSink<T> {
+ public:
+  explicit CollectSink(std::vector<T>* out) : out_(out) {}
+  void Push(const T& row) override { out_->push_back(row); }
+  void Push(T&& row) override { out_->push_back(std::move(row)); }
+
+ private:
+  std::vector<T>* out_;
+};
+
+// Adapts a generic lambda (callable with both const T& and T&&) into a sink;
+// the value category of each pushed row is forwarded to the lambda.
+template <typename T, typename F>
+class ForwardingSink final : public RowSink<T> {
+ public:
+  explicit ForwardingSink(F fn) : fn_(std::move(fn)) {}
+  void Push(const T& row) override { fn_(row); }
+  void Push(T&& row) override { fn_(std::move(row)); }
+
+ private:
+  F fn_;
+};
+
+template <typename T, typename F>
+ForwardingSink<T, F> MakeSink(F fn) {
+  return ForwardingSink<T, F>(std::move(fn));
+}
+
+}  // namespace blaze
+
+#endif  // SRC_DATAFLOW_FUSION_H_

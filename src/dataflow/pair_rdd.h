@@ -91,6 +91,11 @@ class ShuffledRdd final : public Rdd<std::pair<K, C>> {
     dep.num_reduce = num_reduce;
     dep.bucketizer = [partitioner = std::move(partitioner)](const BlockPtr& block,
                                                             size_t reduce_count) {
+      if (reduce_count == 1) {
+        // Every row lands in the single bucket: alias the map output's rows
+        // instead of copying them.
+        return std::vector<BlockPtr>{MakeBlockView(SharedRowsOf<std::pair<K, V>>(block))};
+      }
       const auto& rows = RowsOf<std::pair<K, V>>(block);
       std::vector<std::vector<std::pair<K, V>>> buckets(reduce_count);
       for (const auto& row : rows) {
@@ -150,18 +155,14 @@ template <typename K, typename V, typename F>
 auto MapValues(RddPtr<std::pair<K, V>> parent, F fn, std::string name = "mapValues")
     -> RddPtr<std::pair<K, std::invoke_result_t<F, const V&>>> {
   using U = std::invoke_result_t<F, const V&>;
-  auto result = NewRdd<TransformRdd<std::pair<K, U>>>(
+  auto result = NewRdd<PipelineRdd<std::pair<K, U>>>(
       parent->context(), std::move(name), parent->num_partitions(),
       std::vector<Dependency>{Dependency{parent}},
-      [parent, fn](TaskContext& tc, uint32_t index) {
-        const BlockPtr parent_block = tc.GetBlock(*parent, index);
-        const auto& rows = RowsOf<std::pair<K, V>>(parent_block);
-        std::vector<std::pair<K, U>> out;
-        out.reserve(rows.size());
-        for (const auto& [key, value] : rows) {
-          out.emplace_back(key, fn(value));
-        }
-        return out;
+      [parent, fn](TaskContext& tc, uint32_t index, RowSink<std::pair<K, U>>& sink) {
+        auto link = MakeSink<std::pair<K, V>>([&fn, &sink](auto&& row) {
+          sink.Push(std::pair<K, U>(row.first, fn(row.second)));
+        });
+        parent->StreamRows(tc, index, link);
       });
   result->set_hash_partitioned(parent->hash_partitioned());
   return result;
@@ -272,18 +273,16 @@ RddPtr<std::pair<K, V>> SortByKey(RddPtr<std::pair<K, V>> parent, size_t num_par
       [](const V& v) { return std::vector<V>{v}; },
       [](std::vector<V>& acc, const V& v) { acc.push_back(v); }, partitioner);
   // The shuffled output is sorted by key per partition; flatten multiplicities.
-  return NewRdd<TransformRdd<std::pair<K, V>>>(
+  return NewRdd<PipelineRdd<std::pair<K, V>>>(
       parent->context(), std::move(name), num_partitions,
       std::vector<Dependency>{Dependency{grouped}},
-      [grouped](TaskContext& tc, uint32_t index) {
-        const BlockPtr block = tc.GetBlock(*grouped, index);
-        std::vector<std::pair<K, V>> out;
-        for (const auto& [key, values] : RowsOf<std::pair<K, std::vector<V>>>(block)) {
-          for (const V& value : values) {
-            out.emplace_back(key, value);
+      [grouped](TaskContext& tc, uint32_t index, RowSink<std::pair<K, V>>& sink) {
+        auto link = MakeSink<std::pair<K, std::vector<V>>>([&sink](auto&& row) {
+          for (const V& value : row.second) {
+            sink.Push(std::pair<K, V>(row.first, value));
           }
-        }
-        return out;
+        });
+        grouped->StreamRows(tc, index, link);
       });
 }
 
@@ -294,19 +293,16 @@ RddPtr<std::pair<K, V>> PartitionByKey(RddPtr<std::pair<K, V>> parent, size_t nu
   // groupByKey would change the value type; instead aggregate into a vector
   // and flatten back out, preserving multiplicity.
   auto grouped = GroupByKey<K, V>(parent, num_reduce, name + ".group");
-  auto result = NewRdd<TransformRdd<std::pair<K, V>>>(
+  auto result = NewRdd<PipelineRdd<std::pair<K, V>>>(
       parent->context(), std::move(name), num_reduce,
       std::vector<Dependency>{Dependency{grouped}},
-      [grouped](TaskContext& tc, uint32_t index) {
-        const BlockPtr grouped_block = tc.GetBlock(*grouped, index);
-        const auto& rows = RowsOf<std::pair<K, std::vector<V>>>(grouped_block);
-        std::vector<std::pair<K, V>> out;
-        for (const auto& [key, values] : rows) {
-          for (const V& value : values) {
-            out.emplace_back(key, value);
+      [grouped](TaskContext& tc, uint32_t index, RowSink<std::pair<K, V>>& sink) {
+        auto link = MakeSink<std::pair<K, std::vector<V>>>([&sink](auto&& row) {
+          for (const V& value : row.second) {
+            sink.Push(std::pair<K, V>(row.first, value));
           }
-        }
-        return out;
+        });
+        grouped->StreamRows(tc, index, link);
       });
   result->set_hash_partitioned(true);
   return result;

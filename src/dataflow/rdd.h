@@ -18,6 +18,7 @@
 #include "src/common/logging.h"
 #include "src/common/rng.h"
 #include "src/dataflow/engine_context.h"
+#include "src/dataflow/fusion.h"
 #include "src/dataflow/rdd_base.h"
 #include "src/dataflow/task_context.h"
 #include "src/dataflow/typed_block.h"
@@ -82,6 +83,44 @@ class Rdd : public RddBase {
 
   // Associative reduce; nullopt on an empty dataset.
   std::optional<T> Reduce(std::function<T(const T&, const T&)> fn);
+
+  // --- fused (pipelined) row access --------------------------------------------------
+  // Narrow one-parent transforms override IsFusable/StreamFused so chains of
+  // them execute as one pass per partition without materializing intermediate
+  // blocks (see src/dataflow/fusion.h for the barrier rules).
+
+  // True if this dataset can stream rows into a consumer instead of
+  // materializing a block. Sources, shuffle reads, and multi-parent operators
+  // stay non-fusable: they always go through TaskContext::GetBlock.
+  virtual bool IsFusable() const { return false; }
+
+  // Streams this dataset's rows for partition `index` into `sink` without
+  // registering a block. Only called when IsFusable() and no barrier applies.
+  virtual void StreamFused(TaskContext& tc, uint32_t index, RowSink<T>& sink) const {
+    (void)tc;
+    (void)index;
+    (void)sink;
+    BLAZE_CHECK(false) << "StreamFused on non-fusable dataset " << this->name();
+  }
+
+  // Produces this dataset's rows as a whole vector while fused (no block).
+  // Default: collect the stream; operators that already build a vector
+  // (MapPartitions) override to hand it over without a per-row pass.
+  virtual SharedRows<T> RowsFused(TaskContext& tc, uint32_t index) const {
+    auto out = std::make_shared<std::vector<T>>();
+    CollectSink<T> collect(out.get());
+    StreamFused(tc, index, collect);
+    // The collection buffer grows geometrically; drop the slack so cached
+    // blocks account (and hold) exactly their payload, as the pre-fusion
+    // reserve()-sized operator outputs did.
+    out->shrink_to_fit();
+    return out;
+  }
+
+  // Consumer entry points: fetch this dataset's rows for `index`, fusing
+  // through it when allowed, else materializing via tc.GetBlock (cache-aware).
+  void StreamRows(TaskContext& tc, uint32_t index, RowSink<T>& sink) const;
+  SharedRows<T> FusedRows(TaskContext& tc, uint32_t index) const;
 };
 
 // Dataset computed by a user function over parent partitions. One generic node
@@ -102,6 +141,70 @@ class TransformRdd final : public Rdd<U> {
  private:
   ComputeFn fn_;
 };
+
+// Fusable narrow transform (map/filter/flatMap/mapPartitions/sample and the
+// pair-dataset equivalents): holds a streaming compute that pushes output
+// rows into a sink, pulling parent rows through Rdd::StreamRows/FusedRows so
+// the whole upstream chain pipelines until a fusion barrier. When this node
+// itself must materialize (it is a barrier, a stage terminal, or fusion is
+// disabled), Compute collects the stream into a block — so caching, eviction,
+// recovery, and lineage recomputation behave exactly as for TransformRdd.
+template <typename U>
+class PipelineRdd final : public Rdd<U> {
+ public:
+  using StreamFn = std::function<void(TaskContext&, uint32_t, RowSink<U>&)>;
+  // Optional whole-partition producer for operators that inherently build (or
+  // can alias) a full row vector — MapPartitions hands its result over without
+  // a per-row pass, Union/Coalesce return views of parent rows. Used by
+  // RowsFused instead of collecting the stream.
+  using RowsFn = std::function<SharedRows<U>(TaskContext&, uint32_t)>;
+
+  PipelineRdd(EngineContext* ctx, std::string name, size_t num_partitions,
+              std::vector<Dependency> deps, StreamFn stream, RowsFn rows = nullptr)
+      : Rdd<U>(ctx, std::move(name), num_partitions, std::move(deps)),
+        stream_(std::move(stream)),
+        rows_(std::move(rows)) {}
+
+  BlockPtr Compute(uint32_t index, TaskContext& tc) const override {
+    return MakeBlockView(this->RowsFused(tc, index));
+  }
+
+  bool IsFusable() const override { return true; }
+
+  void StreamFused(TaskContext& tc, uint32_t index, RowSink<U>& sink) const override {
+    stream_(tc, index, sink);
+  }
+
+  SharedRows<U> RowsFused(TaskContext& tc, uint32_t index) const override {
+    if (rows_) {
+      return rows_(tc, index);
+    }
+    return Rdd<U>::RowsFused(tc, index);
+  }
+
+ private:
+  StreamFn stream_;
+  RowsFn rows_;
+};
+
+// Adapters for vector-building operators: `build` produces the partition's
+// rows as a vector; the stream form moves them out one by one.
+template <typename U, typename BuildFn>
+typename PipelineRdd<U>::StreamFn StreamFromBuild(BuildFn build) {
+  return [build](TaskContext& tc, uint32_t index, RowSink<U>& sink) {
+    std::vector<U> out = build(tc, index);
+    for (U& v : out) {
+      sink.Push(std::move(v));
+    }
+  };
+}
+
+template <typename U, typename BuildFn>
+typename PipelineRdd<U>::RowsFn RowsFromBuild(BuildFn build) {
+  return [build](TaskContext& tc, uint32_t index) {
+    return std::make_shared<const std::vector<U>>(build(tc, index));
+  };
+}
 
 // Source dataset: partitions produced by a generator function (models reading
 // an input; re-invoked when lineage recomputation reaches the source).
@@ -145,22 +248,38 @@ RddPtr<T> Parallelize(EngineContext* ctx, std::string name, std::vector<T> data,
 // --- Rdd<T> member definitions -------------------------------------------------------
 
 template <typename T>
+void Rdd<T>::StreamRows(TaskContext& tc, uint32_t index, RowSink<T>& sink) const {
+  if (!IsFusable() || tc.IsFusionBarrier(*this)) {
+    const BlockPtr block = tc.GetBlock(*this, index);
+    for (const T& row : RowsOf<T>(block)) {
+      sink.Push(row);
+    }
+    return;
+  }
+  tc.OnOperatorFused(*this);
+  StreamFused(tc, index, sink);
+}
+
+template <typename T>
+SharedRows<T> Rdd<T>::FusedRows(TaskContext& tc, uint32_t index) const {
+  if (!IsFusable() || tc.IsFusionBarrier(*this)) {
+    return SharedRowsOf<T>(tc.GetBlock(*this, index));
+  }
+  tc.OnOperatorFused(*this);
+  return RowsFused(tc, index);
+}
+
+template <typename T>
 template <typename F>
 auto Rdd<T>::Map(F fn, std::string name) -> RddPtr<std::invoke_result_t<F, const T&>> {
   using U = std::invoke_result_t<F, const T&>;
   auto parent = SharedThis();
-  return NewRdd<TransformRdd<U>>(
+  return NewRdd<PipelineRdd<U>>(
       this->context(), std::move(name), this->num_partitions(),
       std::vector<Dependency>{Dependency{parent}},
-      [parent, fn](TaskContext& tc, uint32_t index) {
-        const BlockPtr parent_block = tc.GetBlock(*parent, index);
-        const std::vector<T>& rows = RowsOf<T>(parent_block);
-        std::vector<U> out;
-        out.reserve(rows.size());
-        for (const T& row : rows) {
-          out.push_back(fn(row));
-        }
-        return out;
+      [parent, fn](TaskContext& tc, uint32_t index, RowSink<U>& sink) {
+        auto link = MakeSink<T>([&fn, &sink](auto&& row) { sink.Push(fn(row)); });
+        parent->StreamRows(tc, index, link);
       });
 }
 
@@ -170,38 +289,33 @@ auto Rdd<T>::FlatMap(F fn, std::string name)
     -> RddPtr<typename std::invoke_result_t<F, const T&>::value_type> {
   using U = typename std::invoke_result_t<F, const T&>::value_type;
   auto parent = SharedThis();
-  return NewRdd<TransformRdd<U>>(
+  return NewRdd<PipelineRdd<U>>(
       this->context(), std::move(name), this->num_partitions(),
       std::vector<Dependency>{Dependency{parent}},
-      [parent, fn](TaskContext& tc, uint32_t index) {
-        const BlockPtr parent_block = tc.GetBlock(*parent, index);
-        const std::vector<T>& rows = RowsOf<T>(parent_block);
-        std::vector<U> out;
-        for (const T& row : rows) {
-          for (auto& v : fn(row)) {
-            out.push_back(std::move(v));
+      [parent, fn](TaskContext& tc, uint32_t index, RowSink<U>& sink) {
+        auto link = MakeSink<T>([&fn, &sink](auto&& row) {
+          auto items = fn(row);
+          for (auto& v : items) {
+            sink.Push(std::move(v));
           }
-        }
-        return out;
+        });
+        parent->StreamRows(tc, index, link);
       });
 }
 
 template <typename T>
 RddPtr<T> Rdd<T>::Filter(std::function<bool(const T&)> pred, std::string name) {
   auto parent = SharedThis();
-  auto result = NewRdd<TransformRdd<T>>(
+  auto result = NewRdd<PipelineRdd<T>>(
       this->context(), std::move(name), this->num_partitions(),
       std::vector<Dependency>{Dependency{parent}},
-      [parent, pred](TaskContext& tc, uint32_t index) {
-        const BlockPtr parent_block = tc.GetBlock(*parent, index);
-        const std::vector<T>& rows = RowsOf<T>(parent_block);
-        std::vector<T> out;
-        for (const T& row : rows) {
+      [parent, pred](TaskContext& tc, uint32_t index, RowSink<T>& sink) {
+        auto link = MakeSink<T>([&pred, &sink](auto&& row) {
           if (pred(row)) {
-            out.push_back(row);
+            sink.Push(std::forward<decltype(row)>(row));
           }
-        }
-        return out;
+        });
+        parent->StreamRows(tc, index, link);
       });
   result->set_hash_partitioned(this->hash_partitioned());
   return result;
@@ -213,32 +327,31 @@ auto Rdd<T>::MapPartitions(F fn, std::string name)
     -> RddPtr<typename std::invoke_result_t<F, uint32_t, const std::vector<T>&>::value_type> {
   using U = typename std::invoke_result_t<F, uint32_t, const std::vector<T>&>::value_type;
   auto parent = SharedThis();
-  return NewRdd<TransformRdd<U>>(
-      this->context(), std::move(name), this->num_partitions(),
-      std::vector<Dependency>{Dependency{parent}},
-      [parent, fn](TaskContext& tc, uint32_t index) {
-        const BlockPtr parent_block = tc.GetBlock(*parent, index);
-        return fn(index, RowsOf<T>(parent_block));
-      });
+  auto build = [parent, fn](TaskContext& tc, uint32_t index) {
+    const SharedRows<T> rows = parent->FusedRows(tc, index);
+    return fn(index, *rows);
+  };
+  return NewRdd<PipelineRdd<U>>(this->context(), std::move(name), this->num_partitions(),
+                                std::vector<Dependency>{Dependency{parent}},
+                                StreamFromBuild<U>(build), RowsFromBuild<U>(build));
 }
 
 template <typename T>
 RddPtr<T> Rdd<T>::Sample(double fraction, uint64_t seed, std::string name) {
   auto parent = SharedThis();
-  return NewRdd<TransformRdd<T>>(
+  return NewRdd<PipelineRdd<T>>(
       this->context(), std::move(name), this->num_partitions(),
       std::vector<Dependency>{Dependency{parent}},
-      [parent, fraction, seed](TaskContext& tc, uint32_t index) {
-        const BlockPtr parent_block = tc.GetBlock(*parent, index);
-        const std::vector<T>& rows = RowsOf<T>(parent_block);
+      [parent, fraction, seed](TaskContext& tc, uint32_t index, RowSink<T>& sink) {
+        // Same per-partition generator and row order fused or not, so the
+        // sampled subset is identical either way.
         Rng rng(seed * 0x100000001B3ULL + index);
-        std::vector<T> out;
-        for (const T& row : rows) {
+        auto link = MakeSink<T>([&rng, fraction, &sink](auto&& row) {
           if (rng.NextBool(fraction)) {
-            out.push_back(row);
+            sink.Push(std::forward<decltype(row)>(row));
           }
-        }
-        return out;
+        });
+        parent->StreamRows(tc, index, link);
       });
 }
 

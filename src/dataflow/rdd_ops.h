@@ -23,17 +23,23 @@ template <typename T>
 RddPtr<T> Union(RddPtr<T> left, RddPtr<T> right, std::string name = "union") {
   const size_t left_parts = left->num_partitions();
   const size_t total = left_parts + right->num_partitions();
-  return NewRdd<TransformRdd<T>>(
+  // Each output partition is exactly one parent partition, so union both
+  // pipelines through (stream form) and, when materialized, aliases the
+  // parent's rows as a zero-copy view (rows form).
+  return NewRdd<PipelineRdd<T>>(
       left->context(), std::move(name), total,
       std::vector<Dependency>{Dependency{left}, Dependency{right}},
-      [left, right, left_parts](TaskContext& tc, uint32_t index) {
+      [left, right, left_parts](TaskContext& tc, uint32_t index, RowSink<T>& sink) {
         const bool from_left = index < left_parts;
-        const RddBase& parent = from_left ? static_cast<RddBase&>(*left)
-                                          : static_cast<RddBase&>(*right);
         const uint32_t parent_index =
             from_left ? index : index - static_cast<uint32_t>(left_parts);
-        const BlockPtr block = tc.GetBlock(parent, parent_index);
-        return RowsOf<T>(block);  // copy: the union block owns its rows
+        (from_left ? left : right)->StreamRows(tc, parent_index, sink);
+      },
+      [left, right, left_parts](TaskContext& tc, uint32_t index) {
+        const bool from_left = index < left_parts;
+        const uint32_t parent_index =
+            from_left ? index : index - static_cast<uint32_t>(left_parts);
+        return (from_left ? left : right)->FusedRows(tc, parent_index);
       });
 }
 
@@ -57,18 +63,35 @@ RddPtr<T> Coalesce(RddPtr<T> parent, size_t num_partitions, std::string name = "
   BLAZE_CHECK_GT(num_partitions, 0u);
   BLAZE_CHECK_LE(num_partitions, parent->num_partitions());
   const size_t parent_parts = parent->num_partitions();
-  return NewRdd<TransformRdd<T>>(
+  return NewRdd<PipelineRdd<T>>(
       parent->context(), std::move(name), num_partitions,
       std::vector<Dependency>{Dependency{parent}},
-      [parent, parent_parts, num_partitions](TaskContext& tc, uint32_t index) {
-        std::vector<T> out;
+      [parent, parent_parts, num_partitions](TaskContext& tc, uint32_t index,
+                                             RowSink<T>& sink) {
         for (uint32_t p = index; p < parent_parts;
              p += static_cast<uint32_t>(num_partitions)) {
-          const BlockPtr block = tc.GetBlock(*parent, p);
-          const auto& rows = RowsOf<T>(block);
-          out.insert(out.end(), rows.begin(), rows.end());
+          parent->StreamRows(tc, p, sink);
         }
-        return out;
+      },
+      [parent, parent_parts, num_partitions](TaskContext& tc, uint32_t index) {
+        // Single-source output partitions alias the parent's rows; merged ones
+        // are bulk-concatenated with one pre-sized allocation.
+        if (index + num_partitions >= parent_parts) {
+          return parent->FusedRows(tc, index);
+        }
+        std::vector<SharedRows<T>> parts;
+        size_t total_rows = 0;
+        for (uint32_t p = index; p < parent_parts;
+             p += static_cast<uint32_t>(num_partitions)) {
+          parts.push_back(parent->FusedRows(tc, p));
+          total_rows += parts.back()->size();
+        }
+        auto out = std::make_shared<std::vector<T>>();
+        out->reserve(total_rows);
+        for (const SharedRows<T>& rows : parts) {
+          out->insert(out->end(), rows->begin(), rows->end());
+        }
+        return SharedRows<T>(std::move(out));
       });
 }
 
@@ -77,23 +100,24 @@ RddPtr<T> Coalesce(RddPtr<T> parent, size_t num_partitions, std::string name = "
 template <typename A, typename B>
 RddPtr<std::pair<A, B>> Zip(RddPtr<A> left, RddPtr<B> right, std::string name = "zip") {
   BLAZE_CHECK_EQ(left->num_partitions(), right->num_partitions());
-  return NewRdd<TransformRdd<std::pair<A, B>>>(
-      left->context(), std::move(name), left->num_partitions(),
-      std::vector<Dependency>{Dependency{left}, Dependency{right}},
-      [left, right](TaskContext& tc, uint32_t index) {
-        const BlockPtr left_block = tc.GetBlock(*left, index);
-        const BlockPtr right_block = tc.GetBlock(*right, index);
-        const auto& left_rows = RowsOf<A>(left_block);
-        const auto& right_rows = RowsOf<B>(right_block);
-        BLAZE_CHECK_EQ(left_rows.size(), right_rows.size())
-            << "Zip requires equal per-partition sizes";
-        std::vector<std::pair<A, B>> out;
-        out.reserve(left_rows.size());
-        for (size_t i = 0; i < left_rows.size(); ++i) {
-          out.emplace_back(left_rows[i], right_rows[i]);
-        }
-        return out;
-      });
+  using P = std::pair<A, B>;
+  // Pair construction is inherent to zip, but the inputs arrive as shared row
+  // views (no parent deep copies) and zip itself fuses into downstream chains.
+  auto build = [left, right](TaskContext& tc, uint32_t index) {
+    const SharedRows<A> left_rows = left->FusedRows(tc, index);
+    const SharedRows<B> right_rows = right->FusedRows(tc, index);
+    BLAZE_CHECK_EQ(left_rows->size(), right_rows->size())
+        << "Zip requires equal per-partition sizes";
+    std::vector<P> out;
+    out.reserve(left_rows->size());
+    for (size_t i = 0; i < left_rows->size(); ++i) {
+      out.emplace_back((*left_rows)[i], (*right_rows)[i]);
+    }
+    return out;
+  };
+  return NewRdd<PipelineRdd<P>>(left->context(), std::move(name), left->num_partitions(),
+                                std::vector<Dependency>{Dependency{left}, Dependency{right}},
+                                StreamFromBuild<P>(build), RowsFromBuild<P>(build));
 }
 
 }  // namespace blaze

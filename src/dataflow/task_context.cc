@@ -12,7 +12,21 @@ TaskContext::TaskContext(EngineContext* engine, int job_id, int stage_id, uint32
       job_id_(job_id),
       stage_id_(stage_id),
       partition_(partition),
-      executor_id_(executor_id) {}
+      executor_id_(executor_id),
+      fanout_barriers_(engine->job_fanout_barriers()) {}
+
+bool TaskContext::IsFusionBarrier(const RddBase& rdd) const {
+  if (!engine_->config().enable_fusion) {
+    return true;
+  }
+  if (rdd.storage_level() != StorageLevel::kNone || rdd.is_checkpointed()) {
+    return true;
+  }
+  if (fanout_barriers_ != nullptr && fanout_barriers_->contains(rdd.id())) {
+    return true;
+  }
+  return engine_->coordinator().IsCacheCandidate(rdd);
+}
 
 BlockPtr TaskContext::GetBlock(const RddBase& rdd, uint32_t index) {
   CacheCoordinator& coordinator = engine_->coordinator();
@@ -68,6 +82,8 @@ BlockPtr TaskContext::GetBlock(const RddBase& rdd, uint32_t index) {
 
 BlockPtr TaskContext::ComputeBlock(const RddBase& rdd, uint32_t index) {
   frames_.push_back(Frame{});
+  const uint64_t fused_before = metrics_.fused_ops;
+  const uint64_t start_us = trace::Enabled() ? ProcessMicros() : 0;
   BlockPtr block = rdd.Compute(index, *this);
   const Frame& frame = frames_.back();
   const double total_ms = frame.watch.ElapsedMillis();
@@ -77,6 +93,15 @@ BlockPtr TaskContext::ComputeBlock(const RddBase& rdd, uint32_t index) {
     frames_.back().child_ms += total_ms;
   }
   BLAZE_CHECK(block != nullptr) << "Compute returned null for " << rdd.name();
+
+  ++metrics_.blocks_computed;
+  // Attribute the whole pipelined chain to the block that materialized it:
+  // the fused operators never get their own compute spans.
+  const uint64_t fused_in_chain = metrics_.fused_ops - fused_before;
+  if (fused_in_chain > 0 && start_us != 0 && trace::Enabled()) {
+    trace::Complete("task.fused_chain", "sched", start_us, trace::TArg("rdd", rdd.id()),
+                    trace::TArg("part", index), trace::TArg("fused_ops", fused_in_chain));
+  }
 
   engine_->MarkComputed(BlockId{rdd.id(), index});
   engine_->coordinator().BlockComputed(rdd, index, block, exclusive_ms, *this);

@@ -4,6 +4,8 @@
 #define SRC_DATAFLOW_TASK_CONTEXT_H_
 
 #include <cstdint>
+#include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/stopwatch.h"
@@ -34,6 +36,16 @@ class TaskContext {
   std::vector<BlockPtr> ReadOrRebuildShuffleBuckets(const RddBase& shuffled,
                                                     uint32_t reduce_partition);
 
+  // True if a fused chain must break at `rdd` and materialize it as a real
+  // block: fusion disabled, user Cache()/Checkpoint() annotation, the active
+  // coordinator marks it a caching candidate, or it has multiple consumers in
+  // the running job. Stage terminals never reach this check — the scheduler
+  // fetches them with GetBlock directly.
+  bool IsFusionBarrier(const RddBase& rdd) const;
+
+  // Accounting for one operator whose block materialization was elided.
+  void OnOperatorFused(const RddBase&) { ++metrics_.fused_ops; }
+
   TaskMetrics& metrics() { return metrics_; }
   EngineContext* engine() { return engine_; }
   int job_id() const { return job_id_; }
@@ -59,6 +71,8 @@ class TaskContext {
   TaskMetrics metrics_;
   std::vector<Frame> frames_;
   int recovery_depth_ = 0;
+  // Fan-out barrier snapshot for the task's job (see EngineContext).
+  std::shared_ptr<const std::unordered_set<RddId>> fanout_barriers_;
 };
 
 }  // namespace blaze

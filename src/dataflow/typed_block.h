@@ -1,4 +1,13 @@
-// Typed materialized partition: a vector of rows plus cached size accounting.
+// Typed materialized partition: a shared, immutable vector of rows plus
+// cached size accounting.
+//
+// Rows are held through a shared_ptr so a block can be a zero-copy *view* of
+// rows owned elsewhere (another block, or a fused pipeline's collection
+// buffer). Union/Coalesce and the single-reducer shuffle fast path alias
+// parent rows instead of deep-copying them; the aliased vector stays alive as
+// long as any viewing block does. Note the accounting consequence: a view
+// block reports the full byte size of the rows it references, so a parent and
+// its view each charge the cache for the same payload if both are resident.
 #ifndef SRC_DATAFLOW_TYPED_BLOCK_H_
 #define SRC_DATAFLOW_TYPED_BLOCK_H_
 
@@ -12,25 +21,37 @@
 
 namespace blaze {
 
+// Immutable shared row storage; the currency of fused row exchange.
+template <typename T>
+using SharedRows = std::shared_ptr<const std::vector<T>>;
+
 template <typename T>
 class TypedBlock : public BlockData {
  public:
-  explicit TypedBlock(std::vector<T> rows) : rows_(std::move(rows)) {
-    size_bytes_ = ApproxByteSize(rows_);
+  explicit TypedBlock(std::vector<T> rows)
+      : rows_(std::make_shared<const std::vector<T>>(std::move(rows))) {
+    size_bytes_ = ApproxByteSize(*rows_);
+  }
+
+  // View constructor: adopts rows owned elsewhere without copying.
+  explicit TypedBlock(SharedRows<T> rows) : rows_(std::move(rows)) {
+    BLAZE_CHECK(rows_ != nullptr);
+    size_bytes_ = ApproxByteSize(*rows_);
   }
 
   size_t SizeBytes() const override { return size_bytes_; }
-  size_t NumRows() const override { return rows_.size(); }
-  void EncodeTo(ByteSink& sink) const override { Encode(rows_, sink); }
+  size_t NumRows() const override { return rows_->size(); }
+  void EncodeTo(ByteSink& sink) const override { Encode(*rows_, sink); }
 
-  const std::vector<T>& rows() const { return rows_; }
+  const std::vector<T>& rows() const { return *rows_; }
+  const SharedRows<T>& shared_rows() const { return rows_; }
 
   static std::shared_ptr<const TypedBlock<T>> DecodeFrom(ByteSource& src) {
     return std::make_shared<TypedBlock<T>>(Decode<std::vector<T>>(src));
   }
 
  private:
-  std::vector<T> rows_;
+  SharedRows<T> rows_;
   size_t size_bytes_;
 };
 
@@ -43,8 +64,23 @@ const std::vector<T>& RowsOf(const BlockPtr& block) {
   return typed->rows();
 }
 
+// Like RowsOf, but returns a reference that keeps the rows alive independently
+// of the block (zero copy: shares ownership with the block's storage).
+template <typename T>
+SharedRows<T> SharedRowsOf(const BlockPtr& block) {
+  const auto* typed = dynamic_cast<const TypedBlock<T>*>(block.get());
+  BLAZE_CHECK(typed != nullptr) << "block element type mismatch";
+  return typed->shared_rows();
+}
+
 template <typename T>
 BlockPtr MakeBlock(std::vector<T> rows) {
+  return std::make_shared<TypedBlock<T>>(std::move(rows));
+}
+
+// Zero-copy block over rows owned elsewhere.
+template <typename T>
+BlockPtr MakeBlockView(SharedRows<T> rows) {
   return std::make_shared<TypedBlock<T>>(std::move(rows));
 }
 

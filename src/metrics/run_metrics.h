@@ -22,6 +22,8 @@ struct TaskMetrics {
   double ilp_wait_ms = 0.0;      // time a task spent blocked on a decision layer
   uint64_t cache_disk_bytes_read = 0;
   uint64_t cache_disk_bytes_written = 0;
+  uint64_t blocks_computed = 0;  // block materializations (fused chains: 1)
+  uint64_t fused_ops = 0;        // operators whose block was elided by fusion
 
   void MergeFrom(const TaskMetrics& other) {
     compute_ms += other.compute_ms;
@@ -30,6 +32,8 @@ struct TaskMetrics {
     ilp_wait_ms += other.ilp_wait_ms;
     cache_disk_bytes_read += other.cache_disk_bytes_read;
     cache_disk_bytes_written += other.cache_disk_bytes_written;
+    blocks_computed += other.blocks_computed;
+    fused_ops += other.fused_ops;
   }
 };
 

@@ -41,6 +41,10 @@ class ByteSink {
   std::vector<uint8_t> TakeData() { return std::move(buf_); }
   size_t size() const { return buf_.size(); }
   void Reserve(size_t n) { buf_.reserve(n); }
+  // Drops the content but keeps the capacity — lets a long-lived sink be
+  // reused across encodes (e.g. the per-thread spill buffer) without
+  // reallocating its way back up for every block.
+  void Clear() { buf_.clear(); }
 
  private:
   std::vector<uint8_t> buf_;

@@ -90,23 +90,61 @@ struct Codec<std::tuple<Ts...>> {
   }
 };
 
+// Row types whose generic encoding is exactly their in-memory byte image, so
+// a vector of them (de)serializes as one bulk memcpy instead of a per-element
+// loop. True for arithmetic types and (nested) pairs of them — but only when
+// the aggregate has no padding (`sizeof == sum of member sizes`), since the
+// per-element encoding writes members back-to-back. Tuples are excluded:
+// their member memory order is implementation-defined.
+template <typename T>
+struct RawCopyTraits {
+  static constexpr bool value = false;
+};
+template <typename T>
+  requires std::is_arithmetic_v<T>
+struct RawCopyTraits<T> {
+  static constexpr bool value = true;
+};
+template <typename A, typename B>
+struct RawCopyTraits<std::pair<A, B>> {
+  static constexpr bool value = RawCopyTraits<A>::value && RawCopyTraits<B>::value &&
+                                sizeof(std::pair<A, B>) == sizeof(A) + sizeof(B);
+};
+template <typename T>
+inline constexpr bool kRawCopyable = RawCopyTraits<T>::value;
+
 // --- std::vector ---
 template <typename T>
 struct Codec<std::vector<T>> {
   static void Encode(const std::vector<T>& v, ByteSink& sink) {
     sink.WriteVarint(v.size());
-    for (const T& e : v) {
-      Codec<T>::Encode(e, sink);
+    if constexpr (kRawCopyable<T>) {
+      if (!v.empty()) {
+        sink.WriteRaw(v.data(), v.size() * sizeof(T));
+      }
+      return;
+    } else {
+      for (const T& e : v) {
+        Codec<T>::Encode(e, sink);
+      }
     }
   }
   static std::vector<T> Decode(ByteSource& src) {
     const size_t n = static_cast<size_t>(src.ReadVarint());
-    std::vector<T> out;
-    out.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      out.push_back(Codec<T>::Decode(src));
+    if constexpr (kRawCopyable<T>) {
+      std::vector<T> out(n);
+      if (n > 0) {
+        src.ReadRaw(out.data(), n * sizeof(T));
+      }
+      return out;
+    } else {
+      std::vector<T> out;
+      out.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        out.push_back(Codec<T>::Decode(src));
+      }
+      return out;
     }
-    return out;
   }
   static size_t ByteSize(const std::vector<T>& v) {
     size_t total = sizeof(std::vector<T>);

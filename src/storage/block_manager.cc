@@ -16,15 +16,18 @@ double BlockManager::SpillToDisk(const BlockId& id, const BlockData& data,
                                  uint64_t* bytes_out) {
   Stopwatch watch;
   const uint64_t spill_start_us = trace::Enabled() ? ProcessMicros() : 0;
-  ByteSink sink;
+  // Spills are frequent and sized within a narrow band per workload, so the
+  // encode buffer is per-thread and reused: after warm-up a spill does no
+  // buffer allocation at all.
+  thread_local ByteSink sink;
+  sink.Clear();
   data.EncodeTo(sink);
-  const std::vector<uint8_t> encoded = sink.TakeData();
   // Replacement is modeled as remove+insert so disk-residency metrics stay exact.
   const uint64_t old_size = disk_.Remove(id);
   if (metrics_ != nullptr && old_size > 0) {
     metrics_->RecordDiskStoreDelta(-static_cast<int64_t>(old_size));
   }
-  const DiskOpResult op = disk_.Put(id, encoded);
+  const DiskOpResult op = disk_.Put(id, sink.data());
   if (metrics_ != nullptr) {
     metrics_->RecordDiskStoreDelta(static_cast<int64_t>(op.bytes));
   }

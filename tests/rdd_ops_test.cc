@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <set>
 
+#include "src/cache/policies.h"
+#include "src/cache/policy_coordinator.h"
 #include "src/dataflow/rdd_ops.h"
 
 namespace blaze {
@@ -171,6 +173,60 @@ TEST(RddOpsTest, SortByKeyPartitionsAreBalancedish) {
     const size_t rows = std::any_cast<size_t>(result);
     EXPECT_GT(rows, 400u);   // no partition starved
     EXPECT_LT(rows, 2400u);  // no partition hogging
+  }
+}
+
+TEST(RddOpsTest, TypedBlockViewAliasesSourceRows) {
+  auto owner = MakeBlock<int>(Range(0, 100));
+  auto view = MakeBlockView(SharedRowsOf<int>(owner));
+  // Same vector, not a copy.
+  EXPECT_EQ(&RowsOf<int>(view), &RowsOf<int>(owner));
+  EXPECT_EQ(view->NumRows(), 100u);
+}
+
+// Caching a parent and its Union exercises the zero-copy path end to end:
+// the union's cached block must alias the parent's row vector rather than
+// deep-copying it.
+TEST(RddOpsTest, UnionBlocksAliasCachedParentRows) {
+  EngineContext engine(SmallConfig());
+  engine.SetCoordinator(std::make_unique<PolicyCoordinator>(&engine, MakePolicy("lru"),
+                                                            EvictionMode::kMemAndDisk));
+  auto left = Parallelize<int>(&engine, "l", Range(0, 50), 2);
+  auto right = Parallelize<int>(&engine, "r", Range(50, 80), 2);
+  left->Cache();
+  right->Cache();
+  auto both = Union(left, right);
+  both->Cache();
+  EXPECT_EQ(both->Count(), 80u);
+
+  for (uint32_t p = 0; p < both->num_partitions(); ++p) {
+    auto union_block = engine.block_manager(engine.ExecutorFor(p)).memory().Peek({both->id(), p});
+    ASSERT_TRUE(union_block.has_value());
+    const bool from_left = p < left->num_partitions();
+    const auto parent = from_left ? left : right;
+    const uint32_t pp = from_left ? p : p - left->num_partitions();
+    auto parent_block = engine.block_manager(engine.ExecutorFor(pp)).memory().Peek({parent->id(), pp});
+    ASSERT_TRUE(parent_block.has_value());
+    EXPECT_EQ(&RowsOf<int>(*union_block), &RowsOf<int>(*parent_block));
+  }
+}
+
+// Coalesce with a single surviving source partition aliases it; merged
+// outputs own fresh storage but still produce the right rows.
+TEST(RddOpsTest, CoalescePassThroughAliasesParentRows) {
+  EngineContext engine(SmallConfig());
+  engine.SetCoordinator(std::make_unique<PolicyCoordinator>(&engine, MakePolicy("lru"),
+                                                            EvictionMode::kMemAndDisk));
+  auto parent = Parallelize<int>(&engine, "p", Range(0, 90), 3);
+  parent->Cache();
+  auto same = Coalesce(parent, 3);  // partition counts match: pure pass-through
+  same->Cache();
+  EXPECT_EQ(same->Count(), 90u);
+  for (uint32_t p = 0; p < 3; ++p) {
+    auto view = engine.block_manager(engine.ExecutorFor(p)).memory().Peek({same->id(), p});
+    auto src = engine.block_manager(engine.ExecutorFor(p)).memory().Peek({parent->id(), p});
+    ASSERT_TRUE(view.has_value() && src.has_value());
+    EXPECT_EQ(&RowsOf<int>(*view), &RowsOf<int>(*src));
   }
 }
 

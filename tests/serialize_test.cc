@@ -94,6 +94,43 @@ TEST(CodecTest, ByteSizeTracksPayload) {
   EXPECT_GT(ApproxByteSize(large), ApproxByteSize(small) + 7000);
 }
 
+// The bulk-memcpy vector fast path is only legal when the element's generic
+// encoding equals its in-memory image; padded pairs and tuples must stay on
+// the per-element loop.
+static_assert(kRawCopyable<int>);
+static_assert(kRawCopyable<double>);
+static_assert(kRawCopyable<std::pair<int, int>>);
+static_assert(kRawCopyable<std::pair<uint64_t, double>>);
+static_assert(kRawCopyable<std::pair<std::pair<int, int>, int>>);
+static_assert(!kRawCopyable<std::pair<uint32_t, double>>);  // 4 bytes of padding
+static_assert(!kRawCopyable<std::string>);
+static_assert(!kRawCopyable<std::tuple<int, int>>);
+
+TEST(CodecTest, RawCopyVectorsRoundTrip) {
+  EXPECT_EQ(RoundTrip(std::vector<double>{}), std::vector<double>{});
+  std::vector<double> doubles{1.5, -2.25, 1e300, 0.0};
+  EXPECT_EQ(RoundTrip(doubles), doubles);
+  std::vector<std::pair<int, int>> pairs{{1, -2}, {3, 4}, {0, 0}};
+  EXPECT_EQ(RoundTrip(pairs), pairs);
+}
+
+TEST(CodecTest, RawCopyPathMatchesPerElementWireFormat) {
+  // Wire compatibility: blocks spilled before the fast path existed must
+  // decode identically, so the bulk encoding is byte-for-byte the same as
+  // looping Codec<T>::Encode over the elements.
+  using Row = std::pair<uint64_t, double>;
+  static_assert(kRawCopyable<Row>);
+  const std::vector<Row> v{{9, -1.5}, {1ULL << 50, 3.25}, {0, 0.0}};
+  ByteSink bulk;
+  Encode(v, bulk);
+  ByteSink manual;
+  manual.WriteVarint(v.size());
+  for (const Row& e : v) {
+    Codec<Row>::Encode(e, manual);
+  }
+  EXPECT_EQ(bulk.data(), manual.data());
+}
+
 // Property sweep: random vectors of pairs survive round trips.
 class CodecPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 

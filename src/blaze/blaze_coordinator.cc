@@ -51,6 +51,13 @@ double BlazeCoordinator::DiskThroughput() const {
 }
 
 void BlazeCoordinator::OnJobStart(const JobInfo& job) {
+  // One job's planning round at a time (see plan_mu_): concurrent submissions
+  // queue here, so the lineage observes whole jobs and the desired_ plan is
+  // always the product of a single consistent solve.
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  BLAZE_CHECK_NE(job.job_id, last_planned_job_)
+      << "OnJobStart for job " << job.job_id << " delivered twice";
+  last_planned_job_ = job.job_id;
   lineage_.ObserveJobStart(job);
   if (options_.ilp) {
     TRACE_SCOPE("ilp.plan", "cache", trace::TArg("job", job.job_id));

@@ -101,6 +101,13 @@ class BlazeCoordinator : public CacheCoordinator {
   CostLineage lineage_;
   std::vector<std::unique_ptr<std::mutex>> executor_mu_;
 
+  // Serializes job-level planning (lineage observation + ILP solve + desired_
+  // replacement) under concurrent OnJobStart callbacks: two interleaved plans
+  // would otherwise clobber each other's desired_ map mid-install. Data-path
+  // calls (Lookup/BlockComputed) deliberately do not take it.
+  std::mutex plan_mu_;
+  int last_planned_job_ = -1;  // contract assertion: job ids arrive fresh
+
   mutable std::mutex desired_mu_;
   // ILP-planned states for blocks not yet materialized, applied on admission.
   std::unordered_map<BlockId, PartitionState, BlockIdHash> desired_;

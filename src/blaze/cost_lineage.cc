@@ -75,7 +75,10 @@ void CostLineage::ObserveJobStart(const JobInfo& job) {
 }
 
 void CostLineage::ObserveJobStartLocked(const JobInfo& job) {
-  current_job_ = job.job_id;
+  // Monotone: concurrent jobs may observe out of submission order, and the
+  // "current" horizon for future-reference queries is the furthest job seen.
+  current_job_.store(std::max(current_job_.load(std::memory_order_relaxed), job.job_id),
+                     std::memory_order_relaxed);
   std::vector<RddId> new_roles;
 
   for (const JobRddInfo& info : job.rdds) {

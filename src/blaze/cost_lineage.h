@@ -18,6 +18,7 @@
 #ifndef SRC_BLAZE_COST_LINEAGE_H_
 #define SRC_BLAZE_COST_LINEAGE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -97,7 +98,10 @@ class CostLineage {
   // Exports the structural profile (used by the profiling run).
   LineageProfile ExportProfile() const;
 
-  int current_job() const { return current_job_; }
+  // Highest job id observed so far. Lock-free (hot path: fusion's
+  // IsCacheCandidate probe per operator); monotone under concurrent jobs
+  // whose ObserveJobStart calls interleave out of submission order.
+  int current_job() const { return current_job_.load(std::memory_order_relaxed); }
   size_t num_nodes() const { return nodes_.size(); }
 
  private:
@@ -110,7 +114,8 @@ class CostLineage {
   std::map<RddId, std::set<int>> class_ref_offsets_;
   // New roles per job, in role order (for congruence detection).
   std::map<int, std::vector<RddId>> job_new_roles_;
-  int current_job_ = -1;
+  // Atomic so current_job() stays lock-free; writes happen under mu_.
+  std::atomic<int> current_job_{-1};
   int profiled_jobs_ = 0;
 };
 

@@ -55,6 +55,11 @@ class PolicyCoordinator : public CacheCoordinator {
   EvictionMode mode_;
   std::vector<std::unique_ptr<std::mutex>> executor_mu_;
   mutable std::mutex digest_mu_;
+  // One digest per engine, rebuilt on every OnJobStart. Under concurrent jobs
+  // this is a race-free last-submitted-job approximation: policies see the
+  // most recent job's reference counts/stage positions, which can only skew
+  // eviction and prefetch choices (performance), never correctness — all
+  // digest reads and writes stay behind digest_mu_.
   DependencyDigest digest_;
   // Prefetching overlaps with task execution (MRD's prefetcher is a
   // background component); one thread keeps sweeps ordered.

@@ -19,6 +19,26 @@ namespace blaze {
 
 class TaskContext;
 
+// Thread-safety contract (event-driven scheduler, concurrent jobs):
+//
+//  * Every method may be called concurrently from any driver or executor
+//    worker thread; implementations must synchronize their own state.
+//  * Per-job ordering is guaranteed: OnJobStart(j) happens-before every
+//    OnStageStart/OnStageComplete carrying job id j, which happen-before
+//    OnJobEnd(j). OnStageStart(s) happens-before OnStageComplete(s) for the
+//    same stage, and a stage's events happen-after the completion events of
+//    its parent stages.
+//  * Nothing is guaranteed *across* jobs: callbacks of different jobs
+//    interleave arbitrarily (job B may start and finish between two stage
+//    events of job A), and sibling stages of one job overlap, so two
+//    OnStageStart calls of the same job can race. Skipped stages (shuffle
+//    outputs already present) emit no stage events at all.
+//  * Lifecycle events fire on whichever thread completes the triggering
+//    event — OnJobStart on the submitting driver thread, stage/job
+//    completions on the worker thread that finished the last task — so they
+//    must never block on work scheduled behind them in the same pool.
+//  * Data-path calls (Lookup/BlockComputed) come from many tasks of many
+//    jobs at once; job ids are available via TaskContext::job_id().
 class CacheCoordinator {
  public:
   virtual ~CacheCoordinator() = default;

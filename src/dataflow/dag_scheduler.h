@@ -1,10 +1,26 @@
-// Stage-oriented DAG scheduler.
+// Event-driven stage-graph scheduler.
 //
 // A job (triggered by an action) is cut into stages at shuffle dependencies,
 // exactly as in Spark: every shuffle dependency gets a map stage that
 // materializes the dependency's parent partitions and writes hash buckets to
-// the shuffle service; the action itself runs as the final result stage. Map
-// stages whose shuffle outputs already exist are skipped (Spark's stage
+// the shuffle service; the action itself runs as the final result stage. The
+// stages form a DAG with parent/child edges (a stage's parents are the map
+// stages producing the shuffles its narrow closure reads). Execution is
+// event-driven: every stage whose parents are satisfied is submitted, and a
+// stage's *completion event* — fired by its last finishing task, on that
+// task's worker thread — decrements its children's pending-parent counts and
+// launches the ones that become ready. There is no scheduler thread and no
+// driver barrier between stages, so sibling map stages (e.g. the two shuffle
+// parents of a join) overlap.
+//
+// The scheduler is fully thread-safe: any number of driver threads may call
+// RunJob/SubmitJob concurrently on one engine. Per-job state (stage counters,
+// results, fusion barriers, pinned shuffles) lives in a JobState keyed by job
+// id; stage skipping goes through the shuffle service's write-claim state
+// machine (absent -> computing -> complete), so a job never reads a shuffle a
+// concurrent job is still writing — it parks a completion callback instead.
+//
+// Map stages whose shuffle outputs already exist are skipped (Spark's stage
 // skipping). Tasks are dispatched to the executor that owns their partition
 // (partition % num_executors), modeling Spark's locality-aware scheduling of
 // cached partitions.
@@ -13,9 +29,11 @@
 
 #include <any>
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "src/dataflow/events.h"
@@ -25,13 +43,45 @@ namespace blaze {
 
 class EngineContext;
 
+namespace internal {
+struct JobState;
+}
+
+// Future-style handle to an asynchronously submitted job.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  // Blocks until the job finishes and returns its per-partition results.
+  // Call at most once: results are moved out of the job state.
+  std::vector<std::any> Wait();
+
+  int job_id() const;
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class DagScheduler;
+  explicit JobHandle(std::shared_ptr<internal::JobState> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::JobState> state_;
+};
+
 class DagScheduler {
  public:
   explicit DagScheduler(EngineContext* engine) : engine_(engine) {}
+  // Blocks until every in-flight job has finished (abandoned handles
+  // included), so executor pools never run tasks of a dead scheduler.
+  ~DagScheduler();
 
-  // Runs one action job; returns one result per partition of `target`.
+  // Runs one action job to completion; returns one result per partition of
+  // `target`. Thread-safe; equivalent to SubmitJob(...).Wait().
   std::vector<std::any> RunJob(const std::shared_ptr<RddBase>& target,
                                const std::function<std::any(const BlockPtr&)>& process);
+
+  // Submits the job and returns immediately; stages launch as their parents
+  // complete. Thread-safe.
+  JobHandle SubmitJob(const std::shared_ptr<RddBase>& target,
+                      const std::function<std::any(const BlockPtr&)>& process);
 
   int jobs_run() const { return next_job_id_.load(); }
 
@@ -40,24 +90,50 @@ class DagScheduler {
   // for Blaze's dependency-extraction phase.
   JobInfo AnalyzeJob(const std::shared_ptr<RddBase>& target, int job_id) const;
 
+  // Renders the stage/RDD DAG the scheduler would run for `target` as
+  // Graphviz DOT (one cluster per stage, shuffle edges between stages).
+  std::string ExportDot(const std::shared_ptr<RddBase>& target) const;
+
  private:
+  friend class JobHandle;
+  friend struct internal::JobState;
+
   struct StagePlan {
     // nullptr dep => result stage.
     const Dependency* shuffle_dep = nullptr;
     std::shared_ptr<RddBase> terminal;  // dataset materialized by this stage
     int stage_index = 0;
+    int num_parents = 0;        // stages whose shuffles this stage reads
+    std::vector<int> children;  // stages waiting on this one
   };
 
-  // Topologically ordered map stages followed by the result stage.
+  // Map stages in topological order followed by the result stage, with
+  // parent/child edges filled in (plus synthetic i -> i+1 edges when
+  // EngineConfig::serialize_stages is set).
   std::vector<StagePlan> PlanStages(const std::shared_ptr<RddBase>& target) const;
 
-  void RunStageTasks(const StagePlan& stage, int job_id,
-                     const std::function<std::any(const BlockPtr&)>* process,
-                     std::vector<std::any>* results);
+  // Claims the stage's shuffle write (map stages) and either runs its tasks,
+  // records completion (already-complete shuffle), or parks until a
+  // concurrent writer finishes.
+  void LaunchStage(const std::shared_ptr<internal::JobState>& job, int stage_index);
+  // Fans the stage's tasks out to the executor pools; the last finishing task
+  // publishes the shuffle and fires CompleteStage.
+  void RunStageTasks(const std::shared_ptr<internal::JobState>& job, int stage_index);
+  // Stage-completion event: notifies the coordinator (if the stage ran),
+  // closes the stage span, and launches children whose parents are done.
+  void CompleteStage(const std::shared_ptr<internal::JobState>& job, int stage_index,
+                     bool ran);
+  void FinishJob(const std::shared_ptr<internal::JobState>& job);
+
+  StageInfo MakeStageInfo(const internal::JobState& job, int stage_index) const;
 
   EngineContext* engine_;
-  std::mutex run_mu_;  // one job at a time, as in a single-driver Spark app
   std::atomic<int> next_job_id_{0};
+
+  // In-flight job accounting for the destructor's drain.
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  int jobs_in_flight_ = 0;
 };
 
 }  // namespace blaze

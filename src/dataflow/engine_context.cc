@@ -89,15 +89,22 @@ std::shared_ptr<RddBase> EngineContext::FindRdd(RddId id) const {
   return it == registry_.end() ? nullptr : it->second.lock();
 }
 
-void EngineContext::SetJobFanoutBarriers(std::shared_ptr<const FusionBarrierSet> barriers) {
+void EngineContext::SetJobFanoutBarriers(int job_id,
+                                         std::shared_ptr<const FusionBarrierSet> barriers) {
   std::lock_guard<std::mutex> lock(fusion_mu_);
-  fanout_barriers_ = std::move(barriers);
+  fanout_barriers_by_job_[job_id] = std::move(barriers);
 }
 
-std::shared_ptr<const EngineContext::FusionBarrierSet> EngineContext::job_fanout_barriers()
-    const {
+std::shared_ptr<const EngineContext::FusionBarrierSet> EngineContext::job_fanout_barriers(
+    int job_id) const {
   std::lock_guard<std::mutex> lock(fusion_mu_);
-  return fanout_barriers_;
+  auto it = fanout_barriers_by_job_.find(job_id);
+  return it == fanout_barriers_by_job_.end() ? nullptr : it->second;
+}
+
+void EngineContext::ClearJobFanoutBarriers(int job_id) {
+  std::lock_guard<std::mutex> lock(fusion_mu_);
+  fanout_barriers_by_job_.erase(job_id);
 }
 
 bool EngineContext::WasComputedBefore(const BlockId& id) const {
@@ -114,6 +121,11 @@ std::vector<std::any> EngineContext::RunJob(
     const std::shared_ptr<RddBase>& target,
     const std::function<std::any(const BlockPtr&)>& process) {
   return scheduler_->RunJob(target, process);
+}
+
+JobHandle EngineContext::SubmitJob(const std::shared_ptr<RddBase>& target,
+                                   const std::function<std::any(const BlockPtr&)>& process) {
+  return scheduler_->SubmitJob(target, process);
 }
 
 uint64_t EngineContext::TotalMemoryUsed() const {

@@ -25,6 +25,7 @@
 namespace blaze {
 
 class DagScheduler;
+class JobHandle;
 
 struct EngineConfig {
   size_t num_executors = 4;
@@ -51,6 +52,10 @@ struct EngineConfig {
   // per operator (off = the pre-fusion per-operator block behavior, kept as a
   // kill switch and for A/B benchmarking).
   bool enable_fusion = true;
+  // Chains every job's stages into a linear order (synthetic i -> i+1 edges),
+  // disabling sibling-stage overlap. Kill switch for the event-driven stage
+  // graph and the serial baseline for the scheduler microbench.
+  bool serialize_stages = false;
 };
 
 class EngineContext {
@@ -87,13 +92,16 @@ class EngineContext {
   std::shared_ptr<RddBase> FindRdd(RddId id) const;
 
   // --- fusion barriers --------------------------------------------------------------
-  // RDD ids with >1 dependent in the running job (fan-out nodes): fusing
-  // through them would recompute the shared chain once per consumer, so they
-  // always materialize. Installed by the scheduler at job start; tasks
-  // snapshot the shared_ptr once at TaskContext construction.
+  // RDD ids with >1 dependent in a running job (fan-out nodes): fusing through
+  // them would recompute the shared chain once per consumer, so they always
+  // materialize. Keyed by job id so concurrent jobs with different fan-out
+  // nodes cannot clobber each other's fusion decisions: the scheduler installs
+  // a job's set at submission and clears it at job end; tasks snapshot the
+  // shared_ptr for their own job once at TaskContext construction.
   using FusionBarrierSet = std::unordered_set<RddId>;
-  void SetJobFanoutBarriers(std::shared_ptr<const FusionBarrierSet> barriers);
-  std::shared_ptr<const FusionBarrierSet> job_fanout_barriers() const;
+  void SetJobFanoutBarriers(int job_id, std::shared_ptr<const FusionBarrierSet> barriers);
+  std::shared_ptr<const FusionBarrierSet> job_fanout_barriers(int job_id) const;
+  void ClearJobFanoutBarriers(int job_id);
 
   // --- recomputation attribution ---------------------------------------------------
   // A block's second materialization is a recovery (the recompute cost the
@@ -103,9 +111,15 @@ class EngineContext {
 
   // Runs an action job: computes every partition of `target` and applies
   // `process` to each materialized block, returning per-partition results
-  // (indexed by partition). Delegates to the DAG scheduler.
+  // (indexed by partition). Delegates to the DAG scheduler. Thread-safe: any
+  // number of driver threads may run (or submit) jobs concurrently.
   std::vector<std::any> RunJob(const std::shared_ptr<RddBase>& target,
                                const std::function<std::any(const BlockPtr&)>& process);
+
+  // Asynchronous variant: submits the job and returns a handle whose Wait()
+  // yields the per-partition results (see dag_scheduler.h).
+  JobHandle SubmitJob(const std::shared_ptr<RddBase>& target,
+                      const std::function<std::any(const BlockPtr&)>& process);
 
   // Total memory-store bytes currently cached across executors (diagnostics).
   uint64_t TotalMemoryUsed() const;
@@ -140,7 +154,7 @@ class EngineContext {
   std::unordered_set<BlockId, BlockIdHash> computed_;
 
   mutable std::mutex fusion_mu_;
-  std::shared_ptr<const FusionBarrierSet> fanout_barriers_;
+  std::unordered_map<int, std::shared_ptr<const FusionBarrierSet>> fanout_barriers_by_job_;
 };
 
 }  // namespace blaze

@@ -36,7 +36,7 @@ BlockPtr ShuffleService::GetBucket(int shuffle_id, uint32_t map_part,
   return it == shard.buckets.end() ? nullptr : it->second;
 }
 
-bool ShuffleService::HasAllOutputs(int shuffle_id, size_t num_map, size_t num_reduce) const {
+size_t ShuffleService::CountBuckets(int shuffle_id) const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
     std::lock_guard<SpinLock> lock(shard.mu);
@@ -45,7 +45,78 @@ bool ShuffleService::HasAllOutputs(int shuffle_id, size_t num_map, size_t num_re
       total += it->second;
     }
   }
-  return total == num_map * num_reduce;
+  return total;
+}
+
+bool ShuffleService::HasAllOutputs(int shuffle_id, size_t num_map, size_t num_reduce) const {
+  return CountBuckets(shuffle_id) == num_map * num_reduce;
+}
+
+ShuffleService::WriteClaim ShuffleService::ClaimWrite(int shuffle_id, size_t num_map,
+                                                      size_t num_reduce,
+                                                      std::function<void()> on_complete) {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  Entry& entry = entries_[shuffle_id];
+  switch (entry.state) {
+    case State::kComplete:
+      return WriteClaim::kAlreadyComplete;
+    case State::kComputing:
+      entry.waiters.push_back(std::move(on_complete));
+      return WriteClaim::kPending;
+    case State::kAbsent:
+      break;
+  }
+  // Lazily rebuilt (ReadOrRebuildShuffleBuckets) or prepopulated outputs may
+  // already be whole without anyone having claimed the write: promote.
+  if (num_map > 0 && num_reduce > 0 && CountBuckets(shuffle_id) == num_map * num_reduce) {
+    entry.state = State::kComplete;
+    return WriteClaim::kAlreadyComplete;
+  }
+  entry.state = State::kComputing;
+  return WriteClaim::kOwner;
+}
+
+void ShuffleService::FinishWrite(int shuffle_id) {
+  std::vector<std::function<void()>> waiters;
+  {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    Entry& entry = entries_[shuffle_id];
+    entry.state = State::kComplete;
+    waiters.swap(entry.waiters);
+    control_cv_.notify_all();
+  }
+  // Waiters run outside the service lock: they may launch stages (and claim
+  // further shuffles) without any lock-order constraint.
+  for (auto& waiter : waiters) {
+    waiter();
+  }
+}
+
+bool ShuffleService::IsComplete(int shuffle_id) const {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  auto it = entries_.find(shuffle_id);
+  return it != entries_.end() && it->second.state == State::kComplete;
+}
+
+void ShuffleService::WaitComplete(int shuffle_id) {
+  std::unique_lock<std::mutex> lock(control_mu_);
+  control_cv_.wait(lock, [&] {
+    auto it = entries_.find(shuffle_id);
+    return it != entries_.end() && it->second.state == State::kComplete;
+  });
+}
+
+void ShuffleService::Pin(int shuffle_id) {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  ++entries_[shuffle_id].pins;
+}
+
+void ShuffleService::Unpin(int shuffle_id) {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  auto it = entries_.find(shuffle_id);
+  if (it != entries_.end() && it->second.pins > 0) {
+    --it->second.pins;
+  }
 }
 
 void ShuffleService::Clear() {
@@ -57,8 +128,8 @@ void ShuffleService::Clear() {
     shard.buckets.clear();
     shard.bucket_counts.clear();
   }
-  std::lock_guard<std::mutex> lock(retention_mu_);
-  last_used_job_.clear();
+  std::lock_guard<std::mutex> lock(control_mu_);
+  entries_.clear();
 }
 
 void ShuffleService::ClearShuffleInShards(int shuffle_id) {
@@ -78,27 +149,31 @@ void ShuffleService::ClearShuffleInShards(int shuffle_id) {
 
 void ShuffleService::ClearShuffle(int shuffle_id) {
   ClearShuffleInShards(shuffle_id);
-  std::lock_guard<std::mutex> lock(retention_mu_);
-  last_used_job_.erase(shuffle_id);
+  std::lock_guard<std::mutex> lock(control_mu_);
+  entries_.erase(shuffle_id);
 }
 
 void ShuffleService::MarkUsed(int shuffle_id, int job_id) {
-  std::lock_guard<std::mutex> lock(retention_mu_);
-  int& last = last_used_job_[shuffle_id];
-  last = std::max(last, job_id);
+  std::lock_guard<std::mutex> lock(control_mu_);
+  Entry& entry = entries_[shuffle_id];
+  entry.last_used_job = std::max(entry.last_used_job, job_id);
 }
 
 void ShuffleService::DropStale(int current_job, int retention_jobs) {
   std::vector<int> stale;
   {
-    std::lock_guard<std::mutex> lock(retention_mu_);
-    for (const auto& [shuffle_id, last_used] : last_used_job_) {
-      if (last_used <= current_job - retention_jobs) {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    for (const auto& [shuffle_id, entry] : entries_) {
+      // Never reap a shuffle a live job holds (pinned) or is writing.
+      if (entry.pins > 0 || entry.state == State::kComputing) {
+        continue;
+      }
+      if (entry.last_used_job <= current_job - retention_jobs) {
         stale.push_back(shuffle_id);
       }
     }
     for (int shuffle_id : stale) {
-      last_used_job_.erase(shuffle_id);
+      entries_.erase(shuffle_id);
     }
   }
   for (int shuffle_id : stale) {

@@ -17,7 +17,9 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -31,15 +33,56 @@ class ShuffleService {
  public:
   static constexpr size_t kNumShards = 16;
 
+  // Write-claim outcome for a shuffle's map outputs (see ClaimWrite).
+  enum class WriteClaim {
+    kOwner,            // caller must run the map stage and call FinishWrite
+    kAlreadyComplete,  // all outputs present; safe to skip the map stage
+    kPending,          // another job is writing; callback fires on completion
+  };
+
   // Registers the bucket for (shuffle, map_partition, reduce_partition).
   void PutBucket(int shuffle_id, uint32_t map_part, uint32_t reduce_part, BlockPtr bucket);
 
   // Returns the bucket, or nullptr if the map output is missing.
   BlockPtr GetBucket(int shuffle_id, uint32_t map_part, uint32_t reduce_part) const;
 
-  // True when all num_map x num_reduce buckets of the shuffle are present
-  // (used by the scheduler to skip already-computed map stages).
+  // True when all num_map x num_reduce buckets of the shuffle are present.
+  // Diagnostic / cost-model view only: under concurrent jobs a bare bucket
+  // count is a TOCTOU trap (another job may still be mid-write), so the
+  // scheduler's stage skipping goes through ClaimWrite instead.
   bool HasAllOutputs(int shuffle_id, size_t num_map, size_t num_reduce) const;
+
+  // --- write-claim state machine ----------------------------------------------------
+  // Each shuffle moves absent -> computing -> complete. A stage that wants to
+  // produce shuffle outputs first claims the write:
+  //   * kOwner: the shuffle was absent; the caller owns the write and must
+  //     call FinishWrite once every bucket is registered.
+  //   * kAlreadyComplete: a previous job finished this shuffle (or its buckets
+  //     were fully rebuilt through the lineage); the stage can be skipped.
+  //   * kPending: a concurrent job is mid-write. `on_complete` is invoked
+  //     exactly once, on the writer's FinishWrite thread, when the shuffle
+  //     becomes readable. Callback-based (not blocking) so a finite worker
+  //     pool can never deadlock waiting for its own queue to drain.
+  // An absent shuffle whose num_map x num_reduce buckets already all exist
+  // (lazily rebuilt by ReadOrRebuildShuffleBuckets, or prepopulated by tests)
+  // is promoted straight to complete.
+  WriteClaim ClaimWrite(int shuffle_id, size_t num_map, size_t num_reduce,
+                        std::function<void()> on_complete);
+
+  // Marks the claimed shuffle complete and fires pending waiters (outside the
+  // service lock). Only the kOwner claimant may call this.
+  void FinishWrite(int shuffle_id);
+
+  // State probes for tests and diagnostics.
+  bool IsComplete(int shuffle_id) const;
+  // Blocks until the shuffle reaches complete (test helper; the scheduler
+  // itself only uses the non-blocking callback path).
+  void WaitComplete(int shuffle_id);
+
+  // Retention pinning: a job pins every shuffle it plans to read or write for
+  // its whole duration, so DropStale never reaps outputs of in-flight jobs.
+  void Pin(int shuffle_id);
+  void Unpin(int shuffle_id);
 
   // Total bytes held (diagnostics only; Spark keeps these on local disk).
   uint64_t approx_bytes() const { return approx_bytes_.load(std::memory_order_relaxed); }
@@ -54,7 +97,8 @@ class ShuffleService {
   // Retention bookkeeping: the scheduler marks each shuffle it reads or
   // writes with the running job; DropStale clears shuffles untouched for
   // `retention_jobs` jobs (modeling aggressive shuffle cleanup — the design
-  // ablation for our keep-everything default).
+  // ablation for our keep-everything default). Pinned or mid-write shuffles
+  // are never dropped.
   void MarkUsed(int shuffle_id, int job_id);
   void DropStale(int current_job, int retention_jobs);
 
@@ -93,13 +137,28 @@ class ShuffleService {
   }
 
   void ClearShuffleInShards(int shuffle_id);
+  // Sums this shuffle's resident buckets across shards. Leaf operation: takes
+  // only shard spinlocks, safe to call with control_mu_ held.
+  size_t CountBuckets(int shuffle_id) const;
 
   mutable std::array<Shard, kNumShards> shards_;
   std::atomic<uint64_t> approx_bytes_{0};
   std::atomic<int> next_shuffle_id_{0};
 
-  mutable std::mutex retention_mu_;             // guards last_used_job_ only
-  std::unordered_map<int, int> last_used_job_;  // per shuffle id
+  enum class State { kAbsent, kComputing, kComplete };
+  struct Entry {
+    State state = State::kAbsent;
+    int last_used_job = -1;  // retention watermark (MarkUsed)
+    int pins = 0;            // in-flight jobs referencing this shuffle
+    std::vector<std::function<void()>> waiters;  // fired by FinishWrite
+  };
+
+  // Control-plane mutex: guards `entries_` (state machine, pins, retention).
+  // Lock order: control_mu_ before shard spinlocks (CountBuckets); the data
+  // plane (PutBucket/GetBucket) never takes control_mu_.
+  mutable std::mutex control_mu_;
+  std::condition_variable control_cv_;  // signalled on state -> kComplete
+  std::unordered_map<int, Entry> entries_;
 };
 
 }  // namespace blaze

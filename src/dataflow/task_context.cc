@@ -13,7 +13,7 @@ TaskContext::TaskContext(EngineContext* engine, int job_id, int stage_id, uint32
       stage_id_(stage_id),
       partition_(partition),
       executor_id_(executor_id),
-      fanout_barriers_(engine->job_fanout_barriers()) {}
+      fanout_barriers_(engine->job_fanout_barriers(job_id)) {}
 
 bool TaskContext::IsFusionBarrier(const RddBase& rdd) const {
   if (!engine_->config().enable_fusion) {

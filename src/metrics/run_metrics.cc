@@ -10,10 +10,20 @@ RunMetrics::RunMetrics(size_t num_executors) {
   snap_.evicted_bytes_per_executor.assign(num_executors, 0);
 }
 
-void RunMetrics::AddTask(const TaskMetrics& m, double task_wall_ms) {
+void RunMetrics::AddTask(const TaskMetrics& m, double task_wall_ms, int job_id) {
   std::lock_guard<std::mutex> lock(mu_);
   snap_.total_task.MergeFrom(m);
   ++snap_.num_tasks;
+  if (job_id >= 0) {
+    JobTaskMetrics& job = snap_.per_job[job_id];
+    ++job.num_tasks;
+    job.task_wall_ms += task_wall_ms;
+    job.compute_ms += m.compute_ms;
+    job.recompute_ms += m.recompute_ms;
+    job.cache_disk_ms += m.cache_disk_ms;
+    job.cache_disk_bytes_read += m.cache_disk_bytes_read;
+    job.cache_disk_bytes_written += m.cache_disk_bytes_written;
+  }
   if (task_wall_ms > 0.0) {
     task_run_hist_.Record(task_wall_ms);
   }

@@ -37,6 +37,18 @@ struct TaskMetrics {
   }
 };
 
+// Per-job slice of the task counters: with concurrent jobs interleaving on
+// one engine, the per-job attribution is what keeps runs debuggable.
+struct JobTaskMetrics {
+  uint64_t num_tasks = 0;
+  double task_wall_ms = 0.0;     // summed wall time of the job's tasks
+  double compute_ms = 0.0;
+  double recompute_ms = 0.0;
+  double cache_disk_ms = 0.0;
+  uint64_t cache_disk_bytes_read = 0;
+  uint64_t cache_disk_bytes_written = 0;
+};
+
 // Aggregated view of a finished run; see Snapshot().
 struct RunMetricsSnapshot {
   TaskMetrics total_task;           // accumulated over all tasks of all jobs
@@ -51,6 +63,7 @@ struct RunMetricsSnapshot {
   uint64_t disk_bytes_written_total = 0;
   uint64_t disk_bytes_peak = 0;     // peak bytes simultaneously resident on disk
   std::map<int, double> recompute_ms_per_job;
+  std::map<int, JobTaskMetrics> per_job;  // job id -> that job's task counters
   double profiling_ms = 0.0;        // Blaze dependency-extraction phase
   double solver_ms = 0.0;           // total ILP solve time
   uint64_t solver_invocations = 0;
@@ -67,7 +80,8 @@ class RunMetrics {
   explicit RunMetrics(size_t num_executors);
 
   // task_wall_ms, when positive, feeds the task-run latency histogram.
-  void AddTask(const TaskMetrics& m, double task_wall_ms = 0.0);
+  // job_id >= 0 additionally attributes the task to that job's per_job slice.
+  void AddTask(const TaskMetrics& m, double task_wall_ms = 0.0, int job_id = -1);
   void RecordDiskIo(double ms);  // one spill or load operation
   void RecordEviction(size_t executor, uint64_t bytes, bool to_disk);
   void RecordUnpersist();

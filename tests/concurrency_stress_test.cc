@@ -19,6 +19,8 @@
 #include "src/common/countdown_latch.h"
 #include "src/common/units.h"
 #include "src/common/thread_pool.h"
+#include "src/dataflow/dag_scheduler.h"
+#include "src/dataflow/pair_rdd.h"
 #include "src/dataflow/rdd.h"
 #include "src/dataflow/shuffle.h"
 #include "src/dataflow/typed_block.h"
@@ -229,8 +231,9 @@ TEST(ConcurrencyStressTest, FusedChainsSurviveParallelJobs) {
   base->Cache();
   EXPECT_EQ(base->Count(), 16000u);
 
-  // Jobs run sequentially (RunJob holds the scheduler), but each job's tasks
-  // execute concurrently across 4x2 executor threads with fused chains.
+  // One driver thread submits jobs back-to-back; each job's tasks execute
+  // concurrently across 4x2 executor threads with fused chains. (Concurrent
+  // drivers are exercised by ConcurrentDriversShareOneEngine below.)
   uint64_t expect = 0;
   for (const int row : base->Collect()) {
     const int mapped = row * 2 + 1;
@@ -250,6 +253,91 @@ TEST(ConcurrencyStressTest, FusedChainsSurviveParallelJobs) {
   }
   const auto snap = engine.metrics().Snapshot();
   EXPECT_GT(snap.total_task.fused_ops, 0u);
+}
+
+// N driver threads hammer ONE engine with interleaved jobs: narrow jobs,
+// shuffle jobs racing to claim/skip the same shared shuffle, and async
+// SubmitJob handles waited out of order. Under TSan this covers the whole
+// event-driven scheduler: per-job state, the shuffle write-claim state
+// machine, per-job fusion barriers, and per-job metrics attribution.
+TEST(ConcurrencyStressTest, ConcurrentDriversShareOneEngine) {
+  EngineConfig config;
+  config.num_executors = 2;
+  config.threads_per_executor = 2;
+  config.memory_capacity_per_executor = MiB(8);
+  EngineContext engine(config);
+
+  std::vector<std::pair<uint32_t, int>> rows;
+  for (uint32_t k = 0; k < 8; ++k) {
+    rows.emplace_back(k, static_cast<int>(k));
+  }
+  auto base = Parallelize<std::pair<uint32_t, int>>(&engine, "cd.base", rows, 4);
+  // Shared across every driver: all of them race to claim (or skip) this
+  // shuffle; only one may write it, the rest must park and read it whole.
+  auto reduced = ReduceByKey<uint32_t, int>(
+      base, [](const int& a, const int& b) { return a + b; }, 4);
+
+  constexpr int kDrivers = 4;
+  constexpr int kJobsPerDriver = 8;
+  std::atomic<int> bad_results{0};
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&, d] {
+      for (int r = 0; r < kJobsPerDriver; ++r) {
+        int64_t sum = 0;
+        if ((d + r) % 2 == 0) {
+          // Narrow job with a fresh per-driver chain (distinct fusion sets).
+          auto doubled = base->Map(
+              [](const std::pair<uint32_t, int>& row) {
+                return std::make_pair(row.first, row.second * 2);
+              },
+              "cd.m" + std::to_string(d));
+          for (const auto& [k, v] : doubled->Collect()) {
+            sum += v;
+          }
+          if (sum != 56) {
+            bad_results.fetch_add(1);
+          }
+        } else {
+          // Shuffle job over the shared reduce.
+          for (const auto& [k, v] : reduced->Collect()) {
+            sum += v;
+          }
+          if (sum != 28) {
+            bad_results.fetch_add(1);
+          }
+        }
+      }
+      // Async tail: two in-flight handles waited in reverse order.
+      JobHandle a = engine.SubmitJob(
+          base, [](const BlockPtr& block) -> std::any { return block->NumRows(); });
+      JobHandle b = engine.SubmitJob(
+          reduced, [](const BlockPtr& block) -> std::any { return block->NumRows(); });
+      size_t rows_b = 0, rows_a = 0;
+      for (std::any& res : b.Wait()) {
+        rows_b += std::any_cast<size_t>(res);
+      }
+      for (std::any& res : a.Wait()) {
+        rows_a += std::any_cast<size_t>(res);
+      }
+      if (rows_a != 8 || rows_b != 8) {
+        bad_results.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : drivers) {
+    t.join();
+  }
+  EXPECT_EQ(bad_results.load(), 0);
+
+  // Every job got its own metrics slice with the right job ids.
+  const auto snap = engine.metrics().Snapshot();
+  uint64_t attributed = 0;
+  for (const auto& [job_id, jm] : snap.per_job) {
+    EXPECT_GE(job_id, 0);
+    attributed += jm.num_tasks;
+  }
+  EXPECT_EQ(attributed, snap.num_tasks);
 }
 
 }  // namespace

@@ -21,6 +21,9 @@
 #include "src/cache/policy_coordinator.h"
 #include "src/common/stopwatch.h"
 #include "src/common/units.h"
+#include "src/dataflow/dag_scheduler.h"
+#include "src/dataflow/pair_rdd.h"
+#include "src/dataflow/rdd.h"
 #include "src/metrics/report.h"
 #include "src/workloads/workload.h"
 
@@ -31,6 +34,7 @@ struct CliOptions {
   std::string command;
   std::string workload = "pr";
   std::string system = "blaze";
+  std::string shape = "join";
   double scale = 1.0;
   int iterations = 0;  // 0 = workload default
   size_t partitions = 16;
@@ -43,6 +47,7 @@ struct CliOptions {
 
 int Usage() {
   std::cerr << "usage: blazectl list\n"
+               "       blazectl graph [--shape chain|diamond|join] [--partitions N]\n"
                "       blazectl run --workload <pr|cc|lr|kmeans|gbt|svdpp>\n"
                "                    --system <spark-mem|spark-memdisk|alluxio|lrc|mrd|\n"
                "                              lrc-mem|mrd-mem|blaze|blaze-auto|\n"
@@ -81,6 +86,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->disk_mbps = static_cast<uint64_t>(std::atoll(value.c_str()));
     } else if (flag == "--format") {
       options->format = value;
+    } else if (flag == "--shape") {
+      options->shape = value;
     } else {
       std::cerr << "unknown flag: " << flag << "\n";
       return false;
@@ -198,6 +205,48 @@ int RunCommand(const CliOptions& options) {
   return 0;
 }
 
+// Dumps the stage/RDD DAG the scheduler would execute for a canonical job
+// shape as Graphviz DOT (render with `dot -Tsvg`). Shapes:
+//   chain   — two back-to-back shuffles (three linear stages)
+//   diamond — one shuffle read by two branches that re-join (shared map stage)
+//   join    — a join of two independently shuffled datasets (sibling map
+//             stages that the event-driven scheduler runs concurrently)
+int GraphCommand(const CliOptions& options) {
+  EngineConfig config;
+  config.num_executors = options.executors;
+  config.threads_per_executor = options.threads;
+  EngineContext engine(config);
+  const size_t parts = options.partitions;
+  auto sum = [](const int& a, const int& b) { return a + b; };
+
+  auto base = Parallelize<std::pair<uint32_t, int>>(&engine, "base", {{0, 1}, {1, 2}}, parts);
+  std::shared_ptr<RddBase> target;
+  if (options.shape == "chain") {
+    auto once = ReduceByKey<uint32_t, int>(base, sum, parts);
+    auto rekeyed = once->Map(
+        [](const std::pair<uint32_t, int>& row) {
+          return std::make_pair(row.first + 1, row.second);
+        },
+        "rekey");
+    target = ReduceByKey<uint32_t, int>(rekeyed, sum, parts);
+  } else if (options.shape == "diamond") {
+    auto reduced = ReduceByKey<uint32_t, int>(base, sum, parts);
+    auto left = MapValues(reduced, [](const int& v) { return v + 1; }, "left");
+    auto right = MapValues(reduced, [](const int& v) { return v - 1; }, "right");
+    target = JoinCoPartitioned(left, right);
+  } else if (options.shape == "join") {
+    auto other =
+        Parallelize<std::pair<uint32_t, int>>(&engine, "other", {{0, 3}, {1, 4}}, parts);
+    target = JoinCoPartitioned(ReduceByKey<uint32_t, int>(base, sum, parts),
+                               ReduceByKey<uint32_t, int>(other, sum, parts));
+  } else {
+    std::cerr << "unknown shape: " << options.shape << "\n";
+    return Usage();
+  }
+  std::cout << engine.scheduler().ExportDot(target);
+  return 0;
+}
+
 int ListCommand() {
   std::cout << "workloads:";
   for (const auto& name : AllWorkloadNames()) {
@@ -221,6 +270,9 @@ int main(int argc, char** argv) {
   }
   if (options.command == "run") {
     return blaze::RunCommand(options);
+  }
+  if (options.command == "graph") {
+    return blaze::GraphCommand(options);
   }
   return blaze::Usage();
 }

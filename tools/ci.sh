@@ -53,6 +53,14 @@ trace_smoke() {
   ./build/tools/trace_validate "$smoke_dir/fused.json" \
     --require-span task.run --require-span task.fused_chain \
     --require-span task.recompute --require-audit admit --require-audit evict
+  # Concurrent-job smoke: two driver threads on one engine. The trace must
+  # contain two job.run spans with *different* job ids that intersect in
+  # time (the event-driven scheduler actually overlapping jobs), and the
+  # audit log must stay well-formed JSONL under the interleaving.
+  ./build/tools/concurrent_smoke "$smoke_dir/concurrent.json"
+  ./build/tools/trace_validate "$smoke_dir/concurrent.json" \
+    --require-span job.run --require-span stage.run --require-span task.run \
+    --require-overlap job.run job --require-audit admit
 }
 
 perf_smoke() {

@@ -4,11 +4,16 @@
 //
 //   trace_validate TRACE.json [--audit FILE.jsonl]
 //                  [--require-span NAME]... [--require-audit KIND]...
+//                  [--require-overlap NAME ARG]...
 //
 // Checks, in order:
 //   - the trace file parses as JSON with a non-empty "traceEvents" array;
 //   - every event has a name/ph, and spans (ph == "X") carry ts + dur;
 //   - each --require-span NAME appears at least once as a complete span;
+//   - each --require-overlap NAME ARG finds two complete spans named NAME
+//     with *different* args.ARG values whose [ts, ts+dur] intervals
+//     intersect — e.g. `--require-overlap job.run job` proves two distinct
+//     jobs genuinely ran concurrently;
 //   - every audit line parses as JSON with seq/ts_us/kind;
 //   - each --require-audit KIND appears at least once.
 // The audit path defaults to the trace path with .json -> .audit.jsonl.
@@ -40,6 +45,25 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+// One complete span instance relevant to a --require-overlap check.
+struct SpanInstance {
+  std::string arg_value;
+  double ts = 0.0;
+  double dur = 0.0;
+};
+
+std::string Stringify(const blaze::json::Value& value) {
+  if (value.is_string()) {
+    return value.as_string();
+  }
+  if (value.is_number()) {
+    std::ostringstream ss;
+    ss << value.as_number();
+    return ss.str();
+  }
+  return "?";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -47,6 +71,7 @@ int main(int argc, char** argv) {
   std::string audit_path;
   std::vector<std::string> required_spans;
   std::vector<std::string> required_audits;
+  std::vector<std::pair<std::string, std::string>> required_overlaps;  // (span, arg key)
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--audit" && i + 1 < argc) {
@@ -55,6 +80,9 @@ int main(int argc, char** argv) {
       required_spans.push_back(argv[++i]);
     } else if (arg == "--require-audit" && i + 1 < argc) {
       required_audits.push_back(argv[++i]);
+    } else if (arg == "--require-overlap" && i + 2 < argc) {
+      const std::string span = argv[++i];
+      required_overlaps.emplace_back(span, argv[++i]);
     } else if (!arg.empty() && arg[0] == '-') {
       return Fail("unknown flag " + arg);
     } else if (trace_path.empty()) {
@@ -66,7 +94,8 @@ int main(int argc, char** argv) {
   if (trace_path.empty()) {
     return Fail(
         "usage: trace_validate TRACE.json [--audit FILE.jsonl] "
-        "[--require-span NAME]... [--require-audit KIND]...");
+        "[--require-span NAME]... [--require-audit KIND]... "
+        "[--require-overlap NAME ARG]...");
   }
   if (audit_path.empty()) {
     const size_t dot = trace_path.rfind('.');
@@ -92,6 +121,7 @@ int main(int argc, char** argv) {
     return Fail(trace_path + ": traceEvents is empty");
   }
   std::map<std::string, uint64_t> span_counts;
+  std::map<size_t, std::vector<SpanInstance>> overlap_spans;  // overlap-req index -> spans
   uint64_t num_events = 0;
   for (const blaze::json::Value& event : events->as_array()) {
     if (!event.is_object()) {
@@ -116,11 +146,42 @@ int main(int argc, char** argv) {
         return Fail(trace_path + ": span '" + name->as_string() + "' lacks numeric dur");
       }
       ++span_counts[name->as_string()];
+      for (size_t req = 0; req < required_overlaps.size(); ++req) {
+        if (required_overlaps[req].first != name->as_string()) {
+          continue;
+        }
+        const blaze::json::Value* args = event.Find("args");
+        const blaze::json::Value* key =
+            args != nullptr && args->is_object() ? args->Find(required_overlaps[req].second)
+                                                 : nullptr;
+        if (key == nullptr) {
+          return Fail(trace_path + ": span '" + name->as_string() + "' lacks args." +
+                      required_overlaps[req].second);
+        }
+        overlap_spans[req].push_back(
+            SpanInstance{Stringify(*key), ts->as_number(), dur->as_number()});
+      }
     }
   }
   for (const std::string& span : required_spans) {
     if (span_counts[span] == 0) {
       return Fail(trace_path + ": no complete span named '" + span + "'");
+    }
+  }
+  for (size_t req = 0; req < required_overlaps.size(); ++req) {
+    const auto& [span, arg_key] = required_overlaps[req];
+    const std::vector<SpanInstance>& instances = overlap_spans[req];
+    bool found = false;
+    for (size_t i = 0; i < instances.size() && !found; ++i) {
+      for (size_t j = i + 1; j < instances.size() && !found; ++j) {
+        const SpanInstance& a = instances[i];
+        const SpanInstance& b = instances[j];
+        found = a.arg_value != b.arg_value && a.ts < b.ts + b.dur && b.ts < a.ts + a.dur;
+      }
+    }
+    if (!found) {
+      return Fail(trace_path + ": no two overlapping '" + span + "' spans with distinct args." +
+                  arg_key + " (" + std::to_string(instances.size()) + " instances)");
     }
   }
 

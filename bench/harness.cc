@@ -242,6 +242,16 @@ BenchResult RunBench(const RunSpec& spec) {
   config.threads_per_executor = 2;
   config.memory_capacity_per_executor =
       static_cast<uint64_t>(static_cast<double>(CapacityFor(spec.workload)) * params.scale);
+  // Spill-pressure knob: shrink executor memory below the working set so
+  // every admission evicts (tools/ci.sh uses this to smoke the async spill
+  // pipeline under sustained pressure). 1.0 = the workload's normal budget.
+  if (const char* mem_env = std::getenv("BLAZE_BENCH_MEM_SCALE")) {
+    const double mem_scale = std::atof(mem_env);
+    if (mem_scale > 0.0) {
+      config.memory_capacity_per_executor = static_cast<uint64_t>(
+          static_cast<double>(config.memory_capacity_per_executor) * mem_scale);
+    }
+  }
   const bool memory_only = spec.system == "spark-mem" || spec.system == "lrc-mem" ||
                            spec.system == "mrd-mem" || spec.system == "blaze-mem";
   config.disk_throughput_bytes_per_sec = memory_only ? 0 : kDiskThroughput;

@@ -77,12 +77,23 @@ void BlazeCoordinator::OnStageComplete(const StageInfo& stage) {
 std::optional<BlockPtr> BlazeCoordinator::Lookup(const RddBase& rdd, uint32_t partition,
                                                  TaskContext& tc) {
   const BlockId id{rdd.id(), partition};
-  BlockManager& bm = engine_->block_manager(engine_->ExecutorFor(partition));
-  if (auto hit = bm.memory().Get(id)) {
+  const size_t executor = engine_->ExecutorFor(partition);
+  BlockManager& bm = engine_->block_manager(executor);
+  if (auto hit = bm.memory().GetAndPin(id)) {
+    // Pinned until the task ends: eviction cannot free it mid-task.
+    tc.RegisterPin(executor, id);
     engine_->metrics().RecordCacheHit(/*from_memory=*/true);
     TRACE_EVENT("cache.hit", "cache", trace::TArg("rdd", id.rdd_id),
                 trace::TArg("part", id.partition), trace::TArg("tier", "memory"));
     return hit;
+  }
+  // Eviction write still in flight: serve the live payload from the spill
+  // queue's write-claim instead of paying a disk read or a recompute.
+  if (auto in_flight = bm.InFlightSpill(id)) {
+    engine_->metrics().RecordCacheHit(/*from_memory=*/true);
+    TRACE_EVENT("cache.hit", "cache", trace::TArg("rdd", id.rdd_id),
+                trace::TArg("part", id.partition), trace::TArg("tier", "spill_queue"));
+    return in_flight;
   }
   if (options_.use_disk) {
     double read_ms = 0.0;
@@ -126,43 +137,58 @@ bool BlazeCoordinator::DiskHasRoom(size_t executor, uint64_t bytes) const {
   if (options_.disk_capacity_bytes == 0) {
     return true;  // abundant disk (the paper's default assumption)
   }
-  return engine_->block_manager(executor).disk().used_bytes() + bytes <=
+  // Pending async spills count as already on disk: without the charge, every
+  // eviction between two commits passes the same budget and they overshoot
+  // it together.
+  const BlockManager& bm = engine_->block_manager(executor);
+  return bm.disk().used_bytes() + bm.PendingSpillBytes() + bytes <=
          options_.disk_capacity_bytes;
 }
 
-void BlazeCoordinator::EvictBlock(size_t executor, const MemoryEntry& victim, bool spill,
+bool BlazeCoordinator::EvictBlock(size_t executor, const MemoryEntry& victim, bool spill,
                                   TaskContext* tc, const char* reason, double score,
                                   uint32_t candidates) {
   BlockManager& bm = engine_->block_manager(executor);
   spill = spill && DiskHasRoom(executor, victim.size_bytes);
-  if (spill && options_.use_disk) {
-    if (!bm.disk().Contains(victim.id)) {
+  const bool to_disk = spill && options_.use_disk;
+  bool spilled_async = false;
+  if (to_disk && !bm.disk().Contains(victim.id) && !bm.InFlightSpill(victim.id)) {
+    // Off the task path when the spill worker accepts; otherwise the evicting
+    // task (when there is one) pays the serialize+write synchronously.
+    spilled_async = bm.SpillAsync(victim.id, victim.data);
+    if (!spilled_async) {
       const double ms = bm.SpillToDisk(victim.id, *victim.data);
       if (tc != nullptr) {
         tc->metrics().cache_disk_ms += ms;
         tc->metrics().cache_disk_bytes_written += victim.size_bytes;
       }
     }
-    lineage_.SetState(victim.id.rdd_id, victim.id.partition, PartitionState::kDisk);
-  } else {
-    lineage_.SetState(victim.id.rdd_id, victim.id.partition, PartitionState::kNone);
   }
-  bm.memory().Remove(victim.id);
-  const bool to_disk = spill && options_.use_disk;
+  if (bm.memory().RemoveIfUnpinned(victim.id) == 0) {
+    // Pinned by an executing task (or already gone): eviction refused; the
+    // queued write would only duplicate a still-resident block.
+    if (spilled_async) {
+      bm.CancelSpill(victim.id);
+    }
+    return false;
+  }
+  lineage_.SetState(victim.id.rdd_id, victim.id.partition,
+                    to_disk ? PartitionState::kDisk : PartitionState::kNone);
   engine_->metrics().RecordEviction(executor, victim.size_bytes, to_disk);
   engine_->audit().Evict(static_cast<uint32_t>(executor), victim.id.rdd_id,
                          victim.id.partition, victim.size_bytes, to_disk,
                          options_.cost_aware_eviction ? "BlazeCost" : "BlazeLRU", reason,
                          score, candidates);
+  return true;
 }
 
 bool BlazeCoordinator::EnsureSpace(size_t executor, uint64_t needed, double incoming_cost,
                                    TaskContext& tc) {
   BlockManager& bm = engine_->block_manager(executor);
-  if (bm.memory().capacity_bytes() < needed) {
+  if (bm.memory().effective_capacity_bytes() < needed) {
     return false;
   }
-  uint64_t free_bytes = bm.memory().capacity_bytes() - bm.memory().used_bytes();
+  uint64_t free_bytes = bm.memory().free_bytes();
   if (free_bytes >= needed) {
     return true;
   }
@@ -172,10 +198,15 @@ bool BlazeCoordinator::EnsureSpace(size_t executor, uint64_t needed, double inco
                           MakeShuffleAvailability());
 
   // Rank victims: cheapest potential recovery first (cost-aware modes) or LRU
-  // (+AutoCache). Then take victims until the incoming block fits.
+  // (+AutoCache). Then take victims until the incoming block fits. Pinned
+  // entries are excluded: an executing task still references them and
+  // RemoveIfUnpinned would refuse the eviction anyway.
   std::vector<std::pair<double, size_t>> order;
   order.reserve(entries.size());
   for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].pins > 0) {
+      continue;
+    }
     const double cost = options_.cost_aware_eviction
                             ? VictimCost(estimator, entries[i].id)
                             : static_cast<double>(entries[i].last_access_seq);
@@ -220,7 +251,9 @@ bool BlazeCoordinator::EnsureSpace(size_t executor, uint64_t needed, double inco
     EvictBlock(executor, victim, spill, &tc, "displaced_by_admission", score,
                static_cast<uint32_t>(entries.size()));
   }
-  return true;
+  // Re-check: an eviction may have been refused (victim pinned after the
+  // snapshot) or the arbiter bound may have shifted under shuffle pressure.
+  return bm.memory().free_bytes() >= needed;
 }
 
 void BlazeCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
@@ -272,8 +305,10 @@ void BlazeCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
   const double admission_cost =
       planned ? std::numeric_limits<double>::infinity() : cost.recovery_ms;
   const bool want_memory = desired == PartitionState::kMemory;
-  if (want_memory && EnsureSpace(executor, size, admission_cost, tc)) {
-    bm.memory().Put(id, block, size);
+  // TryPut, not Put: with the arbiter attached the bound can shrink between
+  // EnsureSpace and the insert as concurrent shuffle reservations land.
+  if (want_memory && EnsureSpace(executor, size, admission_cost, tc) &&
+      bm.memory().TryPut(id, block, size)) {
     lineage_.SetState(rdd.id(), partition, PartitionState::kMemory);
     engine_->audit().Admit(static_cast<uint32_t>(executor), id.rdd_id, id.partition, size,
                            /*to_disk=*/false, "Blaze",
@@ -287,9 +322,13 @@ void BlazeCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
   if (spill && options_.ilp && desired != PartitionState::kDisk) {
     spill = cost.cost_d_ms < cost.cost_r_ms;
   }
-  if (spill && !bm.disk().Contains(id)) {
-    tc.metrics().cache_disk_ms += bm.SpillToDisk(id, *block);
-    tc.metrics().cache_disk_bytes_written += size;
+  if (spill && !bm.disk().Contains(id) && !bm.InFlightSpill(id)) {
+    // Prefer the off-path write; until it commits, lookups are served from
+    // the spill queue's write-claim.
+    if (!bm.SpillAsync(id, block)) {
+      tc.metrics().cache_disk_ms += bm.SpillToDisk(id, *block);
+      tc.metrics().cache_disk_bytes_written += size;
+    }
     lineage_.SetState(rdd.id(), partition, PartitionState::kDisk);
     engine_->metrics().RecordEviction(executor, size, /*to_disk=*/true);
     engine_->audit().Admit(static_cast<uint32_t>(executor), id.rdd_id, id.partition, size,
@@ -323,7 +362,11 @@ void BlazeCoordinator::UnpersistRdd(const RddBase& rdd) {
     std::lock_guard<std::mutex> lock(*executor_mu_[executor]);
     BlockManager& bm = engine_->block_manager(executor);
     const BlockId id{rdd.id(), p};
-    const bool resident = bm.memory().Contains(id) || bm.disk().Contains(id);
+    const bool resident = bm.memory().Contains(id) || bm.disk().Contains(id) ||
+                          bm.InFlightSpill(id).has_value();
+    // Revoke any in-flight spill first so a late commit cannot resurrect the
+    // unpersisted block on disk.
+    bm.CancelSpill(id);
     bm.RemoveFromMemory(id);
     bm.RemoveFromDisk(id);
     lineage_.SetState(rdd.id(), p, PartitionState::kNone);
@@ -341,6 +384,7 @@ void BlazeCoordinator::AutoUnpersist() {
     BlockManager& bm = engine_->block_manager(e);
     for (const MemoryEntry& entry : bm.memory().Entries()) {
       if (lineage_.FutureRefCount(entry.id.rdd_id, now, /*include_current=*/true) == 0) {
+        bm.CancelSpill(entry.id);
         bm.memory().Remove(entry.id);
         lineage_.SetState(entry.id.rdd_id, entry.id.partition, PartitionState::kNone);
         engine_->metrics().RecordUnpersist();
@@ -351,6 +395,7 @@ void BlazeCoordinator::AutoUnpersist() {
     }
     for (const BlockId& id : bm.disk().Blocks()) {
       if (lineage_.FutureRefCount(id.rdd_id, now, /*include_current=*/true) == 0) {
+        bm.CancelSpill(id);
         bm.RemoveFromDisk(id);
         lineage_.SetState(id.rdd_id, id.partition, PartitionState::kNone);
         engine_->metrics().RecordUnpersist();
@@ -598,25 +643,36 @@ void BlazeCoordinator::RunIlpPlan(int job_id) {
           engine_->audit().Unpersist(static_cast<uint32_t>(e), id.rdd_id, id.partition,
                                      /*size_bytes=*/0, "MCKP", "ilp_drop");
         } else {
-          // d -> m prefetch: reload if the dataset is still alive and it fits.
+          // d -> m prefetch: reload if the dataset is still alive and it
+          // fits. Scheduled on the spill worker so the disk read overlaps
+          // with the planning round and the job's first tasks; the sync path
+          // below is the sync_spill/full-queue fallback.
           auto rdd = engine_->FindRdd(id.rdd_id);
           if (rdd == nullptr) {
             continue;
           }
-          double read_ms = 0.0;
-          auto bytes = bm.ReadFromDisk(id, &read_ms);
-          if (!bytes) {
-            continue;
-          }
-          ByteSource src(*bytes);
-          BlockPtr block = rdd->DecodeBlock(src);
-          const uint64_t size = block->SizeBytes();
-          if (bm.memory().used_bytes() + size <= bm.memory().capacity_bytes()) {
-            bm.memory().Put(id, std::move(block), size);
-            bm.RemoveFromDisk(id);
-            lineage_.SetState(id.rdd_id, id.partition, PartitionState::kMemory);
-            engine_->audit().Admit(static_cast<uint32_t>(e), id.rdd_id, id.partition, size,
-                                   /*to_disk=*/false, "MCKP", "ilp_promote");
+          BlockManager* bmp = &bm;
+          const size_t exec = e;
+          auto promote = [this, bmp, exec, id, rdd](std::optional<std::vector<uint8_t>> bytes,
+                                                    double /*disk_ms*/) {
+            if (!bytes) {
+              return;  // lost or corrupt on disk; admission re-plans later
+            }
+            ByteSource src(*bytes);
+            BlockPtr block = rdd->DecodeBlock(src);
+            const uint64_t size = block->SizeBytes();
+            // TryPut enforces the (possibly shifted) bound atomically.
+            if (bmp->memory().TryPut(id, std::move(block), size)) {
+              bmp->RemoveFromDisk(id);
+              lineage_.SetState(id.rdd_id, id.partition, PartitionState::kMemory);
+              engine_->audit().Admit(static_cast<uint32_t>(exec), id.rdd_id, id.partition,
+                                     size, /*to_disk=*/false, "MCKP", "ilp_promote");
+            }
+          };
+          if (!bm.FetchAsync(id, promote)) {
+            double read_ms = 0.0;
+            auto bytes = bm.ReadFromDisk(id, &read_ms);
+            promote(std::move(bytes), read_ms);
           }
         }
       } else {

@@ -49,6 +49,18 @@ std::optional<BlockPtr> AlluxioCoordinator::Lookup(const RddBase& rdd, uint32_t 
     return block;
   }
   BlockManager& bm = engine_->block_manager(executor);
+  // Evicted from the memory tier but the disk write has not committed yet:
+  // the spill queue still holds the serialized payload.
+  if (auto in_flight = bm.InFlightSpill(id)) {
+    Stopwatch decode_watch;
+    const auto* raw = dynamic_cast<const RawBlock*>(in_flight->get());
+    BLAZE_CHECK(raw != nullptr);
+    ByteSource src(raw->bytes());
+    BlockPtr block = rdd.DecodeBlock(src);
+    tc.metrics().cache_disk_ms += decode_watch.ElapsedMillis();
+    engine_->metrics().RecordCacheHit(/*from_memory=*/true);
+    return block;
+  }
   double read_ms = 0.0;
   if (auto bytes = bm.ReadFromDisk(id, &read_ms)) {
     Stopwatch decode_watch;
@@ -109,12 +121,17 @@ void AlluxioCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
     }
     const auto* victim_raw = dynamic_cast<const RawBlock*>(entries[victim].data.get());
     BLAZE_CHECK(victim_raw != nullptr);
-    if (!bm.disk().Contains(entries[victim].id)) {
-      const DiskOpResult op = bm.disk().Put(entries[victim].id, victim_raw->bytes());
-      engine_->metrics().RecordDiskStoreDelta(static_cast<int64_t>(op.bytes));
-      engine_->metrics().RecordDiskIo(op.elapsed_ms);
-      tc.metrics().cache_disk_ms += op.elapsed_ms;
-      tc.metrics().cache_disk_bytes_written += op.bytes;
+    if (!bm.disk().Contains(entries[victim].id) && !bm.InFlightSpill(entries[victim].id)) {
+      // RawBlock::EncodeTo emits the raw bytes verbatim, so the spill
+      // worker's write produces the same file as the direct Put; only the
+      // full-queue / sync_spill fallback stays on the task path.
+      if (!bm.SpillAsync(entries[victim].id, entries[victim].data)) {
+        const DiskOpResult op = bm.disk().Put(entries[victim].id, victim_raw->bytes());
+        engine_->metrics().RecordDiskStoreDelta(static_cast<int64_t>(op.bytes));
+        engine_->metrics().RecordDiskIo(op.elapsed_ms);
+        tc.metrics().cache_disk_ms += op.elapsed_ms;
+        tc.metrics().cache_disk_bytes_written += op.bytes;
+      }
     }
     tier.Remove(entries[victim].id);
     engine_->metrics().RecordEviction(executor, entries[victim].size_bytes, /*to_disk=*/true);
@@ -138,10 +155,12 @@ void AlluxioCoordinator::UnpersistRdd(const RddBase& rdd) {
     const size_t executor = engine_->ExecutorFor(p);
     std::lock_guard<std::mutex> lock(*executor_mu_[executor]);
     const BlockId id{rdd.id(), p};
-    const bool resident = mem_tier_[executor]->Contains(id) ||
-                          engine_->block_manager(executor).disk().Contains(id);
+    BlockManager& bm = engine_->block_manager(executor);
+    const bool resident = mem_tier_[executor]->Contains(id) || bm.disk().Contains(id) ||
+                          bm.InFlightSpill(id).has_value();
+    bm.CancelSpill(id);
     mem_tier_[executor]->Remove(id);
-    engine_->block_manager(executor).RemoveFromDisk(id);
+    bm.RemoveFromDisk(id);
     if (resident) {
       engine_->audit().Unpersist(static_cast<uint32_t>(executor), id.rdd_id, id.partition,
                                  /*size_bytes=*/0, "AlluxioLRU", "user_unpersist");

@@ -80,10 +80,10 @@ void PolicyCoordinator::PrefetchSweep(DependencyDigest digest_copy) {
         ByteSource src(*bytes);
         BlockPtr block = rdd->DecodeBlock(src);
         const uint64_t size = block->SizeBytes();
-        if (bm.memory().used_bytes() + size > bm.memory().capacity_bytes()) {
+        if (size > bm.memory().free_bytes() ||
+            !bm.memory().TryPut(id, std::move(block), size)) {
           break;  // no free room on this executor; stop prefetching here
         }
-        bm.memory().Put(id, std::move(block), size);
       }
     }
   }
@@ -97,12 +97,25 @@ void PolicyCoordinator::OnStageComplete(const StageInfo& stage) {
 std::optional<BlockPtr> PolicyCoordinator::Lookup(const RddBase& rdd, uint32_t partition,
                                                   TaskContext& tc) {
   const BlockId id{rdd.id(), partition};
-  BlockManager& bm = engine_->block_manager(engine_->ExecutorFor(partition));
-  if (auto hit = bm.memory().Get(id)) {
+  const size_t executor = engine_->ExecutorFor(partition);
+  BlockManager& bm = engine_->block_manager(executor);
+  if (auto hit = bm.memory().GetAndPin(id)) {
+    // Pinned for the task's lifetime: eviction (RemoveIfUnpinned) cannot free
+    // this data while the task still references it.
+    tc.RegisterPin(executor, id);
     engine_->metrics().RecordCacheHit(/*from_memory=*/true);
     TRACE_EVENT("cache.hit", "cache", trace::TArg("rdd", id.rdd_id),
                 trace::TArg("part", id.partition), trace::TArg("tier", "memory"));
     return hit;
+  }
+  // Evicted but not yet committed to disk: the spill queue's write-claim still
+  // holds the live payload — serve it from memory instead of waiting for (or
+  // re-reading) the disk write.
+  if (auto in_flight = bm.InFlightSpill(id)) {
+    engine_->metrics().RecordCacheHit(/*from_memory=*/true);
+    TRACE_EVENT("cache.hit", "cache", trace::TArg("rdd", id.rdd_id),
+                trace::TArg("part", id.partition), trace::TArg("tier", "spill_queue"));
+    return in_flight;
   }
   if (mode_ == EvictionMode::kMemAndDisk) {
     double read_ms = 0.0;
@@ -132,10 +145,12 @@ std::optional<BlockPtr> PolicyCoordinator::Lookup(const RddBase& rdd, uint32_t p
 bool PolicyCoordinator::EnsureSpace(size_t executor, uint64_t needed, RddId incoming_rdd,
                                     TaskContext& tc) {
   BlockManager& bm = engine_->block_manager(executor);
-  while (bm.memory().capacity_bytes() - bm.memory().used_bytes() < needed) {
+  while (bm.memory().free_bytes() < needed) {
+    // Pinned entries are not eviction candidates: an executing task still
+    // references them, and RemoveIfUnpinned would refuse anyway.
     std::vector<MemoryEntry> candidates;
     for (MemoryEntry& entry : bm.memory().Entries()) {
-      if (entry.id.rdd_id != incoming_rdd) {
+      if (entry.id.rdd_id != incoming_rdd && entry.pins == 0) {
         candidates.push_back(std::move(entry));
       }
     }
@@ -149,11 +164,28 @@ bool PolicyCoordinator::EnsureSpace(size_t executor, uint64_t needed, RddId inco
     }
     const MemoryEntry& victim = candidates[victim_index];
     const bool to_disk = mode_ == EvictionMode::kMemAndDisk;
-    if (to_disk && !bm.disk().Contains(victim.id)) {
-      tc.metrics().cache_disk_ms += bm.SpillToDisk(victim.id, *victim.data);
-      tc.metrics().cache_disk_bytes_written += victim.size_bytes;
+    const bool needs_write =
+        to_disk && !bm.disk().Contains(victim.id) && !bm.InFlightSpill(victim.id);
+    bool spilled_async = false;
+    if (needs_write) {
+      // Off-path eviction: hand the payload to the spill worker before the
+      // memory entry goes away so the write-claim read-through has no gap.
+      spilled_async = bm.SpillAsync(victim.id, victim.data);
+      if (!spilled_async) {
+        // Queue full or sync_spill: the evicting task pays the disk time.
+        tc.metrics().cache_disk_ms += bm.SpillToDisk(victim.id, *victim.data);
+        tc.metrics().cache_disk_bytes_written += victim.size_bytes;
+      }
     }
-    bm.memory().Remove(victim.id);
+    if (bm.memory().RemoveIfUnpinned(victim.id) == 0) {
+      // The victim got pinned (or removed) between the snapshot and now; its
+      // payload stays resident, so the queued write is pointless. (A sync
+      // write that already landed just leaves a redundant disk copy.)
+      if (spilled_async) {
+        bm.CancelSpill(victim.id);
+      }
+      continue;  // re-snapshot and pick another victim
+    }
     engine_->metrics().RecordEviction(executor, victim.size_bytes, to_disk);
     engine_->audit().Evict(static_cast<uint32_t>(executor), victim.id.rdd_id,
                            victim.id.partition, victim.size_bytes, to_disk, policy_->name(),
@@ -178,8 +210,11 @@ void PolicyCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
     return;
   }
   const uint64_t size = block->SizeBytes();
-  if (size <= bm.memory().capacity_bytes() && EnsureSpace(executor, size, rdd.id(), tc)) {
-    bm.memory().Put(id, block, size);
+  // TryPut, not Put: with the arbiter attached the cache bound moves under
+  // concurrent shuffle reservations, so the headroom EnsureSpace freed can
+  // legitimately be gone by the time the insert lands.
+  if (size <= bm.memory().effective_capacity_bytes() &&
+      EnsureSpace(executor, size, rdd.id(), tc) && bm.memory().TryPut(id, block, size)) {
     engine_->audit().Admit(static_cast<uint32_t>(executor), id.rdd_id, id.partition, size,
                            /*to_disk=*/false, policy_->name(), "annotated");
     return;
@@ -204,7 +239,11 @@ void PolicyCoordinator::UnpersistRdd(const RddBase& rdd) {
     std::lock_guard<std::mutex> lock(*executor_mu_[executor]);
     BlockManager& bm = engine_->block_manager(executor);
     const BlockId id{rdd.id(), p};
-    const bool resident = bm.memory().Contains(id) || bm.disk().Contains(id);
+    const bool resident = bm.memory().Contains(id) || bm.disk().Contains(id) ||
+                          bm.InFlightSpill(id).has_value();
+    // Revoke any queued/in-flight spill first: a write committing after the
+    // removal below would resurrect the unpersisted block on disk.
+    bm.CancelSpill(id);
     bm.RemoveFromMemory(id);
     bm.RemoveFromDisk(id);
     if (resident) {

@@ -458,6 +458,7 @@ void DagScheduler::FinishJob(const std::shared_ptr<internal::JobState>& job) {
   if (engine.config().shuffle_retention_jobs > 0) {
     engine.shuffle().DropStale(job->job_id, engine.config().shuffle_retention_jobs);
   }
+  engine.SyncArbiterMetrics();
   if (job->job_start_us != 0 && trace::Enabled()) {
     trace::Complete("job.run", "sched", job->job_start_us, trace::TArg("job", job->job_id),
                     trace::TArg("target", job->target->id()));

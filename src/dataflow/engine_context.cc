@@ -47,9 +47,20 @@ EngineContext::EngineContext(const EngineConfig& config)
     bm_config.memory_capacity_bytes = config.memory_capacity_per_executor;
     bm_config.disk_dir = disk_root_ / ("executor_" + std::to_string(e));
     bm_config.disk_throughput_bytes_per_sec = config.disk_throughput_bytes_per_sec;
+    bm_config.shuffle_memory_fraction = config.shuffle_memory_fraction;
+    bm_config.sync_spill = config.sync_spill;
+    bm_config.spill_queue_depth = config.spill_queue_depth;
     executors_.push_back(
         std::make_unique<Executor>(e, bm_config, &metrics_, config.threads_per_executor));
   }
+  // One byte ledger per executor: shuffle buckets charge the arbiter of the
+  // executor that wrote them, shrinking that executor's cache bound.
+  std::vector<MemoryArbiter*> arbiters;
+  arbiters.reserve(executors_.size());
+  for (auto& executor : executors_) {
+    arbiters.push_back(&executor->block_manager.arbiter());
+  }
+  shuffle_.AttachArbiters(std::move(arbiters));
   checkpoint_store_ = std::make_unique<DiskStore>(disk_root_ / "checkpoints",
                                                   config.disk_throughput_bytes_per_sec);
   coordinator_ = std::make_unique<NoopCoordinator>();
@@ -60,7 +71,13 @@ EngineContext::~EngineContext() {
   // Quiesce the scheduler and coordinator first: the coordinator's dtor joins
   // its async prefetch pool, whose in-flight sweeps read executor state.
   scheduler_.reset();
+  // Async fetch callbacks reference the coordinator; they must all have fired
+  // before the coordinator dies.
+  DrainAllSpills();
   coordinator_.reset();
+  // Shuffle buckets still hold arbiter charges; the arbiters die with the
+  // executors below, so cut the ledger hookup first.
+  shuffle_.DetachArbiters();
   executors_.clear();  // drains pools and removes per-executor disk dirs
   if (owns_disk_root_) {
     std::error_code ec;
@@ -70,7 +87,23 @@ EngineContext::~EngineContext() {
 
 void EngineContext::SetCoordinator(std::unique_ptr<CacheCoordinator> coordinator) {
   BLAZE_CHECK(coordinator != nullptr);
+  // In-flight async fetches deliver to the outgoing coordinator's callbacks.
+  DrainAllSpills();
   coordinator_ = std::move(coordinator);
+}
+
+void EngineContext::DrainAllSpills() {
+  for (auto& executor : executors_) {
+    executor->block_manager.DrainSpills();
+  }
+}
+
+void EngineContext::SyncArbiterMetrics() {
+  uint64_t overflow = 0;
+  for (const auto& executor : executors_) {
+    overflow += executor->block_manager.arbiter().execution_overflow_events();
+  }
+  metrics_.RecordShuffleOverflow(overflow);
 }
 
 void EngineContext::RegisterRdd(const std::shared_ptr<RddBase>& rdd) {

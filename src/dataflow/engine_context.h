@@ -56,6 +56,16 @@ struct EngineConfig {
   // disabling sibling-stage overlap. Kill switch for the event-driven stage
   // graph and the serial baseline for the scheduler microbench.
   bool serialize_stages = false;
+  // Unified memory arbitration: fraction of executor memory that charged
+  // shuffle/execution bytes may displace from the cache bound (the capacity
+  // split; 0 makes shuffle accounting purely diagnostic).
+  double shuffle_memory_fraction = 0.2;
+  // Kill switch: evictions serialize+write on the evicting task's path (the
+  // pre-PR5 behavior) instead of the asynchronous spill worker.
+  bool sync_spill = false;
+  // Bound of the per-executor spill/fetch queue; a full queue falls back to
+  // the synchronous path (backpressure).
+  size_t spill_queue_depth = 32;
 };
 
 class EngineContext {
@@ -123,6 +133,15 @@ class EngineContext {
 
   // Total memory-store bytes currently cached across executors (diagnostics).
   uint64_t TotalMemoryUsed() const;
+
+  // Blocks until every executor's spill worker is idle: pending eviction
+  // writes committed, async fetches delivered. Used before coordinator
+  // teardown/swap and by tests that assert on disk state.
+  void DrainAllSpills();
+
+  // Folds per-executor arbiter/spill diagnostics (execution overflow events)
+  // into RunMetrics; the scheduler calls this at job end.
+  void SyncArbiterMetrics();
 
  private:
   struct Executor {

@@ -8,22 +8,39 @@
 
 namespace blaze {
 
+void ShuffleService::AttachArbiters(std::vector<MemoryArbiter*> arbiters) {
+  arbiters_ = std::move(arbiters);
+}
+
+void ShuffleService::DetachArbiters() { arbiters_.clear(); }
+
 void ShuffleService::PutBucket(int shuffle_id, uint32_t map_part, uint32_t reduce_part,
                                BlockPtr bucket) {
   TRACE_SCOPE("shuffle.put", "shuffle", trace::TArg("shuffle", shuffle_id),
               trace::TArg("map", map_part), trace::TArg("reduce", reduce_part),
               trace::TArg("bytes", bucket->SizeBytes()));
+  MemoryArbiter* arbiter = ArbiterFor(map_part);
   Shard& shard = ShardFor(shuffle_id, reduce_part);
   std::lock_guard<SpinLock> lock(shard.mu);
   const Key key{shuffle_id, map_part, reduce_part};
   auto it = shard.buckets.find(key);
   if (it != shard.buckets.end()) {
-    approx_bytes_.fetch_sub(it->second->SizeBytes(), std::memory_order_relaxed);
+    const uint64_t old_bytes = it->second->SizeBytes();
+    approx_bytes_.fetch_sub(old_bytes, std::memory_order_relaxed);
     it->second = std::move(bucket);
-    approx_bytes_.fetch_add(it->second->SizeBytes(), std::memory_order_relaxed);
+    const uint64_t new_bytes = it->second->SizeBytes();
+    approx_bytes_.fetch_add(new_bytes, std::memory_order_relaxed);
+    if (arbiter != nullptr) {
+      arbiter->ReleaseExecution(old_bytes);
+      arbiter->ReserveExecution(new_bytes);
+    }
     return;
   }
-  approx_bytes_.fetch_add(bucket->SizeBytes(), std::memory_order_relaxed);
+  const uint64_t bytes = bucket->SizeBytes();
+  approx_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (arbiter != nullptr) {
+    arbiter->ReserveExecution(bytes);
+  }
   shard.buckets.emplace(key, std::move(bucket));
   ++shard.bucket_counts[shuffle_id];
 }
@@ -124,6 +141,9 @@ void ShuffleService::Clear() {
     std::lock_guard<SpinLock> lock(shard.mu);
     for (const auto& [key, bucket] : shard.buckets) {
       approx_bytes_.fetch_sub(bucket->SizeBytes(), std::memory_order_relaxed);
+      if (MemoryArbiter* arbiter = ArbiterFor(key.map_part)) {
+        arbiter->ReleaseExecution(bucket->SizeBytes());
+      }
     }
     shard.buckets.clear();
     shard.bucket_counts.clear();
@@ -138,6 +158,9 @@ void ShuffleService::ClearShuffleInShards(int shuffle_id) {
     for (auto it = shard.buckets.begin(); it != shard.buckets.end();) {
       if (it->first.shuffle_id == shuffle_id) {
         approx_bytes_.fetch_sub(it->second->SizeBytes(), std::memory_order_relaxed);
+        if (MemoryArbiter* arbiter = ArbiterFor(it->first.map_part)) {
+          arbiter->ReleaseExecution(it->second->SizeBytes());
+        }
         it = shard.buckets.erase(it);
       } else {
         ++it;

@@ -26,12 +26,22 @@
 
 #include "src/common/spinlock.h"
 #include "src/storage/block.h"
+#include "src/storage/memory_arbiter.h"
 
 namespace blaze {
 
 class ShuffleService {
  public:
   static constexpr size_t kNumShards = 16;
+
+  // Unified memory accounting: once attached, every bucket's bytes are
+  // reserved against the owning executor's MemoryArbiter (executor =
+  // map_part % num_executors, matching EngineContext::ExecutorFor) and
+  // released when the bucket is replaced or dropped. Attach/Detach must
+  // happen while no tasks run; the engine attaches at construction and
+  // detaches before executors are destroyed.
+  void AttachArbiters(std::vector<MemoryArbiter*> arbiters);
+  void DetachArbiters();
 
   // Write-claim outcome for a shuffle's map outputs (see ClaimWrite).
   enum class WriteClaim {
@@ -136,12 +146,20 @@ class ShuffleService {
     return shards_[h % kNumShards];
   }
 
+  // Ledger charge for a bucket written by `map_part` (nullptr when detached).
+  MemoryArbiter* ArbiterFor(uint32_t map_part) const {
+    return arbiters_.empty() ? nullptr : arbiters_[map_part % arbiters_.size()];
+  }
+
   void ClearShuffleInShards(int shuffle_id);
   // Sums this shuffle's resident buckets across shards. Leaf operation: takes
   // only shard spinlocks, safe to call with control_mu_ held.
   size_t CountBuckets(int shuffle_id) const;
 
   mutable std::array<Shard, kNumShards> shards_;
+  // Written only while quiesced (AttachArbiters/DetachArbiters); read on the
+  // bucket hot path without locking.
+  std::vector<MemoryArbiter*> arbiters_;
   std::atomic<uint64_t> approx_bytes_{0};
   std::atomic<int> next_shuffle_id_{0};
 

@@ -15,6 +15,16 @@ TaskContext::TaskContext(EngineContext* engine, int job_id, int stage_id, uint32
       executor_id_(executor_id),
       fanout_barriers_(engine->job_fanout_barriers(job_id)) {}
 
+TaskContext::~TaskContext() {
+  for (const auto& [executor, id] : pins_) {
+    engine_->block_manager(executor).memory().Unpin(id);
+  }
+}
+
+void TaskContext::RegisterPin(size_t executor, const BlockId& id) {
+  pins_.emplace_back(executor, id);
+}
+
 bool TaskContext::IsFusionBarrier(const RddBase& rdd) const {
   if (!engine_->config().enable_fusion) {
     return true;

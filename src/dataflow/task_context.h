@@ -21,6 +21,11 @@ class TaskContext {
  public:
   TaskContext(EngineContext* engine, int job_id, int stage_id, uint32_t partition,
               size_t executor_id);
+  // Releases every block pin the task holds (see RegisterPin).
+  ~TaskContext();
+
+  TaskContext(const TaskContext&) = delete;
+  TaskContext& operator=(const TaskContext&) = delete;
 
   // Fetches partition `index` of `rdd`: cache lookup first, recompute through
   // the lineage on miss. Every materialization is offered to the coordinator.
@@ -46,6 +51,12 @@ class TaskContext {
   // Accounting for one operator whose block materialization was elided.
   void OnOperatorFused(const RddBase&) { ++metrics_.fused_ops; }
 
+  // Records that the coordinator pinned `id` in executor `executor`'s memory
+  // store (GetAndPin) on this task's behalf; the destructor drops the pin, so
+  // a block handed to an executing task stays eviction-proof exactly as long
+  // as the task can still reference it.
+  void RegisterPin(size_t executor, const BlockId& id);
+
   TaskMetrics& metrics() { return metrics_; }
   EngineContext* engine() { return engine_; }
   int job_id() const { return job_id_; }
@@ -69,6 +80,7 @@ class TaskContext {
   uint32_t partition_;
   size_t executor_id_;
   TaskMetrics metrics_;
+  std::vector<std::pair<size_t, BlockId>> pins_;  // (executor, block) to unpin
   std::vector<Frame> frames_;
   int recovery_depth_ = 0;
   // Fan-out barrier snapshot for the task's job (see EngineContext).

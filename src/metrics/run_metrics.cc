@@ -105,6 +105,38 @@ void RunMetrics::RecordTaskFailure() {
   ++snap_.task_failures;
 }
 
+void RunMetrics::RecordAsyncSpill(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++snap_.async_spills;
+  snap_.async_spill_ms += ms;
+}
+
+void RunMetrics::RecordAsyncFetch(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++snap_.async_fetches;
+  snap_.async_fetch_ms += ms;
+}
+
+void RunMetrics::RecordSpillQueueDepth(uint64_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  snap_.spill_queue_peak_depth = std::max(snap_.spill_queue_peak_depth, depth);
+}
+
+void RunMetrics::RecordSpillQueueReject() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++snap_.spill_queue_rejects;
+}
+
+void RunMetrics::RecordSpillCancelled() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++snap_.spills_cancelled;
+}
+
+void RunMetrics::RecordShuffleOverflow(uint64_t events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  snap_.shuffle_overflow_events = std::max(snap_.shuffle_overflow_events, events);
+}
+
 RunMetricsSnapshot RunMetrics::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   RunMetricsSnapshot out = snap_;

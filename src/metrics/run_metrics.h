@@ -70,6 +70,14 @@ struct RunMetricsSnapshot {
   uint64_t broadcast_bytes = 0;     // bytes shipped by Broadcast variables
   double broadcast_ms = 0.0;
   uint64_t task_failures = 0;       // injected task-attempt failures (retried)
+  uint64_t async_spills = 0;        // evictions written off the task path
+  double async_spill_ms = 0.0;      // disk ms absorbed by the spill worker
+  uint64_t async_fetches = 0;       // disk loads overlapped on the spill worker
+  double async_fetch_ms = 0.0;
+  uint64_t spill_queue_rejects = 0;  // full-queue fallbacks to synchronous spill
+  uint64_t spill_queue_peak_depth = 0;
+  uint64_t spills_cancelled = 0;     // unpersist revoked an in-flight spill
+  uint64_t shuffle_overflow_events = 0;  // arbiter execution reservations past cap
   HistogramSnapshot task_run_hist;  // wall time per task
   HistogramSnapshot disk_io_hist;   // per spill/load operation
   HistogramSnapshot ilp_wait_hist;  // per task that blocked on a decision layer
@@ -93,6 +101,12 @@ class RunMetrics {
   void RecordSolve(double ms);
   void RecordBroadcast(uint64_t bytes, double ms);
   void RecordTaskFailure();
+  void RecordAsyncSpill(double ms);             // one off-path eviction write
+  void RecordAsyncFetch(double ms);             // one off-path disk load
+  void RecordSpillQueueDepth(uint64_t depth);   // updates the peak
+  void RecordSpillQueueReject();
+  void RecordSpillCancelled();
+  void RecordShuffleOverflow(uint64_t events);  // absolute count, not a delta
 
   RunMetricsSnapshot Snapshot() const;
   void Reset();

@@ -8,9 +8,45 @@ namespace blaze {
 BlockManager::BlockManager(size_t executor_id, const BlockManagerConfig& config,
                            RunMetrics* metrics)
     : executor_id_(executor_id),
-      memory_(config.memory_capacity_bytes),
+      arbiter_(config.memory_capacity_bytes,
+               static_cast<uint64_t>(static_cast<double>(config.memory_capacity_bytes) *
+                                     config.shuffle_memory_fraction)),
+      memory_(config.memory_capacity_bytes, &arbiter_),
       disk_(config.disk_dir, config.disk_throughput_bytes_per_sec),
-      metrics_(metrics) {}
+      metrics_(metrics),
+      sync_spill_(config.sync_spill),
+      spill_(std::make_unique<SpillQueue>(this, config.spill_queue_depth, metrics)) {}
+
+BlockManager::~BlockManager() {
+  // The worker writes through this object; stop it before members go away.
+  spill_.reset();
+}
+
+bool BlockManager::SpillAsync(const BlockId& id, BlockPtr data) {
+  if (sync_spill_) {
+    return false;
+  }
+  return spill_->EnqueueSpill(id, std::move(data));
+}
+
+std::optional<BlockPtr> BlockManager::InFlightSpill(const BlockId& id) const {
+  return spill_->FindInFlight(id);
+}
+
+bool BlockManager::CancelSpill(const BlockId& id) { return spill_->Cancel(id); }
+
+void BlockManager::DrainSpills() { spill_->Drain(); }
+
+bool BlockManager::FetchAsync(const BlockId& id, SpillQueue::FetchCallback on_loaded) {
+  if (sync_spill_) {
+    return false;
+  }
+  return spill_->EnqueueFetch(id, std::move(on_loaded));
+}
+
+size_t BlockManager::SpillQueueDepth() const { return spill_->depth(); }
+
+uint64_t BlockManager::PendingSpillBytes() const { return spill_->pending_spill_bytes(); }
 
 double BlockManager::SpillToDisk(const BlockId& id, const BlockData& data,
                                  uint64_t* bytes_out) {

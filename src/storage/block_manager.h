@@ -2,6 +2,13 @@
 // BlockManager. Provides the mechanical operations (spill, disk fetch,
 // remove); every *decision* — admit, evict, victim choice, disk-vs-discard —
 // belongs to the cache coordinator (src/cache/cache_coordinator.h).
+//
+// PR 5 additions: the BlockManager owns the executor's MemoryArbiter (one
+// byte ledger for cache blocks and shuffle/execution buffers — the memory
+// store's capacity bound shrinks as shuffle bytes are charged) and its
+// SpillQueue (asynchronous spill/fetch worker). SpillAsync/FetchAsync are the
+// off-path entry points; `sync_spill` in the config is the kill switch that
+// turns them off so coordinators fall back to the original synchronous path.
 #ifndef SRC_STORAGE_BLOCK_MANAGER_H_
 #define SRC_STORAGE_BLOCK_MANAGER_H_
 
@@ -12,7 +19,9 @@
 
 #include "src/metrics/run_metrics.h"
 #include "src/storage/disk_store.h"
+#include "src/storage/memory_arbiter.h"
 #include "src/storage/memory_store.h"
+#include "src/storage/spill_queue.h"
 
 namespace blaze {
 
@@ -20,21 +29,58 @@ struct BlockManagerConfig {
   uint64_t memory_capacity_bytes = 64ULL << 20;
   std::filesystem::path disk_dir;
   uint64_t disk_throughput_bytes_per_sec = 0;  // 0 = unthrottled
+  // Fraction of executor memory the arbiter lets shuffle/execution buffers
+  // charge against the cache bound (Spark's unified-memory execution share).
+  double shuffle_memory_fraction = 0.2;
+  bool sync_spill = false;       // kill switch: evictions block the task path
+  size_t spill_queue_depth = 32;  // bounded; full queue falls back to sync
 };
 
 class BlockManager {
  public:
   BlockManager(size_t executor_id, const BlockManagerConfig& config, RunMetrics* metrics);
+  ~BlockManager();
 
   size_t executor_id() const { return executor_id_; }
   MemoryStore& memory() { return memory_; }
   const MemoryStore& memory() const { return memory_; }
   DiskStore& disk() { return disk_; }
   const DiskStore& disk() const { return disk_; }
+  MemoryArbiter& arbiter() { return arbiter_; }
+  const MemoryArbiter& arbiter() const { return arbiter_; }
 
   // Serializes `data` and writes it to the disk store. Returns total
   // milliseconds spent (serialization + throttled write).
   double SpillToDisk(const BlockId& id, const BlockData& data, uint64_t* bytes_out = nullptr);
+
+  // Hands the victim to the spill worker; the write happens off the task
+  // path. Returns false — caller must SpillToDisk synchronously — when the
+  // queue is full, the same id is mid-write, or sync_spill is set.
+  bool SpillAsync(const BlockId& id, BlockPtr data);
+
+  // The in-memory payload of a spill that has not committed yet (write-claim
+  // read-through): present from SpillAsync until the disk write lands.
+  std::optional<BlockPtr> InFlightSpill(const BlockId& id) const;
+
+  // Revokes a pending spill (unpersist racing an eviction). A spill already
+  // mid-write has its file deleted right after the commit.
+  bool CancelSpill(const BlockId& id);
+
+  // Blocks until the spill worker is idle. Call before tearing down anything
+  // a fetch callback may reference.
+  void DrainSpills();
+
+  // Schedules an asynchronous disk read on the spill worker (recovery /
+  // promotion overlap). Returns false if sync_spill is set or the queue is
+  // full — caller reads synchronously.
+  bool FetchAsync(const BlockId& id, SpillQueue::FetchCallback on_loaded);
+
+  // Depth of the spill/fetch queue right now (diagnostics).
+  size_t SpillQueueDepth() const;
+
+  // Payload bytes of spills claimed but not yet committed. Disk-budget
+  // checks must count these as already on disk.
+  uint64_t PendingSpillBytes() const;
 
   // Reads the encoded bytes of a spilled block; millis spent written to *ms.
   std::optional<std::vector<uint8_t>> ReadFromDisk(const BlockId& id, double* ms);
@@ -47,9 +93,12 @@ class BlockManager {
 
  private:
   size_t executor_id_;
+  MemoryArbiter arbiter_;
   MemoryStore memory_;
   DiskStore disk_;
   RunMetrics* metrics_;
+  bool sync_spill_;
+  std::unique_ptr<SpillQueue> spill_;  // constructed last, destroyed first
 };
 
 }  // namespace blaze

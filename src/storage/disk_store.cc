@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/common/crc32.h"
 #include "src/common/logging.h"
 #include "src/common/stopwatch.h"
 
@@ -43,6 +44,12 @@ DiskOpResult DiskStore::Put(const BlockId& id, const std::vector<uint8_t>& encod
     BLAZE_CHECK(out.good()) << "cannot open disk block " << id.ToString();
     out.write(reinterpret_cast<const char*>(encoded.data()),
               static_cast<std::streamsize>(encoded.size()));
+    // CRC-32 trailer (little-endian): verified on every Get so a corrupted
+    // file reads back as a miss instead of deserializing garbage.
+    const uint32_t crc = Crc32(encoded.data(), encoded.size());
+    uint8_t trailer[4] = {static_cast<uint8_t>(crc), static_cast<uint8_t>(crc >> 8),
+                          static_cast<uint8_t>(crc >> 16), static_cast<uint8_t>(crc >> 24)};
+    out.write(reinterpret_cast<const char*>(trailer), sizeof(trailer));
     BLAZE_CHECK(out.good()) << "short write for disk block " << id.ToString();
   }
   Throttle(encoded.size(), watch.ElapsedMillis());
@@ -73,11 +80,46 @@ std::optional<std::vector<uint8_t>> DiskStore::Get(const BlockId& id, DiskOpResu
   if (!in.good()) {
     return std::nullopt;
   }
-  const auto size = static_cast<size_t>(in.tellg());
+  const auto file_size = static_cast<size_t>(in.tellg());
   in.seekg(0);
-  std::vector<uint8_t> out(size);
-  in.read(reinterpret_cast<char*>(out.data()), static_cast<std::streamsize>(size));
-  BLAZE_CHECK(in.good()) << "short read for disk block " << id.ToString();
+  std::vector<uint8_t> raw(file_size);
+  in.read(reinterpret_cast<char*>(raw.data()), static_cast<std::streamsize>(file_size));
+  if (!in.good()) {
+    // The file vanished or shrank under us (concurrent Remove / external
+    // interference): a miss, not a fatal error.
+    return std::nullopt;
+  }
+  bool corrupt = file_size < 4;
+  std::vector<uint8_t> out;
+  if (!corrupt) {
+    const size_t payload = file_size - 4;
+    const uint32_t stored = static_cast<uint32_t>(raw[payload]) |
+                            static_cast<uint32_t>(raw[payload + 1]) << 8 |
+                            static_cast<uint32_t>(raw[payload + 2]) << 16 |
+                            static_cast<uint32_t>(raw[payload + 3]) << 24;
+    corrupt = Crc32(raw.data(), payload) != stored;
+    if (!corrupt) {
+      raw.resize(payload);
+      out = std::move(raw);
+    }
+  }
+  if (corrupt) {
+    BLAZE_LOG(kWarn) << "disk block " << id.ToString()
+                     << " failed CRC check; treating as a miss";
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++checksum_failures_;
+      auto it = sizes_.find(id);
+      if (it != sizes_.end()) {
+        used_ -= it->second;
+        sizes_.erase(it);
+      }
+    }
+    std::error_code ec;
+    std::filesystem::remove(PathFor(id), ec);
+    return std::nullopt;
+  }
+  const size_t size = out.size();
   Throttle(size, watch.ElapsedMillis());
   const double elapsed = watch.ElapsedMillis();
   {
@@ -112,6 +154,11 @@ uint64_t DiskStore::Remove(const BlockId& id) {
   std::error_code ec;
   std::filesystem::remove(PathFor(id), ec);
   return size;
+}
+
+uint64_t DiskStore::checksum_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checksum_failures_;
 }
 
 uint64_t DiskStore::used_bytes() const {

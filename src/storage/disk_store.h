@@ -5,6 +5,10 @@
 // at, say, 80 MB/s behaves like the paper's gp2 SSD regardless of how fast the
 // host filesystem actually is. Timings are returned to the caller so the task
 // layer can attribute disk time (paper Figs. 4/10 "Disk I/O Time for Caching").
+//
+// Every block file carries a CRC-32 trailer. A mismatch on read (torn write,
+// bit rot, external truncation) is reported as a miss — the caller falls back
+// to lineage recomputation — never as successfully decoded garbage.
 #ifndef SRC_STORAGE_DISK_STORE_H_
 #define SRC_STORAGE_DISK_STORE_H_
 
@@ -38,9 +42,13 @@ class DiskStore {
   // Writes the encoded block; replaces any previous content for the id.
   DiskOpResult Put(const BlockId& id, const std::vector<uint8_t>& encoded);
 
-  // Reads the encoded block back; nullopt if absent. elapsed_ms is written to
-  // *op if the read happened.
+  // Reads the encoded block back; nullopt if absent or if the stored checksum
+  // does not match (the corrupted entry is dropped so later probes miss fast).
+  // elapsed_ms is written to *op if the read happened.
   std::optional<std::vector<uint8_t>> Get(const BlockId& id, DiskOpResult* op);
+
+  // Number of reads rejected by the CRC check since construction.
+  uint64_t checksum_failures() const;
 
   bool Contains(const BlockId& id) const;
 
@@ -67,6 +75,7 @@ class DiskStore {
   mutable std::mutex mu_;
   std::unordered_map<BlockId, uint64_t, BlockIdHash> sizes_;
   uint64_t used_ = 0;
+  uint64_t checksum_failures_ = 0;
   double total_io_ms_ = 0.0;
   uint64_t total_io_bytes_ = 0;
 };

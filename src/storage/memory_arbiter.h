@@ -1,0 +1,99 @@
+// Per-executor unified memory ledger (the arbitration layer the cache tiers
+// and the shuffle/execution side share).
+//
+// Blaze's decisions only make sense if the arbiter sees *all* the bytes
+// competing for an executor's memory, not just the explicitly cached blocks:
+// shuffle write buffers and in-flight task output squeeze the cache exactly
+// like another resident block does. The arbiter keeps one byte ledger with
+// two classes:
+//
+//   * cache bytes      — resident MemoryStore blocks (the store reports its
+//                        reservation deltas here; the arbiter is the bound).
+//   * execution bytes  — shuffle buckets and other task-side buffers,
+//                        reserved by the shuffle service as map outputs land
+//                        and released when buckets are replaced or dropped.
+//
+// The cache's effective capacity is  capacity - min(execution, execution_cap):
+// execution pressure shrinks what the cache may hold, up to a configurable
+// split (EngineConfig::shuffle_memory_fraction), so a shuffle-heavy stage
+// forces evictions instead of silently overcommitting the executor. The cap
+// keeps a pathological shuffle from starving the cache to zero — beyond the
+// cap, execution reservations are still *counted* (overflow diagnostics) but
+// no longer charged against the cache bound, mirroring how Spark's unified
+// memory manager lets storage keep a guaranteed region.
+//
+// All counters are relaxed atomics: the ledger is advisory input to admission
+// and eviction decisions, never a lock-ordering participant.
+#ifndef SRC_STORAGE_MEMORY_ARBITER_H_
+#define SRC_STORAGE_MEMORY_ARBITER_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+namespace blaze {
+
+class MemoryArbiter {
+ public:
+  // `execution_cap_bytes` is the largest execution charge that can displace
+  // cache capacity (the capacity split); 0 disables shuffle accounting's
+  // effect on the cache bound (bytes are still tracked).
+  MemoryArbiter(uint64_t capacity_bytes, uint64_t execution_cap_bytes)
+      : capacity_(capacity_bytes),
+        execution_cap_(std::min(execution_cap_bytes, capacity_bytes)) {}
+
+  uint64_t capacity_bytes() const { return capacity_; }
+  uint64_t execution_cap_bytes() const { return execution_cap_; }
+
+  // --- execution side (shuffle buffers, task output) -------------------------------
+  void ReserveExecution(uint64_t bytes) {
+    const uint64_t now =
+        execution_used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (now > execution_cap_ && execution_cap_ > 0) {
+      execution_overflow_events_.fetch_add(1, std::memory_order_relaxed);
+    }
+    uint64_t peak = execution_peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !execution_peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+  }
+  void ReleaseExecution(uint64_t bytes) {
+    execution_used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  // --- cache side (MemoryStore mirrors its reservations here) ----------------------
+  void OnCacheDelta(int64_t delta_bytes) {
+    cache_used_.fetch_add(static_cast<uint64_t>(delta_bytes), std::memory_order_relaxed);
+  }
+
+  // Largest number of bytes the cache may hold right now: total capacity
+  // minus the charged (capped) execution footprint.
+  uint64_t CacheBoundBytes() const {
+    const uint64_t charged =
+        std::min(execution_used_.load(std::memory_order_relaxed), execution_cap_);
+    return capacity_ - charged;
+  }
+
+  uint64_t cache_used_bytes() const { return cache_used_.load(std::memory_order_relaxed); }
+  uint64_t execution_used_bytes() const {
+    return execution_used_.load(std::memory_order_relaxed);
+  }
+  uint64_t execution_peak_bytes() const {
+    return execution_peak_.load(std::memory_order_relaxed);
+  }
+  uint64_t execution_overflow_events() const {
+    return execution_overflow_events_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  uint64_t capacity_;
+  uint64_t execution_cap_;
+  std::atomic<uint64_t> cache_used_{0};
+  std::atomic<uint64_t> execution_used_{0};
+  std::atomic<uint64_t> execution_peak_{0};
+  std::atomic<uint64_t> execution_overflow_events_{0};
+};
+
+}  // namespace blaze
+
+#endif  // SRC_STORAGE_MEMORY_ARBITER_H_

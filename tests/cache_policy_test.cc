@@ -309,6 +309,9 @@ TEST(AlluxioCoordinatorTest, EvictsSerializedVictimsToDisk) {
   });
   rdd->Cache();
   EXPECT_EQ(rdd->Count(), 16000u);
+  // Evictions hand their disk writes to the spill worker; quiesce it before
+  // asserting on committed disk bytes.
+  engine.DrainAllSpills();
   EXPECT_GT(engine.block_manager(0).disk().used_bytes(), 0u);
   EXPECT_EQ(rdd->Count(), 16000u);  // recoverable from the disk tier
 }

@@ -1,0 +1,149 @@
+// Unified memory arbitration: one per-executor byte ledger shared by the
+// cache tier (MemoryStore mirrors its reservations) and the execution side
+// (ShuffleService charges bucket bytes). Covers the ledger math, the capped
+// cache-bound shrink under execution pressure, overflow diagnostics, and the
+// shuffle service's reserve/release lifecycle.
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+#include "src/dataflow/shuffle.h"
+#include "src/dataflow/typed_block.h"
+#include "src/storage/memory_arbiter.h"
+#include "src/storage/memory_store.h"
+
+namespace blaze {
+namespace {
+
+BlockPtr IntBlock(int fill, size_t n) {
+  return MakeBlock(std::vector<int>(n, fill));
+}
+
+TEST(MemoryArbiterTest, LedgerTracksExecutionUsePeakAndRelease) {
+  MemoryArbiter arbiter(KiB(1), /*execution_cap_bytes=*/400);
+  EXPECT_EQ(arbiter.execution_used_bytes(), 0u);
+  arbiter.ReserveExecution(100);
+  arbiter.ReserveExecution(200);
+  EXPECT_EQ(arbiter.execution_used_bytes(), 300u);
+  EXPECT_EQ(arbiter.execution_peak_bytes(), 300u);
+  arbiter.ReleaseExecution(250);
+  EXPECT_EQ(arbiter.execution_used_bytes(), 50u);
+  EXPECT_EQ(arbiter.execution_peak_bytes(), 300u);  // peak is sticky
+}
+
+TEST(MemoryArbiterTest, CacheBoundShrinksWithChargedExecution) {
+  MemoryArbiter arbiter(1000, /*execution_cap_bytes=*/400);
+  EXPECT_EQ(arbiter.CacheBoundBytes(), 1000u);
+  arbiter.ReserveExecution(300);
+  EXPECT_EQ(arbiter.CacheBoundBytes(), 700u);
+  arbiter.ReleaseExecution(300);
+  EXPECT_EQ(arbiter.CacheBoundBytes(), 1000u);
+}
+
+TEST(MemoryArbiterTest, ExecutionChargeIsCappedAndOverflowCounted) {
+  MemoryArbiter arbiter(1000, /*execution_cap_bytes=*/400);
+  arbiter.ReserveExecution(900);  // way past the cap
+  // The charge against the cache stops at the cap: storage keeps its
+  // guaranteed region even under pathological shuffle pressure.
+  EXPECT_EQ(arbiter.CacheBoundBytes(), 600u);
+  EXPECT_EQ(arbiter.execution_used_bytes(), 900u);  // ...but the bytes are tracked
+  EXPECT_GE(arbiter.execution_overflow_events(), 1u);
+}
+
+TEST(MemoryArbiterTest, ZeroCapDisablesCacheDisplacement) {
+  MemoryArbiter arbiter(1000, /*execution_cap_bytes=*/0);
+  arbiter.ReserveExecution(500);
+  EXPECT_EQ(arbiter.CacheBoundBytes(), 1000u);      // bound untouched
+  EXPECT_EQ(arbiter.execution_used_bytes(), 500u);  // ledger still counts
+  EXPECT_EQ(arbiter.execution_overflow_events(), 0u);
+}
+
+TEST(MemoryArbiterTest, CapClampedToCapacity) {
+  MemoryArbiter arbiter(1000, /*execution_cap_bytes=*/5000);
+  EXPECT_EQ(arbiter.execution_cap_bytes(), 1000u);
+}
+
+TEST(MemoryArbiterTest, MemoryStoreMirrorsReservationsIntoLedger) {
+  MemoryArbiter arbiter(KiB(64), KiB(16));
+  MemoryStore store(KiB(64), &arbiter);
+  const BlockId id{1, 0};
+  store.Put(id, IntBlock(1, 100), 400);
+  EXPECT_EQ(arbiter.cache_used_bytes(), 400u);
+  store.Put(id, IntBlock(2, 50), 200);  // shrinking replacement releases bytes
+  EXPECT_EQ(arbiter.cache_used_bytes(), 200u);
+  store.Remove(id);
+  EXPECT_EQ(arbiter.cache_used_bytes(), 0u);
+}
+
+TEST(MemoryArbiterTest, ExecutionPressureRejectsCacheAdmission) {
+  MemoryArbiter arbiter(1000, /*execution_cap_bytes=*/600);
+  MemoryStore store(1000, &arbiter);
+  arbiter.ReserveExecution(600);  // cache bound now 400
+  EXPECT_EQ(store.effective_capacity_bytes(), 400u);
+  EXPECT_FALSE(store.TryPut(BlockId{1, 0}, IntBlock(1, 200), 500));
+  EXPECT_TRUE(store.TryPut(BlockId{1, 0}, IntBlock(1, 50), 300));
+  EXPECT_EQ(store.free_bytes(), 100u);
+  // Releasing the shuffle bytes restores the cache's headroom.
+  arbiter.ReleaseExecution(600);
+  EXPECT_EQ(store.free_bytes(), 700u);
+}
+
+TEST(MemoryArbiterTest, BoundShrinkUnderResidentSetZeroesFreeBytes) {
+  MemoryArbiter arbiter(1000, /*execution_cap_bytes=*/800);
+  MemoryStore store(1000, &arbiter);
+  store.Put(BlockId{1, 0}, IntBlock(1, 100), 600);
+  arbiter.ReserveExecution(800);  // bound (200) now below used (600)
+  EXPECT_EQ(store.free_bytes(), 0u);
+  // Growth is refused while over-bound...
+  EXPECT_FALSE(store.TryPut(BlockId{1, 1}, IntBlock(2, 10), 64));
+  // ...but a shrinking replacement of the resident block still lands (it
+  // only releases bytes) and narrows the overshoot.
+  EXPECT_TRUE(store.TryPut(BlockId{1, 0}, IntBlock(3, 10), 100));
+  EXPECT_EQ(store.used_bytes(), 100u);
+}
+
+TEST(MemoryArbiterTest, ShuffleServiceChargesAndReleasesBuckets) {
+  MemoryArbiter arbiter(MiB(4), MiB(1));
+  ShuffleService shuffle;
+  shuffle.AttachArbiters({&arbiter});
+
+  auto bucket = IntBlock(5, 100);
+  const uint64_t bucket_bytes = bucket->SizeBytes();
+  shuffle.PutBucket(/*shuffle_id=*/0, /*map_part=*/0, /*reduce_part=*/0, bucket);
+  EXPECT_EQ(arbiter.execution_used_bytes(), bucket_bytes);
+
+  // Replacement charges the delta, not the sum.
+  auto bigger = IntBlock(6, 200);
+  shuffle.PutBucket(0, 0, 0, bigger);
+  EXPECT_EQ(arbiter.execution_used_bytes(), bigger->SizeBytes());
+
+  shuffle.PutBucket(0, 0, 1, IntBlock(7, 50));
+  EXPECT_GT(arbiter.execution_used_bytes(), bigger->SizeBytes());
+
+  shuffle.ClearShuffle(0);
+  EXPECT_EQ(arbiter.execution_used_bytes(), 0u);
+  shuffle.DetachArbiters();
+}
+
+TEST(MemoryArbiterTest, ShuffleAttributesBucketsByMapPartition) {
+  // Two executors: map_part % 2 picks the owning arbiter, matching
+  // EngineContext::ExecutorFor's partition placement.
+  MemoryArbiter a0(MiB(4), MiB(1));
+  MemoryArbiter a1(MiB(4), MiB(1));
+  ShuffleService shuffle;
+  shuffle.AttachArbiters({&a0, &a1});
+
+  shuffle.PutBucket(0, /*map_part=*/0, 0, IntBlock(1, 100));
+  shuffle.PutBucket(0, /*map_part=*/1, 0, IntBlock(2, 100));
+  shuffle.PutBucket(0, /*map_part=*/3, 0, IntBlock(3, 100));
+  EXPECT_GT(a0.execution_used_bytes(), 0u);
+  EXPECT_GT(a1.execution_used_bytes(), a0.execution_used_bytes());  // parts 1 and 3
+
+  shuffle.Clear();
+  EXPECT_EQ(a0.execution_used_bytes(), 0u);
+  EXPECT_EQ(a1.execution_used_bytes(), 0u);
+  shuffle.DetachArbiters();
+}
+
+}  // namespace
+}  // namespace blaze

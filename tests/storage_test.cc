@@ -2,7 +2,10 @@
 
 #include "src/common/units.h"
 
+#include <atomic>
 #include <filesystem>
+#include <fstream>
+#include <thread>
 
 #include "src/dataflow/typed_block.h"
 #include "src/storage/block_manager.h"
@@ -37,6 +40,24 @@ TEST(MemoryStoreTest, ReplaceUpdatesAccounting) {
   store.Put(id, IntBlock(1, 100), 400);
   store.Put(id, IntBlock(2, 200), 800);
   EXPECT_EQ(store.used_bytes(), 800u);
+}
+
+TEST(MemoryStoreTest, ShrinkingReplacementReleasesBytes) {
+  // Regression: a replacement that shrinks the block must release the delta
+  // (used_ and the arbiter ledger both), not silently keep the old charge.
+  MemoryArbiter arbiter(KiB(64), KiB(16));
+  MemoryStore store(KiB(64), &arbiter);
+  const BlockId id{1, 0};
+  store.Put(id, IntBlock(1, 200), 800);
+  EXPECT_EQ(store.used_bytes(), 800u);
+  store.Put(id, IntBlock(2, 50), 200);
+  EXPECT_EQ(store.used_bytes(), 200u);
+  EXPECT_EQ(arbiter.cache_used_bytes(), 200u);
+  EXPECT_EQ(store.free_bytes(), KiB(64) - 200u);
+  // And back up: growth charges only the delta on top of the new base.
+  store.Put(id, IntBlock(3, 100), 400);
+  EXPECT_EQ(store.used_bytes(), 400u);
+  EXPECT_EQ(arbiter.cache_used_bytes(), 400u);
 }
 
 TEST(MemoryStoreTest, ReplacePreservesAccessStats) {
@@ -165,6 +186,80 @@ TEST_F(DiskStoreTest, BlocksEnumeratesContents) {
   store.Put(BlockId{6, 1}, std::vector<uint8_t>(10));
   EXPECT_EQ(store.Blocks().size(), 2u);
   EXPECT_EQ(store.num_blocks(), 2u);
+}
+
+TEST_F(DiskStoreTest, CorruptedFileReadsAsMiss) {
+  DiskStore store(dir_, 0);
+  const BlockId id{11, 0};
+  store.Put(id, std::vector<uint8_t>(512, 0x5A));
+  // Flip one payload byte on disk behind the store's back: the CRC-32
+  // trailer no longer matches, so the read must come back as a miss (the
+  // caller recomputes from lineage) rather than hand out garbage.
+  const std::filesystem::path file = dir_ / (id.ToString() + ".bin");
+  {
+    std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(100);
+    const char flipped = 0x5A ^ 0x01;
+    f.write(&flipped, 1);
+  }
+  EXPECT_EQ(store.Get(id, nullptr), std::nullopt);
+  EXPECT_EQ(store.checksum_failures(), 1u);
+  // The poisoned entry is dropped entirely: residency and accounting agree.
+  EXPECT_FALSE(store.Contains(id));
+  EXPECT_EQ(store.used_bytes(), 0u);
+  // A rewrite makes the block readable again.
+  store.Put(id, std::vector<uint8_t>(512, 0x5A));
+  EXPECT_TRUE(store.Get(id, nullptr).has_value());
+}
+
+TEST_F(DiskStoreTest, TruncatedFileReadsAsMiss) {
+  DiskStore store(dir_, 0);
+  const BlockId id{11, 1};
+  store.Put(id, std::vector<uint8_t>(512, 0x33));
+  std::filesystem::resize_file(dir_ / (id.ToString() + ".bin"), 2);  // below the trailer
+  EXPECT_EQ(store.Get(id, nullptr), std::nullopt);
+  EXPECT_GE(store.checksum_failures(), 1u);
+}
+
+TEST_F(DiskStoreTest, ConcurrentReadAndRemoveSameBlock) {
+  DiskStore store(dir_, 0);
+  const BlockId id{12, 0};
+  const std::vector<uint8_t> payload(4096, 0x7C);
+  store.Put(id, payload);
+  // A reader racing the remove must see either the full intact payload or a
+  // clean miss — never a torn read or a crash.
+  std::atomic<bool> start{false};
+  std::optional<std::vector<uint8_t>> got;
+  std::thread reader([&] {
+    while (!start.load()) {
+    }
+    got = store.Get(id, nullptr);
+  });
+  std::thread remover([&] {
+    while (!start.load()) {
+    }
+    store.Remove(id);
+  });
+  start.store(true);
+  reader.join();
+  remover.join();
+  if (got.has_value()) {
+    EXPECT_EQ(*got, payload);
+  }
+  EXPECT_FALSE(store.Contains(id));
+}
+
+TEST_F(DiskStoreTest, ThrottledReadChargesElapsedTime) {
+  // 256 KiB at 2 MiB/s: the read side of the throttle must charge ~125 ms,
+  // matching what the cost model assumes for disk-tier recovery.
+  DiskStore store(dir_, MiB(2));
+  const BlockId id{13, 0};
+  store.Put(id, std::vector<uint8_t>(KiB(256)));
+  DiskOpResult op;
+  ASSERT_TRUE(store.Get(id, &op).has_value());
+  EXPECT_GE(op.elapsed_ms, 80.0);
+  EXPECT_LT(op.elapsed_ms, 2000.0);
 }
 
 TEST(BlockManagerTest, SpillAndReadBack) {

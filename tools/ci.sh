@@ -63,6 +63,29 @@ trace_smoke() {
     --require-overlap job.run job --require-audit admit
 }
 
+spill_smoke() {
+  # Spill-pressure smoke: shrink executor memory to a sliver of the working
+  # set so the fig09 PageRank run evicts continuously, exercising the async
+  # spill pipeline (arbiter accounting, write-claim read-through, pinned
+  # blocks) end to end. Correctness-only: the run must complete; wall-clock
+  # is the perf smoke's job. $1 names the build tree so the TSan config can
+  # reuse it.
+  local build_dir="${1:-build}"
+  echo "=== [$build_dir] spill-pressure smoke ==="
+  BLAZE_BENCH_SCALE=0.25 \
+    BLAZE_BENCH_MEM_SCALE=0.05 \
+    BLAZE_BENCH_WORKLOADS=pr \
+    BLAZE_BENCH_SYSTEMS=spark-memdisk,blaze \
+    "./$build_dir/bench/bench_fig09_end_to_end" >/dev/null
+}
+
+micro_storage_smoke() {
+  # Async-spill win guard: p50 task latency with the spill worker must beat
+  # the sync_spill baseline by >= 1.3x (the binary enforces the bound).
+  echo "=== [plain] micro-storage spill pipeline guard ==="
+  BLAZE_MICRO_STORAGE_MIN_SPEEDUP=1.3 ./build/bench/bench_micro_storage
+}
+
 perf_smoke() {
   # Wall-clock guard for the fig09 hot path: best-of-3 at scale 0.25 on the
   # PageRank workload must stay within 10% of the recorded seed numbers
@@ -96,6 +119,8 @@ perf_smoke() {
 if [[ "$mode" == "plain" || "$mode" == "all" ]]; then
   run_config plain build
   trace_smoke
+  spill_smoke build
+  micro_storage_smoke
   perf_smoke
 fi
 
@@ -104,6 +129,9 @@ if [[ "$mode" == "tsan" || "$mode" == "all" ]]; then
   # the environment instead of editing test properties.
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     run_config tsan build-tsan -DBLAZE_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  # The same spill-pressure run under TSan: continuous eviction + the spill
+  # worker + pinned readers is exactly where a lifetime race would hide.
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" spill_smoke build-tsan
 fi
 
 echo "CI OK ($mode)"

@@ -293,7 +293,13 @@ void BlazeCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
   if (bm.memory().Contains(id)) {
     return;
   }
-  const uint64_t size = block->SizeBytes();
+  // Representation selection: the cached copy may be converted (object rows
+  // -> columnar) while the computing task keeps the row block it already
+  // holds. Size, admission, and the disk tier all use the cached form; the
+  // lineage observed the row-block size above, and the two are pinned within
+  // tolerance so MCKP size terms do not shift with representation.
+  const BlockPtr cached = rdd.CacheRepresentation(block);
+  const uint64_t size = cached->SizeBytes();
 
   CostEstimator estimator(&lineage_, DiskThroughput(), options_.use_disk,
                           MakeShuffleAvailability());
@@ -308,7 +314,7 @@ void BlazeCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
   // TryPut, not Put: with the arbiter attached the bound can shrink between
   // EnsureSpace and the insert as concurrent shuffle reservations land.
   if (want_memory && EnsureSpace(executor, size, admission_cost, tc) &&
-      bm.memory().TryPut(id, block, size)) {
+      bm.memory().TryPut(id, cached, size)) {
     lineage_.SetState(rdd.id(), partition, PartitionState::kMemory);
     engine_->audit().Admit(static_cast<uint32_t>(executor), id.rdd_id, id.partition, size,
                            /*to_disk=*/false, "Blaze",
@@ -325,8 +331,8 @@ void BlazeCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
   if (spill && !bm.disk().Contains(id) && !bm.InFlightSpill(id)) {
     // Prefer the off-path write; until it commits, lookups are served from
     // the spill queue's write-claim.
-    if (!bm.SpillAsync(id, block)) {
-      tc.metrics().cache_disk_ms += bm.SpillToDisk(id, *block);
+    if (!bm.SpillAsync(id, cached)) {
+      tc.metrics().cache_disk_ms += bm.SpillToDisk(id, *cached);
       tc.metrics().cache_disk_bytes_written += size;
     }
     lineage_.SetState(rdd.id(), partition, PartitionState::kDisk);

@@ -17,6 +17,10 @@ class RawBlock : public BlockData {
   size_t SizeBytes() const override { return bytes_.size(); }
   size_t NumRows() const override { return 0; }
   void EncodeTo(ByteSink& sink) const override { sink.WriteRaw(bytes_.data(), bytes_.size()); }
+  // The serialized tier is the third block representation (object rows and
+  // columnar being the in-memory two). Lookup decodes before returning, so
+  // tasks never see a RawBlock and MaterializeRows stays unimplemented.
+  BlockRepresentation representation() const override { return BlockRepresentation::kEncoded; }
   const std::vector<uint8_t>& bytes() const { return bytes_; }
 
  private:

@@ -209,19 +209,23 @@ void PolicyCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
   if (bm.memory().Contains(id)) {
     return;
   }
-  const uint64_t size = block->SizeBytes();
+  // Representation selection: the cached copy may be converted (object rows
+  // -> columnar) while the computing task keeps the row block it already
+  // holds. Size, admission, and any disk write all use the cached form.
+  const BlockPtr cached = rdd.CacheRepresentation(block);
+  const uint64_t size = cached->SizeBytes();
   // TryPut, not Put: with the arbiter attached the cache bound moves under
   // concurrent shuffle reservations, so the headroom EnsureSpace freed can
   // legitimately be gone by the time the insert lands.
   if (size <= bm.memory().effective_capacity_bytes() &&
-      EnsureSpace(executor, size, rdd.id(), tc) && bm.memory().TryPut(id, block, size)) {
+      EnsureSpace(executor, size, rdd.id(), tc) && bm.memory().TryPut(id, cached, size)) {
     engine_->audit().Admit(static_cast<uint32_t>(executor), id.rdd_id, id.partition, size,
                            /*to_disk=*/false, policy_->name(), "annotated");
     return;
   }
   // Does not fit in memory at all: MEM_AND_DISK stores it straight on disk.
   if (mode_ == EvictionMode::kMemAndDisk && !bm.disk().Contains(id)) {
-    tc.metrics().cache_disk_ms += bm.SpillToDisk(id, *block);
+    tc.metrics().cache_disk_ms += bm.SpillToDisk(id, *cached);
     tc.metrics().cache_disk_bytes_written += size;
     engine_->metrics().RecordEviction(executor, size, /*to_disk=*/true);
     engine_->audit().Admit(static_cast<uint32_t>(executor), id.rdd_id, id.partition, size,

@@ -66,6 +66,11 @@ struct EngineConfig {
   // Bound of the per-executor spill/fetch queue; a full queue falls back to
   // the synchronous path (backpressure).
   size_t spill_queue_depth = 32;
+  // Representation selection at cache admission: row types that opt in via
+  // BlazeColumns are cached as columnar (struct-of-arrays, arena-backed)
+  // blocks — bulk-copy serialization and one-shot teardown — while executing
+  // tasks keep consuming object rows. Kill switch for A/B and debugging.
+  bool enable_columnar = true;
 };
 
 class EngineContext {

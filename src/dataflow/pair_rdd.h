@@ -93,8 +93,10 @@ class ShuffledRdd final : public Rdd<std::pair<K, C>> {
                                                             size_t reduce_count) {
       if (reduce_count == 1) {
         // Every row lands in the single bucket: alias the map output's rows
-        // instead of copying them.
-        return std::vector<BlockPtr>{MakeBlockView(SharedRowsOf<std::pair<K, V>>(block))};
+        // instead of copying them. The owned view keeps the full payload
+        // charge — the shuffle service retains these rows past the map
+        // output's lifetime and bills them to the execution ledger.
+        return std::vector<BlockPtr>{MakeOwnedBlockView(SharedRowsOf<std::pair<K, V>>(block))};
       }
       const auto& rows = RowsOf<std::pair<K, V>>(block);
       std::vector<std::vector<std::pair<K, V>>> buckets(reduce_count);

@@ -47,7 +47,27 @@ class Rdd : public RddBase {
   using RddBase::RddBase;
 
   BlockPtr DecodeBlock(ByteSource& src) const override {
+    if constexpr (BlazeColumns<T>::kEnabled) {
+      if (src.PeekByte() == kColumnarWireTag) {
+        return ColumnarBlock<T>::DecodeFrom(src);
+      }
+    }
     return TypedBlock<T>::DecodeFrom(src);
+  }
+
+  BlockPtr CacheRepresentation(const BlockPtr& block) const override {
+    if constexpr (kColumnarAutoEligible<T>) {
+      if (!this->context()->config().enable_columnar ||
+          block->representation() != BlockRepresentation::kObjectRows) {
+        return block;
+      }
+      auto columnar = std::make_shared<ColumnarBlock<T>>(RowsOf<T>(block));
+      this->context()->metrics().RecordColumnarBuild(columnar->SizeBytes(),
+                                                     block->SizeBytes());
+      return columnar;
+    } else {
+      return block;
+    }
   }
 
   RddPtr<T> SharedThis() {

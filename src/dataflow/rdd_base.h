@@ -72,8 +72,16 @@ class RddBase : public std::enable_shared_from_this<RddBase> {
   // through `tc` (which consults the caches and recomputes on miss).
   virtual BlockPtr Compute(uint32_t index, TaskContext& tc) const = 0;
 
-  // Decodes a serialized block of this dataset's element type.
+  // Decodes a serialized block of this dataset's element type (dispatching on
+  // the leading representation tag: row vs columnar wire format).
   virtual BlockPtr DecodeBlock(ByteSource& src) const = 0;
+
+  // Representation selection: the cache-facing form of a freshly computed
+  // block. Coordinators call this at admission; the executing task keeps the
+  // object-row block it computed, only the cached copy changes form. The
+  // default keeps the block as-is; Rdd<T> converts opted-in row types to the
+  // columnar arena-backed layout when EngineConfig::enable_columnar allows.
+  virtual BlockPtr CacheRepresentation(const BlockPtr& block) const { return block; }
 
  private:
   EngineContext* ctx_;

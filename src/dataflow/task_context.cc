@@ -38,10 +38,21 @@ bool TaskContext::IsFusionBarrier(const RddBase& rdd) const {
   return engine_->coordinator().IsCacheCandidate(rdd);
 }
 
+BlockPtr TaskContext::MaterializeForTask(BlockPtr block) {
+  if (block->representation() == BlockRepresentation::kObjectRows) {
+    return block;
+  }
+  Stopwatch watch;
+  BlockPtr rows = block->MaterializeRows();
+  BLAZE_CHECK(rows != nullptr) << "compact block cannot materialize rows";
+  engine_->metrics().RecordColumnarDecode(watch.ElapsedMillis());
+  return rows;
+}
+
 BlockPtr TaskContext::GetBlock(const RddBase& rdd, uint32_t index) {
   CacheCoordinator& coordinator = engine_->coordinator();
   if (auto hit = coordinator.Lookup(rdd, index, *this)) {
-    return *hit;
+    return MaterializeForTask(std::move(*hit));
   }
 
   const BlockId block_id{rdd.id(), index};
@@ -57,7 +68,7 @@ BlockPtr TaskContext::GetBlock(const RddBase& rdd, uint32_t index) {
       metrics_.cache_disk_ms += op.elapsed_ms + decode_watch.ElapsedMillis();
       metrics_.cache_disk_bytes_read += bytes->size();
       engine_->metrics().RecordCacheHit(/*from_memory=*/false);
-      return block;
+      return MaterializeForTask(std::move(block));
     }
   }
   // A re-materialization of a coordinator-managed block is a *recovery*: the

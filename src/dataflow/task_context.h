@@ -69,6 +69,10 @@ class TaskContext {
   // time subtracted), emits the BlockComputed offer, and returns the block.
   BlockPtr ComputeBlock(const RddBase& rdd, uint32_t index);
 
+  // Tasks consume object rows: a cache hit served in a compact representation
+  // (columnar) is recomposed here, on the read path, with the cost metered.
+  BlockPtr MaterializeForTask(BlockPtr block);
+
   struct Frame {
     Stopwatch watch;
     double child_ms = 0.0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/block_arena.h"
 #include "src/common/logging.h"
 
 namespace blaze {
@@ -137,12 +138,27 @@ void RunMetrics::RecordShuffleOverflow(uint64_t events) {
   snap_.shuffle_overflow_events = std::max(snap_.shuffle_overflow_events, events);
 }
 
+void RunMetrics::RecordColumnarBuild(uint64_t columnar_bytes, uint64_t row_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++snap_.columnar_blocks;
+  snap_.columnar_bytes += columnar_bytes;
+  snap_.columnar_row_bytes += row_bytes;
+}
+
+void RunMetrics::RecordColumnarDecode(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++snap_.columnar_decodes;
+  snap_.columnar_decode_ms += ms;
+}
+
 RunMetricsSnapshot RunMetrics::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   RunMetricsSnapshot out = snap_;
   out.task_run_hist = task_run_hist_.Snapshot();
   out.disk_io_hist = disk_io_hist_.Snapshot();
   out.ilp_wait_hist = ilp_wait_hist_.Snapshot();
+  // Live arena bytes are a process-wide gauge, sampled at snapshot time.
+  out.arena_live_bytes = BlockArena::TotalLiveBytes();
   return out;
 }
 

@@ -84,6 +84,13 @@ class ByteSource {
     }
   }
 
+  // Reads the next byte without consuming it. Block decoding dispatches on a
+  // leading representation tag (row vs columnar wire format) with this.
+  uint8_t PeekByte() const {
+    BLAZE_CHECK_LT(pos_, size_) << "ByteSource underflow in peek";
+    return data_[pos_];
+  }
+
   bool AtEnd() const { return pos_ == size_; }
   size_t remaining() const { return size_ - pos_; }
 

@@ -54,7 +54,14 @@ struct Codec<std::string> {
     src.ReadRaw(out.data(), n);
     return out;
   }
-  static size_t ByteSize(const std::string& v) { return sizeof(std::string) + v.capacity(); }
+  // An SSO string holds its payload inside the object footprint already; only
+  // heap-spilled capacity is extra live bytes. Counting inline capacity twice
+  // would make the row-side estimate disagree with the arena/columnar
+  // accounting, shifting MCKP size terms with representation.
+  static size_t ByteSize(const std::string& v) {
+    const size_t inline_capacity = std::string().capacity();
+    return sizeof(std::string) + (v.capacity() > inline_capacity ? v.capacity() : 0);
+  }
 };
 
 // --- std::pair ---

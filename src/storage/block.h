@@ -31,6 +31,16 @@ struct BlockIdHash {
   }
 };
 
+// How a resident block stores its rows. Coordinators pick the cache-facing
+// representation at admission (RddBase::CacheRepresentation); executing tasks
+// always consume object rows, so TaskContext::GetBlock recomposes compact
+// representations on the way out (BlockData::MaterializeRows).
+enum class BlockRepresentation : uint8_t {
+  kObjectRows = 0,  // TypedBlock<T>: std::vector<T> of live objects
+  kColumnar = 1,    // ColumnarBlock<T>: arena-backed struct-of-arrays columns
+  kEncoded = 2,     // serialized bytes (the Alluxio-style compact tier)
+};
+
 // Type-erased materialized partition. Typed RDDs allocate TypedBlock<T>
 // (src/dataflow/typed_block.h); storage and caching layers only see this
 // interface. Decoding back from bytes is done by the owning RDD, which knows
@@ -47,6 +57,16 @@ class BlockData {
 
   // Serializes the payload (used for disk spill / serialized caches).
   virtual void EncodeTo(ByteSink& sink) const = 0;
+
+  // The storage layout of this block's rows.
+  virtual BlockRepresentation representation() const {
+    return BlockRepresentation::kObjectRows;
+  }
+
+  // For compact representations: a fresh object-row block carrying the same
+  // rows, suitable for handing to an executing task. Object-row blocks return
+  // nullptr (no conversion needed).
+  virtual std::shared_ptr<const BlockData> MaterializeRows() const { return nullptr; }
 };
 
 using BlockPtr = std::shared_ptr<const BlockData>;

@@ -7,9 +7,12 @@
 #ifndef SRC_WORKLOADS_ELEMENT_TYPES_H_
 #define SRC_WORKLOADS_ELEMENT_TYPES_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "src/dataflow/typed_block.h"
 #include "src/serialize/codec.h"
 
 namespace blaze {
@@ -82,6 +85,242 @@ struct Rating {
     return r;
   }
   size_t BlazeByteSize() const { return sizeof(Rating); }
+};
+
+// A timestamped log record (string-bearing row type for the serving/ETL-style
+// workloads and the columnar-vs-row serialization benchmarks).
+struct LogEvent {
+  uint64_t timestamp = 0;
+  uint32_t severity = 0;
+  std::string message;
+
+  bool operator==(const LogEvent&) const = default;
+
+  void BlazeEncode(ByteSink& sink) const {
+    Encode(timestamp, sink);
+    Encode(severity, sink);
+    Encode(message, sink);
+  }
+  static LogEvent BlazeDecode(ByteSource& src) {
+    LogEvent e;
+    e.timestamp = Decode<uint64_t>(src);
+    e.severity = Decode<uint32_t>(src);
+    e.message = Decode<std::string>(src);
+    return e;
+  }
+  size_t BlazeByteSize() const {
+    return sizeof(uint64_t) + sizeof(uint32_t) + ApproxByteSize(message);
+  }
+};
+
+// --- columnar layouts (BlazeColumns opt-ins) ----------------------------------------
+//
+// Variable-length fields flatten into one value slab plus a uint32 offsets
+// column of n+1 prefix sums; encode/decode are pure bulk column copies.
+
+template <>
+struct BlazeColumns<LabeledPoint> {
+  static constexpr bool kEnabled = true;
+  static constexpr bool kAutoSelect = true;
+
+  struct Columns {
+    ArenaColumn<double> label;
+    ArenaColumn<uint32_t> offsets;  // n+1 prefix sums into `features`
+    ArenaColumn<double> features;   // all rows' features, flattened
+  };
+
+  static size_t ArenaBytes(const std::vector<LabeledPoint>& rows) {
+    size_t total_features = 0;
+    for (const LabeledPoint& p : rows) {
+      total_features += p.features.size();
+    }
+    return BlockArena::Aligned(rows.size() * sizeof(double)) +
+           BlockArena::Aligned((rows.size() + 1) * sizeof(uint32_t)) +
+           BlockArena::Aligned(total_features * sizeof(double));
+  }
+
+  static Columns Decompose(const std::vector<LabeledPoint>& rows, BlockArena& arena) {
+    Columns c;
+    const size_t n = rows.size();
+    c.label = ArenaColumn<double>::Make(arena, n);
+    c.offsets = ArenaColumn<uint32_t>::Make(arena, n + 1);
+    size_t total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      c.label[i] = rows[i].label;
+      c.offsets[i] = static_cast<uint32_t>(total);
+      total += rows[i].features.size();
+    }
+    c.offsets[n] = static_cast<uint32_t>(total);
+    c.features = ArenaColumn<double>::Make(arena, total);
+    size_t pos = 0;
+    for (const LabeledPoint& p : rows) {
+      std::copy(p.features.begin(), p.features.end(), c.features.data() + pos);
+      pos += p.features.size();
+    }
+    return c;
+  }
+
+  static LabeledPoint RowAt(const Columns& c, size_t i) {
+    LabeledPoint p;
+    p.label = c.label[i];
+    p.features.assign(c.features.data() + c.offsets[i], c.features.data() + c.offsets[i + 1]);
+    return p;
+  }
+
+  static void Encode(const Columns& c, size_t /*n*/, ByteSink& sink) {
+    EncodeColumn(c.offsets, sink);
+    EncodeColumn(c.label, sink);
+    EncodeColumn(c.features, sink);
+  }
+
+  static Columns Decode(ByteSource& src, size_t n, BlockArena& arena) {
+    Columns c;
+    c.offsets = DecodeColumn<uint32_t>(src, n + 1, arena);
+    c.label = DecodeColumn<double>(src, n, arena);
+    c.features = DecodeColumn<double>(src, n > 0 ? c.offsets[n] : 0, arena);
+    return c;
+  }
+};
+
+template <>
+struct BlazeColumns<FactorVec> {
+  static constexpr bool kEnabled = true;
+  static constexpr bool kAutoSelect = true;
+
+  struct Columns {
+    ArenaColumn<uint32_t> offsets;  // n+1 prefix sums into `values`
+    ArenaColumn<double> values;     // all rows' factor values, flattened
+    ArenaColumn<double> bias;
+    ArenaColumn<double> weight;
+  };
+
+  static size_t ArenaBytes(const std::vector<FactorVec>& rows) {
+    size_t total_values = 0;
+    for (const FactorVec& f : rows) {
+      total_values += f.values.size();
+    }
+    return BlockArena::Aligned((rows.size() + 1) * sizeof(uint32_t)) +
+           BlockArena::Aligned(total_values * sizeof(double)) +
+           2 * BlockArena::Aligned(rows.size() * sizeof(double));
+  }
+
+  static Columns Decompose(const std::vector<FactorVec>& rows, BlockArena& arena) {
+    Columns c;
+    const size_t n = rows.size();
+    c.offsets = ArenaColumn<uint32_t>::Make(arena, n + 1);
+    c.bias = ArenaColumn<double>::Make(arena, n);
+    c.weight = ArenaColumn<double>::Make(arena, n);
+    size_t total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      c.offsets[i] = static_cast<uint32_t>(total);
+      c.bias[i] = rows[i].bias;
+      c.weight[i] = rows[i].weight;
+      total += rows[i].values.size();
+    }
+    c.offsets[n] = static_cast<uint32_t>(total);
+    c.values = ArenaColumn<double>::Make(arena, total);
+    size_t pos = 0;
+    for (const FactorVec& f : rows) {
+      std::copy(f.values.begin(), f.values.end(), c.values.data() + pos);
+      pos += f.values.size();
+    }
+    return c;
+  }
+
+  static FactorVec RowAt(const Columns& c, size_t i) {
+    FactorVec f;
+    f.values.assign(c.values.data() + c.offsets[i], c.values.data() + c.offsets[i + 1]);
+    f.bias = c.bias[i];
+    f.weight = c.weight[i];
+    return f;
+  }
+
+  static void Encode(const Columns& c, size_t /*n*/, ByteSink& sink) {
+    EncodeColumn(c.offsets, sink);
+    EncodeColumn(c.values, sink);
+    EncodeColumn(c.bias, sink);
+    EncodeColumn(c.weight, sink);
+  }
+
+  static Columns Decode(ByteSource& src, size_t n, BlockArena& arena) {
+    Columns c;
+    c.offsets = DecodeColumn<uint32_t>(src, n + 1, arena);
+    c.values = DecodeColumn<double>(src, n > 0 ? c.offsets[n] : 0, arena);
+    c.bias = DecodeColumn<double>(src, n, arena);
+    c.weight = DecodeColumn<double>(src, n, arena);
+    return c;
+  }
+};
+
+template <>
+struct BlazeColumns<LogEvent> {
+  static constexpr bool kEnabled = true;
+  static constexpr bool kAutoSelect = true;
+
+  struct Columns {
+    ArenaColumn<uint64_t> timestamp;
+    ArenaColumn<uint32_t> severity;
+    ArenaColumn<uint32_t> offsets;  // n+1 prefix sums into `chars`
+    ArenaColumn<char> chars;        // all rows' message bytes, flattened
+  };
+
+  static size_t ArenaBytes(const std::vector<LogEvent>& rows) {
+    size_t total_chars = 0;
+    for (const LogEvent& e : rows) {
+      total_chars += e.message.size();
+    }
+    return BlockArena::Aligned(rows.size() * sizeof(uint64_t)) +
+           BlockArena::Aligned(rows.size() * sizeof(uint32_t)) +
+           BlockArena::Aligned((rows.size() + 1) * sizeof(uint32_t)) +
+           BlockArena::Aligned(total_chars);
+  }
+
+  static Columns Decompose(const std::vector<LogEvent>& rows, BlockArena& arena) {
+    Columns c;
+    const size_t n = rows.size();
+    c.timestamp = ArenaColumn<uint64_t>::Make(arena, n);
+    c.severity = ArenaColumn<uint32_t>::Make(arena, n);
+    c.offsets = ArenaColumn<uint32_t>::Make(arena, n + 1);
+    size_t total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      c.timestamp[i] = rows[i].timestamp;
+      c.severity[i] = rows[i].severity;
+      c.offsets[i] = static_cast<uint32_t>(total);
+      total += rows[i].message.size();
+    }
+    c.offsets[n] = static_cast<uint32_t>(total);
+    c.chars = ArenaColumn<char>::Make(arena, total);
+    size_t pos = 0;
+    for (const LogEvent& e : rows) {
+      std::copy(e.message.begin(), e.message.end(), c.chars.data() + pos);
+      pos += e.message.size();
+    }
+    return c;
+  }
+
+  static LogEvent RowAt(const Columns& c, size_t i) {
+    LogEvent e;
+    e.timestamp = c.timestamp[i];
+    e.severity = c.severity[i];
+    e.message.assign(c.chars.data() + c.offsets[i], c.chars.data() + c.offsets[i + 1]);
+    return e;
+  }
+
+  static void Encode(const Columns& c, size_t /*n*/, ByteSink& sink) {
+    EncodeColumn(c.offsets, sink);
+    EncodeColumn(c.timestamp, sink);
+    EncodeColumn(c.severity, sink);
+    EncodeColumn(c.chars, sink);
+  }
+
+  static Columns Decode(ByteSource& src, size_t n, BlockArena& arena) {
+    Columns c;
+    c.offsets = DecodeColumn<uint32_t>(src, n + 1, arena);
+    c.timestamp = DecodeColumn<uint64_t>(src, n, arena);
+    c.severity = DecodeColumn<uint32_t>(src, n, arena);
+    c.chars = DecodeColumn<char>(src, n > 0 ? c.offsets[n] : 0, arena);
+    return c;
+  }
 };
 
 }  // namespace blaze

@@ -145,5 +145,40 @@ TEST(MemoryArbiterTest, ShuffleAttributesBucketsByMapPartition) {
   shuffle.DetachArbiters();
 }
 
+// Regression: a view over rows another block owns must charge only its fixed
+// overhead, never the payload — the fused-pipeline path used to double-charge
+// the ledger by ApproxByteSize on both the owner and every view.
+TEST(MemoryArbiterTest, BlockViewsDoNotDoubleChargePayload) {
+  MemoryArbiter arbiter(MiB(4), MiB(1));
+  MemoryStore store(MiB(4), &arbiter);
+
+  BlockPtr owner = IntBlock(9, 1000);  // ~4KB payload
+  const uint64_t owner_size = owner->SizeBytes();
+  ASSERT_GT(owner_size, 3000u);
+  store.Put(BlockId{1, 0}, owner, owner_size);
+
+  // Aliasing view: the owner (and the store) still hold the rows.
+  BlockPtr view = MakeBlockView(SharedRowsOf<int>(owner));
+  EXPECT_LT(view->SizeBytes(), 128u);  // fixed overhead only
+  store.Put(BlockId{1, 1}, view, view->SizeBytes());
+  EXPECT_EQ(arbiter.cache_used_bytes(), owner_size + view->SizeBytes());
+
+  EXPECT_EQ(store.Remove(BlockId{1, 1}), view->SizeBytes());
+  EXPECT_EQ(store.Remove(BlockId{1, 0}), owner_size);
+  EXPECT_EQ(arbiter.cache_used_bytes(), 0u);
+}
+
+// The sole-owner case (a freshly built buffer wrapped as a view, as the fused
+// pipeline emits) still charges the full payload: nobody else owns it.
+TEST(MemoryArbiterTest, SoleOwnerBlockViewChargesPayload) {
+  BlockPtr fused = MakeBlockView(std::make_shared<const std::vector<int>>(1000, 7));
+  EXPECT_GT(fused->SizeBytes(), 3000u);
+  // Shuffle handoffs always charge the payload regardless of aliasing: the
+  // bucket bytes live in the execution ledger even while a cached copy exists.
+  BlockPtr owner = IntBlock(3, 1000);
+  BlockPtr bucket = MakeOwnedBlockView(SharedRowsOf<int>(owner));
+  EXPECT_GT(bucket->SizeBytes(), 3000u);
+}
+
 }  // namespace
 }  // namespace blaze

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # CI driver: builds and runs the test suite in the plain config, then again
 # with ThreadSanitizer (BLAZE_SANITIZE=thread) in a separate build tree so
-# data races on the concurrent hot paths fail the pipeline.
+# data races on the concurrent hot paths fail the pipeline, and once more
+# with AddressSanitizer (BLAZE_SANITIZE=address) over the storage/columnar
+# subset so arena lifetime bugs (use-after-release, chunk overruns) fail too.
 #
-# Usage: tools/ci.sh [plain|tsan|all]   (default: all)
+# Usage: tools/ci.sh [plain|tsan|asan|all]   (default: all)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,8 +13,8 @@ mode="${1:-all}"
 jobs="$(nproc)"
 
 case "$mode" in
-  plain|tsan|all) ;;
-  *) echo "usage: tools/ci.sh [plain|tsan|all]" >&2; exit 2 ;;
+  plain|tsan|asan|all) ;;
+  *) echo "usage: tools/ci.sh [plain|tsan|asan|all]" >&2; exit 2 ;;
 esac
 
 run_config() {
@@ -86,6 +88,17 @@ micro_storage_smoke() {
   BLAZE_MICRO_STORAGE_MIN_SPEEDUP=1.3 ./build/bench/bench_micro_storage
 }
 
+micro_serialize_smoke() {
+  # Columnar/arena win guards (the binary enforces both bounds after its
+  # benchmark pass): columnar encode of the string-bearing type must beat the
+  # row codec >= 1.5x, and arena block teardown must beat per-row heap
+  # teardown >= 1.5x. Filter to the floor-relevant benchmarks to keep CI fast.
+  echo "=== [plain] micro-serialize columnar/arena guard ==="
+  BLAZE_MICRO_SERIALIZE_MIN_COLUMNAR_SPEEDUP=1.5 \
+    BLAZE_MICRO_SERIALIZE_MIN_ARENA_SPEEDUP=1.5 \
+    ./build/bench/bench_micro_serialize --benchmark_filter='Columnar|Teardown'
+}
+
 perf_smoke() {
   # Wall-clock guard for the fig09 hot path: best-of-3 at scale 0.25 on the
   # PageRank workload must stay within 10% of the recorded seed numbers
@@ -121,6 +134,7 @@ if [[ "$mode" == "plain" || "$mode" == "all" ]]; then
   trace_smoke
   spill_smoke build
   micro_storage_smoke
+  micro_serialize_smoke
   perf_smoke
 fi
 
@@ -132,6 +146,22 @@ if [[ "$mode" == "tsan" || "$mode" == "all" ]]; then
   # The same spill-pressure run under TSan: continuous eviction + the spill
   # worker + pinned readers is exactly where a lifetime race would hide.
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" spill_smoke build-tsan
+fi
+
+if [[ "$mode" == "asan" || "$mode" == "all" ]]; then
+  # ASan leg over the storage/serialization/columnar subset: arena payloads
+  # are freed without destructors and handed out as raw spans, so
+  # use-after-release and chunk overruns are the failure modes to hunt. The
+  # spill-pressure smoke then drives arena-backed blocks through eviction,
+  # the async spill queue, and disk round trips end to end.
+  echo "=== [asan] configure+build ==="
+  cmake -B build-asan -S . -DBLAZE_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$jobs"
+  echo "=== [asan] ctest (storage/columnar subset) ==="
+  ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir build-asan --output-on-failure -j "$jobs" \
+      -R 'columnar_arena|storage|spill_pipeline|memory_arbiter|serialize|dataflow|fusion'
+  ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" spill_smoke build-asan
 fi
 
 echo "CI OK ($mode)"

@@ -1,16 +1,32 @@
-// Flight-recorder overhead micro-benchmarks. The numbers that matter:
+// Flight-recorder and telemetry-registry overhead micro-benchmarks. The
+// numbers that matter:
 //   BM_TraceScopeDisabled / BM_TraceEventDisabled — the cost left in the hot
 //     path when tracing is off (one relaxed load + branch; args unevaluated).
 //   BM_TraceScopeEnabled / BM_TraceEventEnabled   — per-event recording cost.
 //   BM_AuditEvict                                 — one structured audit push.
+//   BM_RegistryCounterAdd / BM_RegistryGaugeAdd / BM_RegistryHistogramRecord
+//     — the always-on telemetry plane's per-event cost (striped relaxed
+//     fetch_add / plain fetch_add / bucket increment + CAS-max).
 // Run against bench_micro_contention before/after instrumentation to confirm
 // the <3% tracing-disabled regression budget.
+//
+// CI floor: with BLAZE_MICRO_TRACE_MAX_COUNTER_NS set, main() times a manual
+// multi-threaded TelemetryCounter::Add loop after the google-benchmark run
+// and exits nonzero if ns/op exceeds the bound — the guard that keeps
+// "always-on" honest (tools/ci.sh sets 20 ns).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
 
 #include "src/common/trace.h"
 #include "src/metrics/audit_log.h"
+#include "src/metrics/registry.h"
 
 namespace blaze {
 namespace {
@@ -89,7 +105,90 @@ void BM_AuditEvict(benchmark::State& state) {
 }
 BENCHMARK(BM_AuditEvict)->Threads(1)->Threads(8);
 
+void BM_RegistryCounterAdd(benchmark::State& state) {
+  static TelemetryCounter* counter =
+      MetricsRegistry::Global().Counter("bench.counter_add");
+  for (auto _ : state) {
+    counter->Add();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryCounterAdd)->Threads(1)->Threads(8);
+
+void BM_RegistryGaugeAdd(benchmark::State& state) {
+  static TelemetryGauge* gauge = MetricsRegistry::Global().Gauge("bench.gauge_add");
+  for (auto _ : state) {
+    gauge->Add(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryGaugeAdd)->Threads(1)->Threads(8);
+
+void BM_RegistryHistogramRecord(benchmark::State& state) {
+  static StreamingHistogram* hist =
+      MetricsRegistry::Global().Histogram("bench.hist_record");
+  double ms = 0.125;
+  for (auto _ : state) {
+    hist->Record(ms);
+    ms += 0.001;  // walk the buckets so the CAS-max occasionally fires
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryHistogramRecord)->Threads(1)->Threads(8);
+
+// Manual timed loop for the CI floor: total CPU work / total ops, immune to
+// google-benchmark's per-thread timer plumbing. On a single-core box wall
+// time across T threads still equals total CPU time, so ns/op stays honest.
+double MeasureCounterNsPerOp(int threads, uint64_t ops_per_thread) {
+  TelemetryCounter* counter = MetricsRegistry::Global().Counter("bench.guard_counter");
+  std::vector<std::thread> workers;
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([counter, ops_per_thread] {
+      for (uint64_t i = 0; i < ops_per_thread; ++i) {
+        counter->Add();
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double total_ns =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  return total_ns / (static_cast<double>(threads) * static_cast<double>(ops_per_thread));
+}
+
 }  // namespace
 }  // namespace blaze
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (const char* max_ns_env = std::getenv("BLAZE_MICRO_TRACE_MAX_COUNTER_NS")) {
+    const double max_ns = std::atof(max_ns_env);
+    constexpr int kThreads = 4;
+    constexpr uint64_t kOpsPerThread = 2'000'000;
+    blaze::MeasureCounterNsPerOp(kThreads, kOpsPerThread / 10);  // warmup
+    double best = 1e18;
+    for (int round = 0; round < 3; ++round) {
+      best = std::min(best, blaze::MeasureCounterNsPerOp(kThreads, kOpsPerThread));
+    }
+    std::printf("registry_counter_add_ns_per_op=%.2f (floor %.2f, %d threads)\n", best,
+                max_ns, kThreads);
+    if (best > max_ns) {
+      std::fprintf(stderr,
+                   "FAIL: TelemetryCounter::Add %.2f ns/op exceeds "
+                   "BLAZE_MICRO_TRACE_MAX_COUNTER_NS=%.2f\n",
+                   best, max_ns);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,281 @@
+// Tail-latency SLO traffic harness: replays a stream of small concurrent
+// jobs — N closed-loop simulated drivers issuing scans and shuffles against a
+// shared pool of cached datasets with Zipfian popularity skew — and reports
+// p50/p95/p99 job latency, jobs/sec, and rows/sec *from the live telemetry
+// registry* (sched.job_latency_ms et al.), the production-shaped complement
+// to the paper-figure ACT benches.
+//
+// The run doubles as an end-to-end check of the telemetry plane: the engine
+// serves /metrics and /stats on an ephemeral loopback port for the whole run,
+// and before teardown the harness fetches both, validates /stats with the
+// in-tree JSON parser, cross-checks its counters against the registry, and
+// exits nonzero on any malformation — so the CI smoke (tools/ci.sh) fails if
+// the endpoints ever serve garbage under real concurrency.
+//
+// Env knobs (all optional):
+//   BLAZE_SLO_DRIVERS=N      concurrent driver threads        (default 4)
+//   BLAZE_SLO_JOBS=N         total measured jobs              (default 240)
+//   BLAZE_SLO_DATASETS=N     cached datasets in the pool      (default 12)
+//   BLAZE_SLO_ALPHA=F        Zipf skew of dataset popularity  (default 1.1)
+//   BLAZE_SLO_SHUFFLE_FRAC=F fraction of jobs that shuffle    (default 0.15)
+//   BLAZE_SLO_MAX_P99_MS=F   exit 1 if p99 exceeds this       (default off)
+//   BLAZE_TRACE=PATH         record the measured phase with the flight
+//                            recorder and export Chrome trace + audit JSONL
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cache/policies.h"
+#include "src/cache/policy_coordinator.h"
+#include "src/common/http.h"
+#include "src/common/json.h"
+#include "src/common/rng.h"
+#include "src/common/stopwatch.h"
+#include "src/common/trace.h"
+#include "src/common/units.h"
+#include "src/dataflow/dag_scheduler.h"
+#include "src/dataflow/pair_rdd.h"
+#include "src/dataflow/rdd.h"
+#include "src/metrics/exporter.h"
+#include "src/metrics/registry.h"
+
+namespace blaze {
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atof(v) : fallback;
+}
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? static_cast<uint64_t>(std::atoll(v)) : fallback;
+}
+
+struct SloParams {
+  int drivers = 4;
+  int jobs = 240;          // measured jobs, split across drivers
+  int datasets = 12;
+  double alpha = 1.1;      // Zipf skew: rank r drawn ~ (r+1)^-alpha
+  double shuffle_frac = 0.15;
+  size_t partitions = 8;
+  size_t rows_per_dataset = 8192;  // ~96 KiB of pair<uint32_t,uint64_t> rows
+};
+
+// Validates the live endpoints while the engine is still up. Returns false
+// (with a message on stderr) on any malformation — this is the CI contract.
+bool ValidateTelemetry(uint16_t port, uint64_t min_jobs_completed) {
+  std::string error;
+  const auto stats = HttpGetLocal(port, "/stats", &error);
+  if (!stats.has_value()) {
+    std::fprintf(stderr, "traffic_slo: GET /stats failed: %s\n", error.c_str());
+    return false;
+  }
+  const auto parsed = json::Parse(*stats, &error);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "traffic_slo: /stats is not valid JSON: %s\n", error.c_str());
+    return false;
+  }
+  const json::Value* counters = parsed->Find("counters");
+  if (counters == nullptr || !counters->is_object()) {
+    std::fprintf(stderr, "traffic_slo: /stats lacks a counters object\n");
+    return false;
+  }
+  const json::Value* completed = counters->Find("sched.jobs_completed");
+  if (completed == nullptr || !completed->is_number() ||
+      static_cast<uint64_t>(completed->as_number()) < min_jobs_completed) {
+    std::fprintf(stderr,
+                 "traffic_slo: /stats sched.jobs_completed missing or below %llu\n",
+                 static_cast<unsigned long long>(min_jobs_completed));
+    return false;
+  }
+  // The /stats snapshot and a direct registry snapshot must tell one story
+  // (both are fed by the same chokepoints; allow in-flight-free equality
+  // since all jobs are joined by now).
+  const RegistrySnapshot reg = MetricsRegistry::Global().Snapshot();
+  const uint64_t* reg_completed = reg.FindCounter("sched.jobs_completed");
+  if (reg_completed == nullptr ||
+      static_cast<uint64_t>(completed->as_number()) != *reg_completed) {
+    std::fprintf(stderr, "traffic_slo: /stats (%llu) and registry (%llu) disagree on "
+                 "sched.jobs_completed\n",
+                 static_cast<unsigned long long>(completed->as_number()),
+                 static_cast<unsigned long long>(reg_completed ? *reg_completed : 0));
+    return false;
+  }
+  const auto metrics = HttpGetLocal(port, "/metrics", &error);
+  if (!metrics.has_value()) {
+    std::fprintf(stderr, "traffic_slo: GET /metrics failed: %s\n", error.c_str());
+    return false;
+  }
+  if (metrics->find("# TYPE blaze_sched_jobs_completed counter") == std::string::npos ||
+      metrics->find("blaze_sched_job_latency_ms_count") == std::string::npos) {
+    std::fprintf(stderr, "traffic_slo: /metrics lacks expected blaze_sched_* series\n");
+    return false;
+  }
+  return true;
+}
+
+int Run() {
+  SloParams params;
+  params.drivers = static_cast<int>(EnvU64("BLAZE_SLO_DRIVERS", params.drivers));
+  params.jobs = static_cast<int>(EnvU64("BLAZE_SLO_JOBS", params.jobs));
+  params.datasets = static_cast<int>(EnvU64("BLAZE_SLO_DATASETS", params.datasets));
+  params.alpha = EnvDouble("BLAZE_SLO_ALPHA", params.alpha);
+  params.shuffle_frac = EnvDouble("BLAZE_SLO_SHUFFLE_FRAC", params.shuffle_frac);
+  const double max_p99_ms = EnvDouble("BLAZE_SLO_MAX_P99_MS", 0.0);
+  const char* trace_path = std::getenv("BLAZE_TRACE");
+
+  const uint64_t dataset_bytes =
+      params.rows_per_dataset * sizeof(std::pair<uint32_t, uint64_t>);
+  EngineConfig config;
+  config.num_executors = 4;
+  config.threads_per_executor = 2;
+  // ~60% of the pool fits: the skewed tail stays hot in memory while cold
+  // datasets cycle through eviction — steady cache pressure, as production.
+  config.memory_capacity_per_executor =
+      dataset_bytes * static_cast<uint64_t>(params.datasets) * 6 / 10 / config.num_executors;
+  config.disk_throughput_bytes_per_sec = 64ULL << 20;
+  config.shuffle_retention_jobs = 4;
+  config.telemetry_port = 0;  // ephemeral: the whole run serves /metrics + /stats
+  EngineContext engine(config);
+  engine.SetCoordinator(std::make_unique<PolicyCoordinator>(&engine, MakePolicy("lru"),
+                                                            EvictionMode::kMemAndDisk));
+  if (engine.exporter() == nullptr || !engine.exporter()->ok()) {
+    std::fprintf(stderr, "traffic_slo: telemetry exporter failed to start\n");
+    return 1;
+  }
+  const uint16_t port = engine.exporter()->port();
+
+  // The shared dataset pool, each cached and pre-warmed so the measured phase
+  // sees steady-state cache behavior (hits on the hot tail, misses + evictions
+  // on the cold one), not first-touch materialization.
+  std::vector<RddPtr<std::pair<uint32_t, uint64_t>>> pool;
+  pool.reserve(params.datasets);
+  Rng gen_rng(42);
+  for (int d = 0; d < params.datasets; ++d) {
+    std::vector<std::pair<uint32_t, uint64_t>> rows;
+    rows.reserve(params.rows_per_dataset);
+    for (size_t i = 0; i < params.rows_per_dataset; ++i) {
+      rows.emplace_back(static_cast<uint32_t>(gen_rng.NextU64(1024)), gen_rng.NextU64());
+    }
+    auto ds = Parallelize<std::pair<uint32_t, uint64_t>>(
+        &engine, "slo_ds" + std::to_string(d), std::move(rows), params.partitions);
+    ds->Cache();
+    ds->Count();  // warm
+    pool.push_back(std::move(ds));
+  }
+
+  // Per-phase deltas: everything before this line (warmup, dataset builds) is
+  // excluded from the reported percentiles. Callback gauges are live views
+  // and unaffected.
+  MetricsRegistry::Global().Reset();
+  if (trace_path != nullptr && *trace_path != '\0') {
+    trace::Start();
+  }
+
+  std::atomic<uint64_t> rows_counted{0};
+  const int jobs_per_driver = params.jobs / params.drivers;
+  Stopwatch wall;
+  std::vector<std::thread> drivers;
+  drivers.reserve(params.drivers);
+  for (int d = 0; d < params.drivers; ++d) {
+    drivers.emplace_back([&, d] {
+      Rng rng(0xB1A2E5ULL + static_cast<uint64_t>(d));
+      for (int j = 0; j < jobs_per_driver; ++j) {
+        auto& ds = pool[rng.NextPowerLaw(pool.size(), params.alpha)];
+        if (rng.NextDouble() < params.shuffle_frac) {
+          // Shuffle job: aggregate the dataset by key (map stage + result
+          // stage; retention_jobs=4 keeps the shuffle pool cycling).
+          auto reduced = ReduceByKey<uint32_t, uint64_t>(
+              ds, [](const uint64_t& a, const uint64_t& b) { return a + b; },
+              params.partitions);
+          rows_counted.fetch_add(reduced->Count(), std::memory_order_relaxed);
+        } else {
+          // Scan job: one narrow pass over the cached rows.
+          auto mapped = ds->Map(
+              [](const std::pair<uint32_t, uint64_t>& row) {
+                return row.first ^ static_cast<uint32_t>(row.second);
+              },
+              "slo_scan");
+          rows_counted.fetch_add(mapped->Count(), std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& driver : drivers) {
+    driver.join();
+  }
+  const double wall_ms = wall.ElapsedMillis();
+
+  if (trace_path != nullptr && *trace_path != '\0') {
+    trace::Stop();
+    const trace::Dump dump = trace::Drain();
+    if (!trace::WriteChromeTrace(dump, trace_path)) {
+      std::fprintf(stderr, "traffic_slo: failed to write trace to %s\n", trace_path);
+      return 1;
+    }
+    const std::string base(trace_path);
+    const size_t dot = base.rfind('.');
+    const std::string audit_path =
+        (dot == std::string::npos ? base : base.substr(0, dot)) + ".audit.jsonl";
+    std::ofstream audit_file(audit_path, std::ios::trunc);
+    engine.audit().WriteJsonl(audit_file);
+  }
+
+  // Everything reported below comes from the live registry — the same numbers
+  // /metrics and /stats served throughout the run.
+  const RegistrySnapshot snap = MetricsRegistry::Global().Snapshot();
+  const HistogramSnapshot* job_hist = snap.FindHistogram("sched.job_latency_ms");
+  const uint64_t* jobs_completed = snap.FindCounter("sched.jobs_completed");
+  const int expected_jobs = jobs_per_driver * params.drivers;
+  if (job_hist == nullptr || jobs_completed == nullptr ||
+      *jobs_completed < static_cast<uint64_t>(expected_jobs)) {
+    std::fprintf(stderr, "traffic_slo: registry lost jobs (%llu < %d)\n",
+                 jobs_completed != nullptr
+                     ? static_cast<unsigned long long>(*jobs_completed)
+                     : 0ULL,
+                 expected_jobs);
+    return 1;
+  }
+  const double wall_s = wall_ms / 1e3;
+  std::printf("traffic_slo: drivers=%d jobs=%llu datasets=%d alpha=%.2f shuffle=%.0f%%\n",
+              params.drivers, static_cast<unsigned long long>(*jobs_completed),
+              params.datasets, params.alpha, params.shuffle_frac * 100.0);
+  std::printf("traffic_slo: wall=%.1fms jobs/sec=%.1f rows/sec=%.3g\n", wall_ms,
+              static_cast<double>(*jobs_completed) / wall_s,
+              static_cast<double>(rows_counted.load()) / wall_s);
+  std::printf("traffic_slo: job latency p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+              job_hist->p50_ms, job_hist->p95_ms, job_hist->p99_ms, job_hist->max_ms);
+  const uint64_t hits_mem = snap.FindCounter("cache.hits_memory") != nullptr
+                                ? *snap.FindCounter("cache.hits_memory")
+                                : 0;
+  const uint64_t misses =
+      snap.FindCounter("cache.misses") != nullptr ? *snap.FindCounter("cache.misses") : 0;
+  std::printf("traffic_slo: cache hits_mem=%llu misses=%llu\n",
+              static_cast<unsigned long long>(hits_mem),
+              static_cast<unsigned long long>(misses));
+
+  if (!ValidateTelemetry(port, *jobs_completed)) {
+    return 1;
+  }
+  std::printf("traffic_slo: telemetry endpoints ok (port %u)\n",
+              static_cast<unsigned>(port));
+
+  if (max_p99_ms > 0.0 && job_hist->p99_ms > max_p99_ms) {
+    std::fprintf(stderr, "FAIL: p99 %.2fms exceeds BLAZE_SLO_MAX_P99_MS=%.2fms\n",
+                 job_hist->p99_ms, max_p99_ms);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace blaze
+
+int main() { return blaze::Run(); }

@@ -1,0 +1,63 @@
+// Minimal in-tree HTTP/1.0 over loopback: just enough to serve the telemetry
+// endpoints (/metrics, /stats) and poll them from blazectl/tests. No external
+// dependencies, no TLS, no keep-alive; every request is one short-lived
+// connection handled serially on the listener thread (telemetry polls are
+// small and rare — simplicity beats throughput here).
+#ifndef SRC_COMMON_HTTP_H_
+#define SRC_COMMON_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+
+namespace blaze {
+
+class HttpServer {
+ public:
+  // Fills body/content_type for `path` (the request target, e.g. "/stats").
+  // Returning false produces a 404. Called on the listener thread; must be
+  // thread-safe with respect to the rest of the process.
+  using Handler = std::function<bool(const std::string& path, std::string* body,
+                                     std::string* content_type)>;
+
+  HttpServer() = default;
+  ~HttpServer() { Stop(); }
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port, see port())
+  // and starts the listener thread. Returns false if the bind fails (port in
+  // use) — the caller decides whether that is fatal.
+  bool Start(uint16_t port, Handler handler);
+
+  // Joins the listener thread and closes the socket. Idempotent.
+  void Stop();
+
+  bool running() const { return listen_fd_ >= 0; }
+  uint16_t port() const { return port_; }
+
+ private:
+  void Loop();
+  void HandleConnection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+// Blocking GET of http://127.0.0.1:port/path. Returns the response body on
+// HTTP 200, nullopt otherwise (error, if non-null, says why). `timeout_ms`
+// bounds connect+read.
+std::optional<std::string> HttpGetLocal(uint16_t port, const std::string& path,
+                                        std::string* error = nullptr,
+                                        int timeout_ms = 2000);
+
+}  // namespace blaze
+
+#endif  // SRC_COMMON_HTTP_H_

@@ -12,6 +12,7 @@
 #include "src/common/trace.h"
 #include "src/dataflow/engine_context.h"
 #include "src/dataflow/task_context.h"
+#include "src/metrics/registry.h"
 
 namespace blaze {
 
@@ -32,8 +33,10 @@ struct JobState {
   std::vector<std::atomic<int>> pending_parents;
   std::vector<std::atomic<int>> pending_tasks;
 
-  // Trace bookkeeping: written by the launching thread before task dispatch,
-  // read by the completing thread (ordered through the pool's queue).
+  // Start timestamps, always on (they feed the sched.job_latency_ms /
+  // sched.stage_latency_ms telemetry histograms as well as the flight
+  // recorder): written by the launching thread before task dispatch, read by
+  // the completing thread (ordered through the pool's queue).
   std::vector<uint64_t> stage_start_us;
   uint64_t job_start_us = 0;
 
@@ -98,6 +101,16 @@ std::vector<std::any> JobHandle::Wait() {
 }
 
 int JobHandle::job_id() const { return state_ == nullptr ? -1 : state_->job_id; }
+
+DagScheduler::DagScheduler(EngineContext* engine) : engine_(engine) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  telemetry_.jobs_submitted = reg.Counter("sched.jobs_submitted");
+  telemetry_.jobs_completed = reg.Counter("sched.jobs_completed");
+  telemetry_.stages_completed = reg.Counter("sched.stages_completed");
+  telemetry_.jobs_active = reg.Gauge("sched.jobs_active");
+  telemetry_.job_latency_ms = reg.Histogram("sched.job_latency_ms");
+  telemetry_.stage_latency_ms = reg.Histogram("sched.stage_latency_ms");
+}
 
 DagScheduler::~DagScheduler() {
   std::unique_lock<std::mutex> lock(drain_mu_);
@@ -262,7 +275,9 @@ JobHandle DagScheduler::SubmitJob(const std::shared_ptr<RddBase>& target,
   job->job_id = job_id;
   job->target = target;
   job->process = process;
-  job->job_start_us = trace::Enabled() ? ProcessMicros() : 0;
+  job->job_start_us = ProcessMicros();
+  telemetry_.jobs_submitted->Add();
+  telemetry_.jobs_active->Add(1);
 
   const JobInfo job_info = AnalyzeJob(target, job_id);
 
@@ -336,7 +351,7 @@ void DagScheduler::LaunchStage(const std::shared_ptr<internal::JobState>& job,
       return;
     }
   }
-  job->stage_start_us[stage_index] = trace::Enabled() ? ProcessMicros() : 0;
+  job->stage_start_us[stage_index] = ProcessMicros();
   engine.coordinator().OnStageStart(MakeStageInfo(*job, stage_index));
   RunStageTasks(job, stage_index);
 }
@@ -428,7 +443,10 @@ void DagScheduler::CompleteStage(const std::shared_ptr<internal::JobState>& job,
   const StagePlan& plan = job->plans[stage_index];
   if (ran) {
     engine.coordinator().OnStageComplete(MakeStageInfo(*job, stage_index));
-    if (job->stage_start_us[stage_index] != 0 && trace::Enabled()) {
+    telemetry_.stages_completed->Add();
+    telemetry_.stage_latency_ms->Record(
+        static_cast<double>(ProcessMicros() - job->stage_start_us[stage_index]) / 1e3);
+    if (trace::Enabled()) {
       trace::Complete(
           "stage.run", "sched", job->stage_start_us[stage_index],
           trace::TArg("job", job->job_id), trace::TArg("stage", plan.stage_index),
@@ -459,7 +477,11 @@ void DagScheduler::FinishJob(const std::shared_ptr<internal::JobState>& job) {
     engine.shuffle().DropStale(job->job_id, engine.config().shuffle_retention_jobs);
   }
   engine.SyncArbiterMetrics();
-  if (job->job_start_us != 0 && trace::Enabled()) {
+  telemetry_.jobs_completed->Add();
+  telemetry_.jobs_active->Add(-1);
+  telemetry_.job_latency_ms->Record(
+      static_cast<double>(ProcessMicros() - job->job_start_us) / 1e3);
+  if (trace::Enabled()) {
     trace::Complete("job.run", "sched", job->job_start_us, trace::TArg("job", job->job_id),
                     trace::TArg("target", job->target->id()));
   }

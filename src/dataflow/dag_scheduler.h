@@ -42,6 +42,9 @@
 namespace blaze {
 
 class EngineContext;
+class TelemetryCounter;
+class TelemetryGauge;
+class StreamingHistogram;
 
 namespace internal {
 struct JobState;
@@ -68,7 +71,7 @@ class JobHandle {
 
 class DagScheduler {
  public:
-  explicit DagScheduler(EngineContext* engine) : engine_(engine) {}
+  explicit DagScheduler(EngineContext* engine);
   // Blocks until every in-flight job has finished (abandoned handles
   // included), so executor pools never run tasks of a dead scheduler.
   ~DagScheduler();
@@ -129,6 +132,20 @@ class DagScheduler {
 
   EngineContext* engine_;
   std::atomic<int> next_job_id_{0};
+
+  // Live sched.* telemetry (MetricsRegistry::Global(), cached at construction
+  // so the job/stage paths never pay a name lookup). jobs_active is a gauge
+  // bumped in SubmitJob and dropped in FinishJob; the latency histograms are
+  // fed from the always-on start timestamps in JobState.
+  struct Telemetry {
+    TelemetryCounter* jobs_submitted;
+    TelemetryCounter* jobs_completed;
+    TelemetryCounter* stages_completed;
+    TelemetryGauge* jobs_active;
+    StreamingHistogram* job_latency_ms;
+    StreamingHistogram* stage_latency_ms;
+  };
+  Telemetry telemetry_;
 
   // In-flight job accounting for the destructor's drain.
   std::mutex drain_mu_;

@@ -1,10 +1,15 @@
 #include "src/dataflow/engine_context.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <random>
 #include <utility>
 
+#include "src/common/block_arena.h"
 #include "src/common/logging.h"
 #include "src/dataflow/dag_scheduler.h"
+#include "src/metrics/exporter.h"
+#include "src/metrics/registry.h"
 
 namespace blaze {
 
@@ -65,9 +70,102 @@ EngineContext::EngineContext(const EngineConfig& config)
                                                   config.disk_throughput_bytes_per_sec);
   coordinator_ = std::make_unique<NoopCoordinator>();
   scheduler_ = std::make_unique<DagScheduler>(this);
+
+  // Live-state gauges: each callback reads atomics its subsystem already
+  // maintains, so the subsystems pay nothing per operation — the exporter (or
+  // any Snapshot() caller) samples them. Registered after every subsystem
+  // above is alive, unregistered in the destructor before any of them dies.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const auto gauge = [&](const std::string& name, std::function<int64_t()> fn) {
+    gauge_tokens_.emplace_back(name, reg.RegisterCallbackGauge(name, std::move(fn)));
+  };
+  gauge("arbiter.cache_used_bytes", [this] {
+    int64_t total = 0;
+    for (const auto& executor : executors_) {
+      total += static_cast<int64_t>(executor->block_manager.arbiter().cache_used_bytes());
+    }
+    return total;
+  });
+  gauge("arbiter.execution_used_bytes", [this] {
+    int64_t total = 0;
+    for (const auto& executor : executors_) {
+      total +=
+          static_cast<int64_t>(executor->block_manager.arbiter().execution_used_bytes());
+    }
+    return total;
+  });
+  gauge("arbiter.execution_peak_bytes", [this] {
+    int64_t peak = 0;
+    for (const auto& executor : executors_) {
+      peak = std::max(
+          peak,
+          static_cast<int64_t>(executor->block_manager.arbiter().execution_peak_bytes()));
+    }
+    return peak;
+  });
+  gauge("arbiter.overflow_events", [this] {
+    int64_t total = 0;
+    for (const auto& executor : executors_) {
+      total += static_cast<int64_t>(
+          executor->block_manager.arbiter().execution_overflow_events());
+    }
+    return total;
+  });
+  gauge("spill.queue_depth", [this] {
+    int64_t total = 0;
+    for (const auto& executor : executors_) {
+      total += static_cast<int64_t>(executor->block_manager.SpillQueueDepth());
+    }
+    return total;
+  });
+  gauge("spill.pending_bytes", [this] {
+    int64_t total = 0;
+    for (const auto& executor : executors_) {
+      total += static_cast<int64_t>(executor->block_manager.PendingSpillBytes());
+    }
+    return total;
+  });
+  gauge("store.memory_used_bytes",
+        [this] { return static_cast<int64_t>(TotalMemoryUsed()); });
+  gauge("store.pinned_blocks", [this] {
+    int64_t total = 0;
+    for (const auto& executor : executors_) {
+      total += static_cast<int64_t>(executor->block_manager.memory().PinnedBlocks());
+    }
+    return total;
+  });
+  gauge("shuffle.bytes_in_flight",
+        [this] { return static_cast<int64_t>(shuffle_.approx_bytes()); });
+  gauge("arena.live_bytes",
+        [] { return static_cast<int64_t>(BlockArena::TotalLiveBytes()); });
+
+  // Telemetry endpoints: off unless configured (or forced by env, which lets
+  // any existing binary expose /metrics without a code change).
+  ExporterOptions exporter_options;
+  exporter_options.port = config_.telemetry_port;
+  exporter_options.interval_ms = config_.telemetry_interval_ms;
+  exporter_options.jsonl_path = config_.telemetry_jsonl.string();
+  if (const char* env_port = std::getenv("BLAZE_TELEMETRY_PORT")) {
+    exporter_options.port = std::atoi(env_port);
+  }
+  if (const char* env_jsonl = std::getenv("BLAZE_TELEMETRY_JSONL")) {
+    exporter_options.jsonl_path = env_jsonl;
+  }
+  if (exporter_options.port >= 0 || !exporter_options.jsonl_path.empty()) {
+    exporter_ = std::make_unique<MetricsExporter>(&MetricsRegistry::Global(),
+                                                  std::move(exporter_options));
+  }
 }
 
 EngineContext::~EngineContext() {
+  // The exporter goes first (it snapshots the registry, whose callback gauges
+  // read live subsystem state), then the gauges themselves come out — after
+  // this, nothing samples the subsystems being torn down below. Token-checked:
+  // if a newer engine re-registered a name, its callback stays.
+  exporter_.reset();
+  for (const auto& [name, token] : gauge_tokens_) {
+    MetricsRegistry::Global().UnregisterCallbackGauge(name, token);
+  }
   // Quiesce the scheduler and coordinator first: the coordinator's dtor joins
   // its async prefetch pool, whose in-flight sweeps read executor state.
   scheduler_.reset();

@@ -10,8 +10,10 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/common/thread_pool.h"
@@ -26,6 +28,7 @@ namespace blaze {
 
 class DagScheduler;
 class JobHandle;
+class MetricsExporter;
 
 struct EngineConfig {
   size_t num_executors = 4;
@@ -71,6 +74,14 @@ struct EngineConfig {
   // blocks — bulk-copy serialization and one-shot teardown — while executing
   // tasks keep consuming object rows. Kill switch for A/B and debugging.
   bool enable_columnar = true;
+  // Live telemetry (MetricsExporter): -1 = no HTTP endpoints (default),
+  // 0 = bind an ephemeral loopback port, >0 = bind that port. /metrics serves
+  // Prometheus text, /stats one-line JSON. Overridable at runtime with the
+  // BLAZE_TELEMETRY_PORT env var (and BLAZE_TELEMETRY_JSONL for the stream).
+  int telemetry_port = -1;
+  uint32_t telemetry_interval_ms = 250;  // JSONL snapshot cadence
+  // Append one JSON snapshot per interval to this path; empty = no stream.
+  std::filesystem::path telemetry_jsonl;
 };
 
 class EngineContext {
@@ -94,6 +105,10 @@ class EngineContext {
   // Structured record of every cache decision (evict/admit/unpersist/solve).
   CacheAuditLog& audit() { return audit_; }
   DagScheduler& scheduler() { return *scheduler_; }
+
+  // Live-telemetry exporter, or nullptr when telemetry is off (the default).
+  // When on, exporter()->port() is the bound /metrics listener port.
+  MetricsExporter* exporter() { return exporter_.get(); }
 
   CacheCoordinator& coordinator() { return *coordinator_; }
   // Replaces the coordinator (default: annotation-following LRU). Must not be
@@ -169,6 +184,11 @@ class EngineContext {
   ShuffleService shuffle_;
   std::unique_ptr<CacheCoordinator> coordinator_;
   std::unique_ptr<DagScheduler> scheduler_;
+  std::unique_ptr<MetricsExporter> exporter_;
+  // (name, token) of every callback gauge this engine registered with
+  // MetricsRegistry::Global(); unregistered (token-checked, so a successor
+  // engine's re-registrations survive) before the subsystems they read die.
+  std::vector<std::pair<std::string, uint64_t>> gauge_tokens_;
 
   std::atomic<RddId> next_rdd_id_{0};
   mutable std::mutex registry_mu_;

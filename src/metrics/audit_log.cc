@@ -7,6 +7,7 @@
 #include "src/common/clock.h"
 #include "src/common/json.h"
 #include "src/common/trace.h"
+#include "src/metrics/registry.h"
 
 namespace blaze {
 
@@ -26,9 +27,18 @@ const char* AuditKindName(AuditKind kind) {
 
 CacheAuditLog::CacheAuditLog(size_t num_executors, size_t capacity_per_executor)
     : rings_(std::max<size_t>(1, num_executors)),
-      capacity_(std::max<size_t>(1, capacity_per_executor)) {}
+      capacity_(std::max<size_t>(1, capacity_per_executor)) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  kind_counters_[static_cast<size_t>(AuditKind::kAdmit)] = reg.Counter("audit.admit");
+  kind_counters_[static_cast<size_t>(AuditKind::kEvict)] = reg.Counter("audit.evict");
+  kind_counters_[static_cast<size_t>(AuditKind::kUnpersist)] =
+      reg.Counter("audit.unpersist");
+  kind_counters_[static_cast<size_t>(AuditKind::kIlpSolve)] =
+      reg.Counter("audit.ilp_solve");
+}
 
 void CacheAuditLog::Push(uint32_t executor, AuditRecord&& record) {
+  kind_counters_[static_cast<size_t>(record.kind)]->Add();
   record.seq = seq_.fetch_add(1, std::memory_order_relaxed);
   record.ts_us = ProcessMicros();
   Ring& ring = rings_[executor % rings_.size()];

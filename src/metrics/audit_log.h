@@ -89,6 +89,11 @@ class CacheAuditLog {
   std::vector<Ring> rings_;
   size_t capacity_;
   std::atomic<uint64_t> seq_{0};
+  // Live audit.{admit,evict,unpersist,ilp_solve} counters, indexed by
+  // AuditKind; Push is the one chokepoint so the registry's decision counts
+  // always equal what the rings recorded (modulo ring overwrites, which drop
+  // detail but were still counted).
+  class TelemetryCounter* kind_counters_[4] = {};
 };
 
 }  // namespace blaze

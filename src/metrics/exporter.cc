@@ -1,0 +1,106 @@
+#include "src/metrics/exporter.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/common/logging.h"
+#include "src/metrics/registry.h"
+
+namespace blaze {
+
+MetricsExporter::MetricsExporter(MetricsRegistry* registry, ExporterOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  if (options_.port >= 0) {
+    MetricsRegistry* reg = registry_;
+    const bool started = server_.Start(
+        static_cast<uint16_t>(options_.port),
+        [reg](const std::string& path, std::string* body, std::string* content_type) {
+          if (path == "/metrics") {
+            *body = MetricsRegistry::RenderPrometheus(reg->Snapshot());
+            *content_type = "text/plain; version=0.0.4; charset=utf-8";
+            return true;
+          }
+          if (path == "/stats") {
+            *body = MetricsRegistry::RenderJson(reg->Snapshot());
+            body->push_back('\n');
+            *content_type = "application/json";
+            return true;
+          }
+          if (path == "/healthz") {
+            *body = "ok\n";
+            return true;
+          }
+          return false;
+        });
+    if (started) {
+      BLAZE_LOG(kInfo) << "telemetry: serving /metrics and /stats on 127.0.0.1:"
+                       << server_.port();
+    } else {
+      BLAZE_LOG(kWarn) << "telemetry: failed to bind 127.0.0.1:" << options_.port
+                       << ", HTTP endpoints disabled";
+      ok_ = false;
+    }
+  }
+  if (!options_.jsonl_path.empty()) {
+    // Truncate up front so a run's stream starts clean and an unwritable path
+    // fails loudly at startup rather than silently per interval.
+    std::FILE* f = std::fopen(options_.jsonl_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fclose(f);
+    } else {
+      BLAZE_LOG(kWarn) << "telemetry: cannot open " << options_.jsonl_path
+                       << ", JSONL stream disabled";
+      options_.jsonl_path.clear();
+      ok_ = false;
+    }
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+MetricsExporter::~MetricsExporter() { Stop(); }
+
+void MetricsExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      return;
+    }
+    stop_ = true;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  WriteJsonlSnapshot();  // final state, so short runs always leave >=1 line
+  server_.Stop();
+}
+
+void MetricsExporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms));
+    if (stop_) {
+      break;
+    }
+    lock.unlock();
+    WriteJsonlSnapshot();
+    lock.lock();
+  }
+}
+
+void MetricsExporter::WriteJsonlSnapshot() {
+  if (options_.jsonl_path.empty()) {
+    return;
+  }
+  const std::string line = MetricsRegistry::RenderJson(registry_->Snapshot());
+  std::FILE* f = std::fopen(options_.jsonl_path.c_str(), "a");
+  if (f == nullptr) {
+    return;
+  }
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+}  // namespace blaze

@@ -1,0 +1,73 @@
+// Background telemetry exporter: snapshots the MetricsRegistry on an interval
+// and (a) appends one JSON line per snapshot to a JSONL file, (b) serves the
+// latest state over a loopback HTTP listener:
+//
+//   /metrics  Prometheus text exposition (scrape-compatible)
+//   /stats    one-line JSON snapshot (what `blazectl top` polls)
+//   /healthz  "ok"
+//
+// Both endpoints render a *fresh* snapshot per request, so a scrape never
+// observes state staler than its own arrival; the interval only paces the
+// JSONL stream. Off by default — EngineContext starts one only when
+// EngineConfig::telemetry_port >= 0 (or BLAZE_TELEMETRY_PORT is set).
+#ifndef SRC_METRICS_EXPORTER_H_
+#define SRC_METRICS_EXPORTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/common/http.h"
+
+namespace blaze {
+
+class MetricsRegistry;
+
+struct ExporterOptions {
+  // -1 disables HTTP; 0 binds an ephemeral port (see MetricsExporter::port());
+  // >0 binds that port.
+  int port = -1;
+  uint32_t interval_ms = 250;   // JSONL snapshot cadence
+  std::string jsonl_path;       // empty = no JSONL stream
+};
+
+class MetricsExporter {
+ public:
+  MetricsExporter(MetricsRegistry* registry, ExporterOptions options);
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  // False if an HTTP port was requested but the bind failed, or the JSONL
+  // file could not be opened. The exporter still runs whatever half worked.
+  bool ok() const { return ok_; }
+  // Bound port (resolves port=0 requests), 0 if HTTP is disabled.
+  uint16_t port() const { return server_.port(); }
+
+  // Writes one final JSONL snapshot, then stops the HTTP listener and the
+  // snapshot thread. Idempotent; also run by the destructor.
+  void Stop();
+
+ private:
+  void Loop();
+  void WriteJsonlSnapshot();
+
+  MetricsRegistry* registry_;
+  ExporterOptions options_;
+  HttpServer server_;
+  bool ok_ = true;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace blaze
+
+#endif  // SRC_METRICS_EXPORTER_H_

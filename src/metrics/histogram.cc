@@ -6,23 +6,17 @@
 
 namespace blaze {
 
-namespace {
-
-size_t BucketIndex(double ms) {
-  if (ms <= LatencyHistogram::kMinMs) {
+size_t LatencyHistogram::BucketIndexFor(double ms) {
+  if (ms <= kMinMs) {
     return 0;
   }
-  const double idx =
-      std::log(ms / LatencyHistogram::kMinMs) / std::log(LatencyHistogram::kGrowth);
-  return std::min<size_t>(LatencyHistogram::kNumBuckets - 1, static_cast<size_t>(idx));
+  const double idx = std::log(ms / kMinMs) / std::log(kGrowth);
+  return std::min<size_t>(kNumBuckets - 1, static_cast<size_t>(idx));
 }
 
-double BucketLowerMs(size_t index) {
-  return LatencyHistogram::kMinMs * std::pow(LatencyHistogram::kGrowth,
-                                             static_cast<double>(index));
+double LatencyHistogram::BucketLowerBoundMs(size_t index) {
+  return kMinMs * std::pow(kGrowth, static_cast<double>(index));
 }
-
-}  // namespace
 
 std::string HistogramSnapshot::ToString() const {
   if (count == 0) {
@@ -40,7 +34,7 @@ void LatencyHistogram::Record(double ms) {
   if (!(ms >= 0.0)) {  // also filters NaN
     ms = 0.0;
   }
-  ++buckets_[BucketIndex(ms)];
+  ++buckets_[BucketIndexFor(ms)];
   ++count_;
   sum_ms_ += ms;
   max_ms_ = std::max(max_ms_, ms);
@@ -53,6 +47,17 @@ void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
   count_ += other.count_;
   sum_ms_ += other.sum_ms_;
   max_ms_ = std::max(max_ms_, other.max_ms_);
+}
+
+void LatencyHistogram::MergeBuckets(const uint64_t* bucket_counts, size_t num_buckets,
+                                    uint64_t count, double sum_ms, double max_ms) {
+  const size_t n = std::min(num_buckets, kNumBuckets);
+  for (size_t i = 0; i < n; ++i) {
+    buckets_[i] += bucket_counts[i];
+  }
+  count_ += count;
+  sum_ms_ += sum_ms;
+  max_ms_ = std::max(max_ms_, max_ms);
 }
 
 double LatencyHistogram::Percentile(double q) const {
@@ -68,8 +73,8 @@ double LatencyHistogram::Percentile(double q) const {
     const uint64_t next = seen + buckets_[i];
     if (static_cast<double>(next) >= target) {
       // Interpolate within the bucket, and never report beyond the observed max.
-      const double lo = BucketLowerMs(i);
-      const double hi = BucketLowerMs(i + 1);
+      const double lo = BucketLowerBoundMs(i);
+      const double hi = BucketLowerBoundMs(i + 1);
       const double frac =
           (target - static_cast<double>(seen)) / static_cast<double>(buckets_[i]);
       return std::min(max_ms_, lo + (hi - lo) * frac);

@@ -31,8 +31,20 @@ class LatencyHistogram {
   static constexpr double kMinMs = 1e-3;
   static constexpr double kGrowth = 1.25;
 
+  // Shared bucket geometry, exposed so other recorders (the telemetry
+  // registry's lock-free StreamingHistogram, trace summaries) can bin with
+  // the exact same scheme and merge their buckets back in losslessly.
+  static size_t BucketIndexFor(double ms);
+  static double BucketLowerBoundMs(size_t index);
+
   void Record(double ms);
   void MergeFrom(const LatencyHistogram& other);
+  // Merges raw bucket counts sharing this class's geometry (the mergeable
+  // half of the snapshot protocol: concurrent recorders dump their atomic
+  // buckets here for percentile math).
+  void MergeBuckets(const uint64_t* bucket_counts, size_t num_buckets, uint64_t count,
+                    double sum_ms, double max_ms);
+  uint64_t Count() const { return count_; }
   HistogramSnapshot Snapshot() const;
   void Reset();
 

@@ -1,0 +1,246 @@
+#include "src/metrics/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/clock.h"
+#include "src/common/json.h"
+
+namespace blaze {
+
+namespace {
+
+// Binary search over name-sorted snapshot vectors.
+template <typename T>
+const T* FindIn(const std::vector<std::pair<std::string, T>>& v, const std::string& name) {
+  auto it = std::lower_bound(v.begin(), v.end(), name,
+                             [](const auto& entry, const std::string& n) {
+                               return entry.first < n;
+                             });
+  return it != v.end() && it->first == name ? &it->second : nullptr;
+}
+
+// "sched.jobs_submitted" -> "blaze_sched_jobs_submitted".
+std::string PromName(const std::string& name) {
+  std::string out = "blaze_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendNumber(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+size_t TelemetryCounter::StripeIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kNumStripes;
+  return index;
+}
+
+void StreamingHistogram::Record(double ms) {
+  if (!(ms >= 0.0)) {  // also filters NaN
+    ms = 0.0;
+  }
+  buckets_[LatencyHistogram::BucketIndexFor(ms)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t ns = static_cast<uint64_t>(ms * 1e6);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  uint64_t max = max_ns_.load(std::memory_order_relaxed);
+  while (ns > max && !max_ns_.compare_exchange_weak(max, ns, std::memory_order_relaxed)) {
+  }
+}
+
+void StreamingHistogram::MergeInto(LatencyHistogram* out) const {
+  uint64_t buckets[LatencyHistogram::kNumBuckets];
+  for (size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  out->MergeBuckets(buckets, LatencyHistogram::kNumBuckets,
+                    count_.load(std::memory_order_relaxed),
+                    static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) / 1e6,
+                    static_cast<double>(max_ns_.load(std::memory_order_relaxed)) / 1e6);
+}
+
+HistogramSnapshot StreamingHistogram::Snapshot() const {
+  LatencyHistogram merged;
+  MergeInto(&merged);
+  return merged.Snapshot();
+}
+
+void StreamingHistogram::Reset() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+const uint64_t* RegistrySnapshot::FindCounter(const std::string& name) const {
+  return FindIn(counters, name);
+}
+const int64_t* RegistrySnapshot::FindGauge(const std::string& name) const {
+  return FindIn(gauges, name);
+}
+const HistogramSnapshot* RegistrySnapshot::FindHistogram(const std::string& name) const {
+  return FindIn(histograms, name);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked singleton: metrics outlive every engine and static destructor.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+TelemetryCounter* MetricsRegistry::Counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &counters_[name];
+}
+
+TelemetryGauge* MetricsRegistry::Gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &gauges_[name];
+}
+
+StreamingHistogram* MetricsRegistry::Histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &histograms_[name];
+}
+
+uint64_t MetricsRegistry::RegisterCallbackGauge(const std::string& name,
+                                                std::function<int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CallbackGauge& gauge = callback_gauges_[name];
+  gauge.fn = std::move(fn);
+  gauge.token = next_token_++;
+  return gauge.token;
+}
+
+void MetricsRegistry::UnregisterCallbackGauge(const std::string& name, uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = callback_gauges_.find(name);
+  if (it != callback_gauges_.end() && it->second.token == token) {
+    callback_gauges_.erase(it);
+  }
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  RegistrySnapshot snap;
+  snap.ts_us = ProcessMicros();
+  // Callbacks run outside mu_ so a callback that (indirectly) creates a
+  // metric cannot deadlock; copy them first.
+  std::vector<std::pair<std::string, std::function<int64_t()>>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+      snap.counters.emplace_back(name, counter.Value());
+    }
+    snap.gauges.reserve(gauges_.size() + callback_gauges_.size());
+    for (const auto& [name, gauge] : gauges_) {
+      snap.gauges.emplace_back(name, gauge.Value());
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+      snap.histograms.emplace_back(name, histogram.Snapshot());
+    }
+    callbacks.reserve(callback_gauges_.size());
+    for (const auto& [name, gauge] : callback_gauges_) {
+      callbacks.emplace_back(name, gauge.fn);
+    }
+  }
+  for (const auto& [name, fn] : callbacks) {
+    snap.gauges.emplace_back(name, fn());
+  }
+  std::sort(snap.gauges.begin(), snap.gauges.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter.Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge.Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram.Reset();
+  }
+}
+
+std::string MetricsRegistry::RenderPrometheus(const RegistrySnapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " summary\n";
+    const std::pair<const char*, double> quantiles[] = {
+        {"0.5", hist.p50_ms}, {"0.95", hist.p95_ms}, {"0.99", hist.p99_ms}};
+    for (const auto& [q, v] : quantiles) {
+      out += prom + "{quantile=\"" + q + "\"} ";
+      AppendNumber(&out, v);
+      out += "\n";
+    }
+    out += prom + "_sum ";
+    AppendNumber(&out, hist.mean_ms * static_cast<double>(hist.count));
+    out += "\n" + prom + "_count " + std::to_string(hist.count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson(const RegistrySnapshot& snap) {
+  std::string out = "{\"ts_us\":" + std::to_string(snap.ts_us) + ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out += (first ? "\"" : ",\"") + json::Escape(name) + "\":" + std::to_string(value);
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    out += (first ? "\"" : ",\"") + json::Escape(name) + "\":" + std::to_string(value);
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : snap.histograms) {
+    out += (first ? "\"" : ",\"") + json::Escape(name) + "\":{";
+    out += "\"count\":" + std::to_string(hist.count) + ",\"mean_ms\":";
+    AppendNumber(&out, hist.mean_ms);
+    out += ",\"p50_ms\":";
+    AppendNumber(&out, hist.p50_ms);
+    out += ",\"p95_ms\":";
+    AppendNumber(&out, hist.p95_ms);
+    out += ",\"p99_ms\":";
+    AppendNumber(&out, hist.p99_ms);
+    out += ",\"max_ms\":";
+    AppendNumber(&out, hist.max_ms);
+    out += "}";
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace blaze

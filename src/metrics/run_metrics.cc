@@ -4,14 +4,36 @@
 
 #include "src/common/block_arena.h"
 #include "src/common/logging.h"
+#include "src/metrics/registry.h"
 
 namespace blaze {
 
 RunMetrics::RunMetrics(size_t num_executors) {
   snap_.evicted_bytes_per_executor.assign(num_executors, 0);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  telemetry_.tasks_completed = reg.Counter("task.completed");
+  telemetry_.task_failures = reg.Counter("task.failures");
+  telemetry_.cache_hits_memory = reg.Counter("cache.hits_memory");
+  telemetry_.cache_hits_disk = reg.Counter("cache.hits_disk");
+  telemetry_.cache_misses = reg.Counter("cache.misses");
+  telemetry_.cache_evictions_disk = reg.Counter("cache.evictions_disk");
+  telemetry_.cache_evictions_discard = reg.Counter("cache.evictions_discard");
+  telemetry_.cache_unpersists = reg.Counter("cache.unpersists");
+  telemetry_.async_spills = reg.Counter("spill.async_spills");
+  telemetry_.async_fetches = reg.Counter("spill.async_fetches");
+  telemetry_.spill_queue_rejects = reg.Counter("spill.queue_rejects");
+  telemetry_.spills_cancelled = reg.Counter("spill.cancelled");
+  telemetry_.ilp_solves = reg.Counter("ilp.solves");
+  telemetry_.task_latency_ms = reg.Histogram("task.latency_ms");
+  telemetry_.disk_io_ms = reg.Histogram("disk.io_ms");
+  telemetry_.ilp_solve_ms = reg.Histogram("ilp.solve_ms");
 }
 
 void RunMetrics::AddTask(const TaskMetrics& m, double task_wall_ms, int job_id) {
+  telemetry_.tasks_completed->Add();
+  if (task_wall_ms > 0.0) {
+    telemetry_.task_latency_ms->Record(task_wall_ms);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   snap_.total_task.MergeFrom(m);
   ++snap_.num_tasks;
@@ -34,11 +56,13 @@ void RunMetrics::AddTask(const TaskMetrics& m, double task_wall_ms, int job_id) 
 }
 
 void RunMetrics::RecordDiskIo(double ms) {
+  telemetry_.disk_io_ms->Record(ms);
   std::lock_guard<std::mutex> lock(mu_);
   disk_io_hist_.Record(ms);
 }
 
 void RunMetrics::RecordEviction(size_t executor, uint64_t bytes, bool to_disk) {
+  (to_disk ? telemetry_.cache_evictions_disk : telemetry_.cache_evictions_discard)->Add();
   std::lock_guard<std::mutex> lock(mu_);
   BLAZE_CHECK_LT(executor, snap_.evicted_bytes_per_executor.size());
   snap_.evicted_bytes_per_executor[executor] += bytes;
@@ -50,11 +74,13 @@ void RunMetrics::RecordEviction(size_t executor, uint64_t bytes, bool to_disk) {
 }
 
 void RunMetrics::RecordUnpersist() {
+  telemetry_.cache_unpersists->Add();
   std::lock_guard<std::mutex> lock(mu_);
   ++snap_.unpersists;
 }
 
 void RunMetrics::RecordCacheHit(bool from_memory) {
+  (from_memory ? telemetry_.cache_hits_memory : telemetry_.cache_hits_disk)->Add();
   std::lock_guard<std::mutex> lock(mu_);
   if (from_memory) {
     ++snap_.cache_hits_memory;
@@ -64,6 +90,7 @@ void RunMetrics::RecordCacheHit(bool from_memory) {
 }
 
 void RunMetrics::RecordCacheMiss() {
+  telemetry_.cache_misses->Add();
   std::lock_guard<std::mutex> lock(mu_);
   ++snap_.cache_misses;
 }
@@ -90,6 +117,8 @@ void RunMetrics::RecordProfiling(double ms) {
 }
 
 void RunMetrics::RecordSolve(double ms) {
+  telemetry_.ilp_solves->Add();
+  telemetry_.ilp_solve_ms->Record(ms);
   std::lock_guard<std::mutex> lock(mu_);
   snap_.solver_ms += ms;
   ++snap_.solver_invocations;
@@ -102,17 +131,20 @@ void RunMetrics::RecordBroadcast(uint64_t bytes, double ms) {
 }
 
 void RunMetrics::RecordTaskFailure() {
+  telemetry_.task_failures->Add();
   std::lock_guard<std::mutex> lock(mu_);
   ++snap_.task_failures;
 }
 
 void RunMetrics::RecordAsyncSpill(double ms) {
+  telemetry_.async_spills->Add();
   std::lock_guard<std::mutex> lock(mu_);
   ++snap_.async_spills;
   snap_.async_spill_ms += ms;
 }
 
 void RunMetrics::RecordAsyncFetch(double ms) {
+  telemetry_.async_fetches->Add();
   std::lock_guard<std::mutex> lock(mu_);
   ++snap_.async_fetches;
   snap_.async_fetch_ms += ms;
@@ -124,11 +156,13 @@ void RunMetrics::RecordSpillQueueDepth(uint64_t depth) {
 }
 
 void RunMetrics::RecordSpillQueueReject() {
+  telemetry_.spill_queue_rejects->Add();
   std::lock_guard<std::mutex> lock(mu_);
   ++snap_.spill_queue_rejects;
 }
 
 void RunMetrics::RecordSpillCancelled() {
+  telemetry_.spills_cancelled->Add();
   std::lock_guard<std::mutex> lock(mu_);
   ++snap_.spills_cancelled;
 }

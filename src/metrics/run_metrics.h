@@ -14,6 +14,9 @@
 
 namespace blaze {
 
+class TelemetryCounter;
+class StreamingHistogram;
+
 // Per-task timing breakdown, accumulated by the TaskContext while a task runs.
 struct TaskMetrics {
   double compute_ms = 0.0;       // operator execution incl. shuffle read/write
@@ -128,6 +131,30 @@ class RunMetrics {
   LatencyHistogram task_run_hist_;
   LatencyHistogram disk_io_hist_;
   LatencyHistogram ilp_wait_hist_;
+
+  // Live-telemetry mirrors (MetricsRegistry::Global(), cached at construction).
+  // Each Record* method is the single chokepoint that bumps both the per-run
+  // snapshot above and the process-wide registry, so `blazectl top` and the
+  // end-of-run report can never disagree on what was counted.
+  struct Telemetry {
+    TelemetryCounter* tasks_completed;
+    TelemetryCounter* task_failures;
+    TelemetryCounter* cache_hits_memory;
+    TelemetryCounter* cache_hits_disk;
+    TelemetryCounter* cache_misses;
+    TelemetryCounter* cache_evictions_disk;
+    TelemetryCounter* cache_evictions_discard;
+    TelemetryCounter* cache_unpersists;
+    TelemetryCounter* async_spills;
+    TelemetryCounter* async_fetches;
+    TelemetryCounter* spill_queue_rejects;
+    TelemetryCounter* spills_cancelled;
+    TelemetryCounter* ilp_solves;
+    StreamingHistogram* task_latency_ms;
+    StreamingHistogram* disk_io_ms;
+    StreamingHistogram* ilp_solve_ms;
+  };
+  Telemetry telemetry_;
 };
 
 }  // namespace blaze

@@ -136,6 +136,19 @@ int MemoryStore::PinCount(const BlockId& id) const {
   return it == shard.blocks.end() ? 0 : it->second.pins;
 }
 
+size_t MemoryStore::PinnedBlocks() const {
+  size_t pinned = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<SpinLock> lock(shard.mu);
+    for (const auto& [id, entry] : shard.blocks) {
+      if (entry.pins > 0) {
+        ++pinned;
+      }
+    }
+  }
+  return pinned;
+}
+
 std::optional<BlockPtr> MemoryStore::Peek(const BlockId& id) const {
   const Shard& shard = ShardFor(id);
   std::lock_guard<SpinLock> lock(shard.mu);

@@ -82,6 +82,10 @@ class MemoryStore {
   // Pin count of a resident block, or 0. Test/diagnostic probe.
   int PinCount(const BlockId& id) const;
 
+  // Number of resident blocks currently pinned by executing tasks. Walks the
+  // shards (locked one at a time); a telemetry-snapshot probe, not a hot path.
+  size_t PinnedBlocks() const;
+
   // Returns the block without touching recency (used by inspection paths).
   std::optional<BlockPtr> Peek(const BlockId& id) const;
 

@@ -1,0 +1,343 @@
+// Unit tests for the live telemetry registry (src/metrics/registry.h):
+// histogram merge/percentile math, counter striping, snapshot consistency
+// under concurrent writers (the TSan leg of CI runs this binary too), the
+// callback-gauge token protocol, and both render formats.
+#include "src/metrics/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/metrics/histogram.h"
+
+namespace blaze {
+namespace {
+
+// --- StreamingHistogram vs LatencyHistogram equivalence ----------------------
+
+TEST(StreamingHistogramTest, MatchesSerialHistogramOnKnownDistribution) {
+  StreamingHistogram streaming;
+  LatencyHistogram serial;
+  // A mixed distribution spanning several decades of the bucket range.
+  std::vector<double> values;
+  for (int i = 1; i <= 1000; ++i) {
+    values.push_back(0.01 * i);  // 0.01 .. 10 ms
+  }
+  for (int i = 0; i < 10; ++i) {
+    values.push_back(500.0 + 50.0 * i);  // a slow tail
+  }
+  for (double v : values) {
+    streaming.Record(v);
+    serial.Record(v);
+  }
+
+  const HistogramSnapshot a = streaming.Snapshot();
+  const HistogramSnapshot b = serial.Snapshot();
+  EXPECT_EQ(a.count, b.count);
+  // Identical bucket geometry => identical percentile estimates.
+  EXPECT_DOUBLE_EQ(a.p50_ms, b.p50_ms);
+  EXPECT_DOUBLE_EQ(a.p95_ms, b.p95_ms);
+  EXPECT_DOUBLE_EQ(a.p99_ms, b.p99_ms);
+  EXPECT_DOUBLE_EQ(a.max_ms, b.max_ms);
+  EXPECT_NEAR(a.mean_ms, b.mean_ms, b.mean_ms * 0.01 + 1e-6);
+}
+
+TEST(StreamingHistogramTest, PercentilesWithinBucketErrorBound) {
+  StreamingHistogram hist;
+  for (int i = 1; i <= 10000; ++i) {
+    hist.Record(i * 0.1);  // uniform 0.1 .. 1000 ms
+  }
+  const HistogramSnapshot snap = hist.Snapshot();
+  ASSERT_EQ(snap.count, 10000u);
+  // Bucket growth is 1.25, so a percentile estimate can sit up to one bucket
+  // boundary (~25%) above the true value.
+  EXPECT_GE(snap.p50_ms, 500.0 * 0.99);
+  EXPECT_LE(snap.p50_ms, 500.0 * 1.26);
+  EXPECT_GE(snap.p99_ms, 990.0 * 0.99);
+  EXPECT_LE(snap.p99_ms, 990.0 * 1.26);
+  EXPECT_DOUBLE_EQ(snap.max_ms, 1000.0);
+}
+
+TEST(StreamingHistogramTest, EmptySnapshotIsZero) {
+  StreamingHistogram hist;
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.p50_ms, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p99_ms, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max_ms, 0.0);
+}
+
+TEST(StreamingHistogramTest, ClampsOutOfRangeIntoEdgeBuckets) {
+  StreamingHistogram hist;
+  hist.Record(0.0);        // below the first bucket
+  hist.Record(-5.0);       // nonsense input must not crash or corrupt
+  hist.Record(1e9);        // far beyond the last bucket
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.max_ms, 1e9);
+  LatencyHistogram merged;
+  hist.MergeInto(&merged);
+  EXPECT_EQ(merged.Count(), 3u);
+}
+
+TEST(StreamingHistogramTest, MergeIntoEquivalentToDirectRecording) {
+  // Recording into two shards and merging both must equal recording all
+  // values into one histogram — the property trace_validate --summary and
+  // the registry snapshots rely on.
+  StreamingHistogram shard_a;
+  StreamingHistogram shard_b;
+  LatencyHistogram direct;
+  for (int i = 1; i <= 500; ++i) {
+    const double v = 0.05 * i;
+    (i % 2 == 0 ? shard_a : shard_b).Record(v);
+    direct.Record(v);
+  }
+  LatencyHistogram merged;
+  shard_a.MergeInto(&merged);
+  shard_b.MergeInto(&merged);
+
+  const HistogramSnapshot a = merged.Snapshot();
+  const HistogramSnapshot b = direct.Snapshot();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.p50_ms, b.p50_ms);
+  EXPECT_DOUBLE_EQ(a.p95_ms, b.p95_ms);
+  EXPECT_DOUBLE_EQ(a.p99_ms, b.p99_ms);
+  EXPECT_DOUBLE_EQ(a.max_ms, b.max_ms);
+}
+
+TEST(StreamingHistogramTest, ConcurrentRecordingLosesNothing) {
+  StreamingHistogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Record(0.1 + 0.01 * ((t * kPerThread + i) % 1000));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(hist.Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_GT(snap.p50_ms, 0.0);
+}
+
+// --- TelemetryCounter --------------------------------------------------------
+
+TEST(TelemetryCounterTest, StripedSumAcrossThreads) {
+  TelemetryCounter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter.Add();
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(TelemetryGaugeTest, AddAndSetAreSigned) {
+  TelemetryGauge gauge;
+  gauge.Add(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.Set(-1);
+  EXPECT_EQ(gauge.Value(), -1);
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  TelemetryCounter* a = registry.Counter("test.counter");
+  TelemetryCounter* b = registry.Counter("test.counter");
+  EXPECT_EQ(a, b);
+  a->Add(5);
+  const RegistrySnapshot snap = registry.Snapshot();
+  const uint64_t* value = snap.FindCounter("test.counter");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, 5u);
+  EXPECT_EQ(snap.FindCounter("test.missing"), nullptr);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsNameSorted) {
+  MetricsRegistry registry;
+  registry.Counter("zz.last")->Add(1);
+  registry.Counter("aa.first")->Add(2);
+  registry.Counter("mm.middle")->Add(3);
+  const RegistrySnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "aa.first");
+  EXPECT_EQ(snap.counters[1].first, "mm.middle");
+  EXPECT_EQ(snap.counters[2].first, "zz.last");
+}
+
+TEST(MetricsRegistryTest, ResetZeroesEverythingButKeepsPointers) {
+  MetricsRegistry registry;
+  TelemetryCounter* counter = registry.Counter("test.c");
+  TelemetryGauge* gauge = registry.Gauge("test.g");
+  StreamingHistogram* hist = registry.Histogram("test.h");
+  counter->Add(7);
+  gauge->Set(9);
+  hist->Record(1.0);
+  registry.Reset();
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(gauge->Value(), 0);
+  EXPECT_EQ(hist->Count(), 0u);
+  counter->Add(1);  // pointers must remain live and usable
+  EXPECT_EQ(counter->Value(), 1u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentWritersAndSnapshotReader) {
+  // N writer threads hammer counters/gauges/histograms while a reader takes
+  // snapshots; afterwards a final snapshot must see every write. This is the
+  // race-hunting test the TSan CI leg cares about.
+  MetricsRegistry registry;
+  constexpr int kWriters = 4;
+  constexpr uint64_t kOps = 50000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const RegistrySnapshot snap = registry.Snapshot();
+      if (const uint64_t* v = snap.FindCounter("stress.counter")) {
+        EXPECT_LE(*v, kWriters * kOps);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&registry] {
+      TelemetryCounter* counter = registry.Counter("stress.counter");
+      TelemetryGauge* gauge = registry.Gauge("stress.gauge");
+      StreamingHistogram* hist = registry.Histogram("stress.hist");
+      for (uint64_t i = 0; i < kOps; ++i) {
+        counter->Add();
+        gauge->Add(1);
+        if (i % 16 == 0) {
+          hist->Record(0.5);
+        }
+      }
+    });
+  }
+  for (std::thread& writer : writers) {
+    writer.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  const RegistrySnapshot snap = registry.Snapshot();
+  EXPECT_EQ(*snap.FindCounter("stress.counter"), kWriters * kOps);
+  EXPECT_EQ(*snap.FindGauge("stress.gauge"), static_cast<int64_t>(kWriters * kOps));
+}
+
+TEST(MetricsRegistryTest, CallbackGaugeTokenProtocol) {
+  MetricsRegistry registry;
+  const uint64_t token1 =
+      registry.RegisterCallbackGauge("cb.gauge", [] { return int64_t{41}; });
+  {
+    const RegistrySnapshot snap = registry.Snapshot();
+    const int64_t* v = snap.FindGauge("cb.gauge");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, 41);
+  }
+  // Re-registering the same name replaces the callback (engine succession).
+  const uint64_t token2 =
+      registry.RegisterCallbackGauge("cb.gauge", [] { return int64_t{42}; });
+  EXPECT_NE(token1, token2);
+  // The *old* token must no longer be able to tear the gauge down.
+  registry.UnregisterCallbackGauge("cb.gauge", token1);
+  {
+    const RegistrySnapshot snap = registry.Snapshot();
+    const int64_t* v = snap.FindGauge("cb.gauge");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, 42);
+  }
+  // The current token removes it.
+  registry.UnregisterCallbackGauge("cb.gauge", token2);
+  const RegistrySnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.FindGauge("cb.gauge"), nullptr);
+}
+
+// --- Render formats ----------------------------------------------------------
+
+TEST(MetricsRegistryTest, RenderJsonParsesBackWithInTreeParser) {
+  MetricsRegistry registry;
+  registry.Counter("sched.jobs_completed")->Add(12);
+  registry.Gauge("sched.jobs_active")->Set(3);
+  StreamingHistogram* hist = registry.Histogram("sched.job_latency_ms");
+  for (int i = 1; i <= 100; ++i) {
+    hist->Record(i * 0.25);
+  }
+  const std::string rendered = MetricsRegistry::RenderJson(registry.Snapshot());
+  std::string error;
+  const auto doc = json::Parse(rendered, &error);
+  ASSERT_TRUE(doc.has_value()) << error << "\n" << rendered;
+  const json::Value* counters = doc->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_TRUE(counters->is_object());
+  const json::Value* completed = counters->Find("sched.jobs_completed");
+  ASSERT_NE(completed, nullptr);
+  EXPECT_DOUBLE_EQ(completed->as_number(), 12.0);
+  const json::Value* gauges = doc->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->Find("sched.jobs_active")->as_number(), 3.0);
+  const json::Value* hists = doc->Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* latency = hists->Find("sched.job_latency_ms");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_DOUBLE_EQ(latency->Find("count")->as_number(), 100.0);
+  EXPECT_GT(latency->Find("p99_ms")->as_number(), latency->Find("p50_ms")->as_number());
+}
+
+TEST(MetricsRegistryTest, RenderPrometheusShape) {
+  MetricsRegistry registry;
+  registry.Counter("sched.jobs_completed")->Add(4);
+  registry.Gauge("store.memory_used_bytes")->Set(1 << 20);
+  registry.Histogram("task.latency_ms")->Record(2.5);
+  const std::string text = MetricsRegistry::RenderPrometheus(registry.Snapshot());
+  // Dotted names become underscore-separated with the blaze_ prefix.
+  EXPECT_NE(text.find("# TYPE blaze_sched_jobs_completed counter"), std::string::npos);
+  EXPECT_NE(text.find("blaze_sched_jobs_completed 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE blaze_store_memory_used_bytes gauge"), std::string::npos);
+  EXPECT_NE(text.find("blaze_task_latency_ms{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("blaze_task_latency_ms_count 1"), std::string::npos);
+  // Every non-comment line is "name[{labels}] value" with a numeric value.
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    ASSERT_EQ(line.rfind("blaze_", 0), 0u) << line;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    char* parse_end = nullptr;
+    std::strtod(line.c_str() + space + 1, &parse_end);
+    EXPECT_EQ(*parse_end, '\0') << line;
+  }
+}
+
+}  // namespace
+}  // namespace blaze

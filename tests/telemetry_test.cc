@@ -1,0 +1,250 @@
+// End-to-end tests for the telemetry plane: the loopback HTTP listener, the
+// background exporter (/metrics + /stats + JSONL snapshots), and the hard
+// consistency contract — counters served over /stats during a concurrent
+// multi-driver run must equal the end-of-run RunMetrics totals, because both
+// views are bumped at the same chokepoints.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cache/policies.h"
+#include "src/cache/policy_coordinator.h"
+#include "src/common/http.h"
+#include "src/common/json.h"
+#include "src/dataflow/dag_scheduler.h"
+#include "src/dataflow/engine_context.h"
+#include "src/dataflow/rdd.h"
+#include "src/metrics/exporter.h"
+#include "src/metrics/registry.h"
+#include "src/metrics/run_metrics.h"
+
+namespace blaze {
+namespace {
+
+// --- HttpServer --------------------------------------------------------------
+
+TEST(HttpServerTest, ServesHandlerResponsesOnEphemeralPort) {
+  HttpServer server;
+  ASSERT_TRUE(server.Start(0, [](const std::string& path, std::string* body,
+                                 std::string* content_type) {
+    if (path != "/hello") {
+      return false;
+    }
+    *body = "hi there";
+    *content_type = "text/plain";
+    return true;
+  }));
+  ASSERT_GT(server.port(), 0);
+
+  std::string error;
+  const auto body = HttpGetLocal(server.port(), "/hello", &error);
+  ASSERT_TRUE(body.has_value()) << error;
+  EXPECT_EQ(*body, "hi there");
+
+  // Unknown path -> 404 -> no body from the helper.
+  const auto missing = HttpGetLocal(server.port(), "/nope", &error);
+  EXPECT_FALSE(missing.has_value());
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+}
+
+TEST(HttpServerTest, SurvivesManySequentialRequests) {
+  HttpServer server;
+  std::atomic<int> calls{0};
+  ASSERT_TRUE(server.Start(0, [&calls](const std::string&, std::string* body,
+                                       std::string* content_type) {
+    *body = "n=" + std::to_string(calls.fetch_add(1) + 1);
+    *content_type = "text/plain";
+    return true;
+  }));
+  for (int i = 0; i < 20; ++i) {
+    const auto body = HttpGetLocal(server.port(), "/");
+    ASSERT_TRUE(body.has_value()) << "request " << i;
+  }
+  EXPECT_EQ(calls.load(), 20);
+}
+
+// --- Exporter + engine end to end -------------------------------------------
+
+uint64_t JsonCounter(const json::Value& stats, const std::string& name) {
+  const json::Value* counters = stats.Find("counters");
+  if (counters == nullptr || !counters->is_object()) {
+    return 0;
+  }
+  const json::Value* v = counters->Find(name);
+  return v != nullptr && v->is_number() ? static_cast<uint64_t>(v->as_number()) : 0;
+}
+
+TEST(TelemetryEndToEndTest, StatsMatchRunMetricsUnderConcurrentDrivers) {
+  EngineConfig config;
+  config.num_executors = 2;
+  config.threads_per_executor = 2;
+  config.memory_capacity_per_executor = 64ULL << 20;
+  config.telemetry_port = 0;  // ephemeral loopback listener
+  config.telemetry_interval_ms = 50;
+  EngineContext engine(config);
+  engine.SetCoordinator(std::make_unique<PolicyCoordinator>(&engine, MakePolicy("lru"),
+                                                            EvictionMode::kMemAndDisk));
+  ASSERT_NE(engine.exporter(), nullptr);
+  ASSERT_TRUE(engine.exporter()->ok());
+  const uint16_t port = engine.exporter()->port();
+  ASSERT_GT(port, 0);
+
+  // Per-run isolation: other tests in this binary share the process-global
+  // registry. Counter pointers stay valid across Reset.
+  MetricsRegistry::Global().Reset();
+
+  constexpr int kDrivers = 4;
+  constexpr int kJobsPerDriver = 6;
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&engine, d] {
+      for (int j = 0; j < kJobsPerDriver; ++j) {
+        std::vector<uint64_t> rows(512);
+        for (size_t i = 0; i < rows.size(); ++i) {
+          rows[i] = static_cast<uint64_t>(d) * 1000 + i;
+        }
+        auto rdd = Parallelize<uint64_t>(
+            &engine, "telemetry_d" + std::to_string(d) + "_j" + std::to_string(j),
+            std::move(rows), 4);
+        auto mapped = rdd->Map([](const uint64_t& v) { return v * 2 + 1; }, "double");
+        ASSERT_EQ(mapped->Count(), 512u);
+      }
+    });
+  }
+  // While drivers run, the live endpoint must keep serving coherent JSON.
+  std::atomic<bool> done{false};
+  std::thread poller([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const auto body = HttpGetLocal(port, "/stats");
+      if (body.has_value()) {
+        std::string error;
+        const auto doc = json::Parse(*body, &error);
+        EXPECT_TRUE(doc.has_value()) << error;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+  for (std::thread& driver : drivers) {
+    driver.join();
+  }
+  done.store(true, std::memory_order_relaxed);
+  poller.join();
+
+  // All jobs joined: the live view and the end-of-run report must agree
+  // exactly — same chokepoints, no in-flight work left to race with.
+  const auto stats_body = HttpGetLocal(port, "/stats");
+  ASSERT_TRUE(stats_body.has_value());
+  std::string error;
+  const auto stats = json::Parse(*stats_body, &error);
+  ASSERT_TRUE(stats.has_value()) << error;
+
+  const RunMetricsSnapshot run = engine.metrics().Snapshot();
+  EXPECT_EQ(JsonCounter(*stats, "task.completed"), run.num_tasks);
+  EXPECT_EQ(JsonCounter(*stats, "cache.hits_memory"), run.cache_hits_memory);
+  EXPECT_EQ(JsonCounter(*stats, "cache.misses"), run.cache_misses);
+  EXPECT_EQ(JsonCounter(*stats, "sched.jobs_completed"),
+            static_cast<uint64_t>(kDrivers) * kJobsPerDriver);
+  EXPECT_EQ(JsonCounter(*stats, "sched.jobs_submitted"),
+            static_cast<uint64_t>(kDrivers) * kJobsPerDriver);
+
+  // No jobs in flight -> the active gauge must have returned to zero.
+  const json::Value* gauges = stats->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const json::Value* active = gauges->Find("sched.jobs_active");
+  ASSERT_NE(active, nullptr);
+  EXPECT_DOUBLE_EQ(active->as_number(), 0.0);
+
+  // Job latency histogram saw every job.
+  const json::Value* hists = stats->Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* job_hist = hists->Find("sched.job_latency_ms");
+  ASSERT_NE(job_hist, nullptr);
+  EXPECT_DOUBLE_EQ(job_hist->Find("count")->as_number(),
+                   static_cast<double>(kDrivers) * kJobsPerDriver);
+
+  // Prometheus endpoint carries the same counters in exposition format.
+  const auto metrics_body = HttpGetLocal(port, "/metrics");
+  ASSERT_TRUE(metrics_body.has_value());
+  EXPECT_NE(metrics_body->find("# TYPE blaze_sched_jobs_completed counter"),
+            std::string::npos);
+  EXPECT_NE(metrics_body->find("blaze_sched_jobs_completed " +
+                               std::to_string(kDrivers * kJobsPerDriver)),
+            std::string::npos);
+  EXPECT_NE(metrics_body->find("blaze_task_latency_ms_count"), std::string::npos);
+}
+
+TEST(TelemetryEndToEndTest, JsonlSnapshotsParseAndProgress) {
+  const std::filesystem::path jsonl =
+      std::filesystem::temp_directory_path() / "blaze_telemetry_test.jsonl";
+  std::filesystem::remove(jsonl);
+  {
+    EngineConfig config;
+    config.num_executors = 1;
+    config.threads_per_executor = 2;
+    config.memory_capacity_per_executor = 16ULL << 20;
+    config.telemetry_jsonl = jsonl;  // JSONL-only exporter: no HTTP port
+    config.telemetry_interval_ms = 20;
+    EngineContext engine(config);
+    ASSERT_NE(engine.exporter(), nullptr);
+    ASSERT_TRUE(engine.exporter()->ok());
+    EXPECT_EQ(engine.exporter()->port(), 0);  // no listener requested
+
+    std::vector<uint64_t> rows(1024, 7);
+    auto rdd = Parallelize<uint64_t>(&engine, "jsonl_src", std::move(rows), 4);
+    ASSERT_EQ(rdd->Count(), 1024u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }  // engine teardown stops the exporter and writes a final snapshot
+
+  std::ifstream in(jsonl);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  size_t lines = 0;
+  uint64_t last_ts = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    ++lines;
+    std::string error;
+    const auto doc = json::Parse(line, &error);
+    ASSERT_TRUE(doc.has_value()) << "line " << lines << ": " << error;
+    const json::Value* ts = doc->Find("ts_us");
+    ASSERT_NE(ts, nullptr);
+    const uint64_t ts_us = static_cast<uint64_t>(ts->as_number());
+    EXPECT_GE(ts_us, last_ts);  // snapshots are appended in time order
+    last_ts = ts_us;
+    ASSERT_NE(doc->Find("counters"), nullptr);
+    ASSERT_NE(doc->Find("gauges"), nullptr);
+    ASSERT_NE(doc->Find("histograms"), nullptr);
+  }
+  // At least one periodic snapshot plus the final one at shutdown.
+  EXPECT_GE(lines, 2u);
+  std::filesystem::remove(jsonl);
+}
+
+TEST(TelemetryEndToEndTest, CallbackGaugesSurviveEngineSuccession) {
+  // Engine A registers the subsystem gauges; engine B replaces them; tearing
+  // A down must not remove B's registrations (token-checked unregister).
+  auto engine_a = std::make_unique<EngineContext>(EngineConfig{});
+  auto engine_b = std::make_unique<EngineContext>(EngineConfig{});
+  engine_a.reset();
+  const RegistrySnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_NE(snap.FindGauge("store.memory_used_bytes"), nullptr);
+  EXPECT_NE(snap.FindGauge("arbiter.cache_used_bytes"), nullptr);
+  engine_b.reset();
+}
+
+}  // namespace
+}  // namespace blaze

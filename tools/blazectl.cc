@@ -4,21 +4,31 @@
 //   blazectl run --workload pr --system blaze [--scale 1.0] [--iterations N]
 //                [--partitions N] [--executors N] [--threads N]
 //                [--capacity-kib N] [--disk-mbps N] [--format table|json]
+//   blazectl top [--port N] [--interval-ms N] [--once] [--validate]
 //
 // Runs one (workload, system) pair and reports ACT plus the cache metrics.
 // Systems: spark-mem, spark-memdisk, alluxio, lrc, mrd, lrc-mem, mrd-mem,
 // blaze, blaze-auto, blaze-costaware, blaze-mem, blaze-noprofile, none.
+//
+// `top` polls a running engine's telemetry endpoints (BLAZE_TELEMETRY_PORT)
+// and renders a live dashboard; --validate instead checks that /stats parses
+// as JSON and /metrics is well-formed Prometheus text, exiting nonzero if not.
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <thread>
 
 #include "src/blaze/blaze_runner.h"
 #include "src/cache/alluxio_coordinator.h"
 #include "src/cache/policies.h"
 #include "src/cache/policy_coordinator.h"
+#include "src/common/http.h"
+#include "src/common/json.h"
 #include "src/common/stopwatch.h"
 #include "src/common/units.h"
 #include "src/dataflow/dag_scheduler.h"
@@ -43,6 +53,10 @@ struct CliOptions {
   uint64_t capacity_kib = 2048;
   uint64_t disk_mbps = 32;
   std::string format = "table";
+  int port = 8080;          // top: telemetry port of the engine to watch
+  int interval_ms = 1000;   // top: refresh cadence
+  bool once = false;        // top: one frame, no screen clearing
+  bool validate = false;    // top: endpoint-validation mode
 };
 
 int Usage() {
@@ -54,7 +68,8 @@ int Usage() {
                "                              blaze-costaware|blaze-mem|blaze-noprofile|none>\n"
                "                    [--scale F] [--iterations N] [--partitions N]\n"
                "                    [--executors N] [--threads N] [--capacity-kib N]\n"
-               "                    [--disk-mbps N] [--format table|json]\n";
+               "                    [--disk-mbps N] [--format table|json]\n"
+               "       blazectl top [--port N] [--interval-ms N] [--once] [--validate]\n";
   return 2;
 }
 
@@ -63,9 +78,23 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     return false;
   }
   options->command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
-    const std::string value = argv[i + 1];
+    // Boolean flags: the value is optional ("--once" == "--once 1").
+    if (flag == "--once" || flag == "--validate") {
+      bool enabled = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        const std::string value = argv[++i];
+        enabled = value != "0" && value != "false";
+      }
+      (flag == "--once" ? options->once : options->validate) = enabled;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::cerr << "flag " << flag << " needs a value\n";
+      return false;
+    }
+    const std::string value = argv[++i];
     if (flag == "--workload") {
       options->workload = value;
     } else if (flag == "--system") {
@@ -88,6 +117,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->format = value;
     } else if (flag == "--shape") {
       options->shape = value;
+    } else if (flag == "--port") {
+      options->port = std::atoi(value.c_str());
+    } else if (flag == "--interval-ms") {
+      options->interval_ms = std::atoi(value.c_str());
     } else {
       std::cerr << "unknown flag: " << flag << "\n";
       return false;
@@ -247,6 +280,177 @@ int GraphCommand(const CliOptions& options) {
   return 0;
 }
 
+// --- top: live telemetry dashboard ------------------------------------------------
+
+// snapshot["counters"]["sched.jobs_completed"] as uint64, 0 if absent.
+uint64_t StatCounter(const json::Value& snap, const char* section, const char* name) {
+  const json::Value* obj = snap.Find(section);
+  const json::Value* v = obj != nullptr ? obj->Find(name) : nullptr;
+  return v != nullptr && v->is_number() ? static_cast<uint64_t>(v->as_number()) : 0;
+}
+
+// snapshot["histograms"][name][field] as double, 0 if absent.
+double StatHistField(const json::Value& snap, const char* name, const char* field) {
+  const json::Value* hists = snap.Find("histograms");
+  const json::Value* h = hists != nullptr ? hists->Find(name) : nullptr;
+  const json::Value* v = h != nullptr ? h->Find(field) : nullptr;
+  return v != nullptr && v->is_number() ? v->as_number() : 0.0;
+}
+
+void RenderTop(const json::Value& snap, int port) {
+  const json::Value* ts = snap.Find("ts_us");
+  const double up_s = ts != nullptr && ts->is_number() ? ts->as_number() / 1e6 : 0.0;
+  std::cout << "blaze engine @ 127.0.0.1:" << port << "  (up " << Fmt(up_s, 1) << "s)\n\n";
+
+  TextTable jobs;
+  jobs.AddRow({"jobs", "active", "submitted", "completed", "p50", "p95", "p99"});
+  jobs.AddRow({"", std::to_string(StatCounter(snap, "gauges", "sched.jobs_active")),
+               std::to_string(StatCounter(snap, "counters", "sched.jobs_submitted")),
+               std::to_string(StatCounter(snap, "counters", "sched.jobs_completed")),
+               FormatMillis(StatHistField(snap, "sched.job_latency_ms", "p50_ms")),
+               FormatMillis(StatHistField(snap, "sched.job_latency_ms", "p95_ms")),
+               FormatMillis(StatHistField(snap, "sched.job_latency_ms", "p99_ms"))});
+  std::cout << jobs.Render("scheduler");
+
+  TextTable tasks;
+  tasks.AddRow({"tasks", "completed", "failed", "p50", "p95", "p99"});
+  tasks.AddRow({"", std::to_string(StatCounter(snap, "counters", "task.completed")),
+                std::to_string(StatCounter(snap, "counters", "task.failures")),
+                FormatMillis(StatHistField(snap, "task.latency_ms", "p50_ms")),
+                FormatMillis(StatHistField(snap, "task.latency_ms", "p95_ms")),
+                FormatMillis(StatHistField(snap, "task.latency_ms", "p99_ms"))});
+  std::cout << tasks.Render("tasks");
+
+  const uint64_t hits_mem = StatCounter(snap, "counters", "cache.hits_memory");
+  const uint64_t hits_disk = StatCounter(snap, "counters", "cache.hits_disk");
+  const uint64_t misses = StatCounter(snap, "counters", "cache.misses");
+  const uint64_t lookups = hits_mem + hits_disk + misses;
+  TextTable cache;
+  cache.AddRow({"cache", "hit% (mem/disk)", "misses", "evict (disk/drop)", "unpersists",
+                "ilp solves"});
+  cache.AddRow(
+      {"",
+       lookups == 0 ? "-"
+                    : Fmt(100.0 * static_cast<double>(hits_mem + hits_disk) /
+                              static_cast<double>(lookups),
+                          1) +
+                          "% (" + std::to_string(hits_mem) + "/" + std::to_string(hits_disk) +
+                          ")",
+       std::to_string(misses),
+       std::to_string(StatCounter(snap, "counters", "cache.evictions_disk")) + "/" +
+           std::to_string(StatCounter(snap, "counters", "cache.evictions_discard")),
+       std::to_string(StatCounter(snap, "counters", "cache.unpersists")),
+       std::to_string(StatCounter(snap, "counters", "ilp.solves"))});
+  std::cout << cache.Render("cache");
+
+  TextTable mem;
+  mem.AddRow({"memory", "cached", "execution", "pinned blocks", "spill q", "shuffle",
+              "arena"});
+  mem.AddRow({"", FormatBytes(StatCounter(snap, "gauges", "arbiter.cache_used_bytes")),
+              FormatBytes(StatCounter(snap, "gauges", "arbiter.execution_used_bytes")),
+              std::to_string(StatCounter(snap, "gauges", "store.pinned_blocks")),
+              std::to_string(StatCounter(snap, "gauges", "spill.queue_depth")) + " (" +
+                  FormatBytes(StatCounter(snap, "gauges", "spill.pending_bytes")) + ")",
+              FormatBytes(StatCounter(snap, "gauges", "shuffle.bytes_in_flight")),
+              FormatBytes(StatCounter(snap, "gauges", "arena.live_bytes"))});
+  std::cout << mem.Render("memory");
+}
+
+// Strict endpoint validation: /stats must parse as a JSON object with the
+// three sections, /metrics must be Prometheus text ("# TYPE" comments and
+// "name value" samples, all blaze_-prefixed). Exit code is the contract —
+// ci.sh runs this against a live engine and fails the build on malformed
+// output.
+int ValidateEndpoints(int port) {
+  std::string error;
+  const auto stats = HttpGetLocal(static_cast<uint16_t>(port), "/stats", &error);
+  if (!stats.has_value()) {
+    std::cerr << "validate: GET /stats failed: " << error << "\n";
+    return 1;
+  }
+  const auto parsed = json::Parse(*stats, &error);
+  if (!parsed.has_value()) {
+    std::cerr << "validate: /stats is not valid JSON: " << error << "\n";
+    return 1;
+  }
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const json::Value* v = parsed->Find(section);
+    if (v == nullptr || !v->is_object()) {
+      std::cerr << "validate: /stats missing object section \"" << section << "\"\n";
+      return 1;
+    }
+  }
+  const auto metrics = HttpGetLocal(static_cast<uint16_t>(port), "/metrics", &error);
+  if (!metrics.has_value()) {
+    std::cerr << "validate: GET /metrics failed: " << error << "\n";
+    return 1;
+  }
+  size_t samples = 0;
+  size_t line_start = 0;
+  const std::string& text = *metrics;
+  while (line_start < text.size()) {
+    size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string::npos) {
+      line_end = text.size();
+    }
+    const std::string_view line(text.data() + line_start, line_end - line_start);
+    line_start = line_end + 1;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    // Sample lines: "blaze_name{...} value" or "blaze_name value".
+    const size_t space = line.rfind(' ');
+    if (line.rfind("blaze_", 0) != 0 || space == std::string_view::npos ||
+        space + 1 >= line.size()) {
+      std::cerr << "validate: malformed /metrics line: " << line << "\n";
+      return 1;
+    }
+    char* end = nullptr;
+    std::strtod(line.data() + space + 1, &end);
+    if (end != line.data() + line.size()) {
+      std::cerr << "validate: non-numeric sample value: " << line << "\n";
+      return 1;
+    }
+    ++samples;
+  }
+  if (samples == 0) {
+    std::cerr << "validate: /metrics served no samples\n";
+    return 1;
+  }
+  std::cout << "telemetry endpoints ok (" << samples << " samples)\n";
+  return 0;
+}
+
+int TopCommand(const CliOptions& options) {
+  if (options.validate) {
+    return ValidateEndpoints(options.port);
+  }
+  for (;;) {
+    std::string error;
+    const auto stats = HttpGetLocal(static_cast<uint16_t>(options.port), "/stats", &error);
+    if (!stats.has_value()) {
+      std::cerr << "blazectl top: " << error
+                << "\n(start the engine with BLAZE_TELEMETRY_PORT="
+                << options.port << ")\n";
+      return 1;
+    }
+    const auto parsed = json::Parse(*stats, &error);
+    if (!parsed.has_value()) {
+      std::cerr << "blazectl top: /stats unparseable: " << error << "\n";
+      return 1;
+    }
+    if (!options.once) {
+      std::cout << "\033[H\033[2J";  // home + clear: redraw in place
+    }
+    RenderTop(*parsed, options.port);
+    if (options.once) {
+      return 0;
+    }
+    std::cout.flush();
+    std::this_thread::sleep_for(std::chrono::milliseconds(options.interval_ms));
+  }
+}
+
 int ListCommand() {
   std::cout << "workloads:";
   for (const auto& name : AllWorkloadNames()) {
@@ -273,6 +477,9 @@ int main(int argc, char** argv) {
   }
   if (options.command == "graph") {
     return blaze::GraphCommand(options);
+  }
+  if (options.command == "top") {
+    return blaze::TopCommand(options);
   }
   return blaze::Usage();
 }

@@ -99,6 +99,38 @@ micro_serialize_smoke() {
     ./build/bench/bench_micro_serialize --benchmark_filter='Columnar|Teardown'
 }
 
+micro_trace_smoke() {
+  # Always-on telemetry overhead guard: TelemetryCounter::Add must stay under
+  # 20 ns/op across 4 threads (the binary times a manual loop after the
+  # benchmark pass and enforces the bound).
+  echo "=== [plain] registry overhead guard ==="
+  BLAZE_MICRO_TRACE_MAX_COUNTER_NS=20 \
+    ./build/bench/bench_micro_trace --benchmark_filter='Registry'
+}
+
+traffic_slo_smoke() {
+  # Tail-latency SLO smoke: a traced multi-driver Zipf traffic run against the
+  # live telemetry plane. Fails if (a) job p99 regresses >15% over the
+  # recorded floor (floor: 45 ms traced p99 at drivers=4 jobs=160 datasets=8
+  # on the 1-vCPU CI machine — observed 13-34 ms traced depending on
+  # background load, since 12 threads share one core; limit = 45 * 1.15 =
+  # 51.75 ms, enforced by the bench via BLAZE_SLO_MAX_P99_MS), (b) /metrics or
+  # /stats serve malformed output (the bench validates both with the in-tree
+  # JSON parser before teardown), or (c) the exported trace is malformed.
+  echo "=== [plain] traffic SLO smoke ==="
+  local smoke_dir="build/slo-smoke"
+  rm -rf "$smoke_dir" && mkdir -p "$smoke_dir"
+  BLAZE_TRACE="$smoke_dir/slo.json" \
+    BLAZE_SLO_DRIVERS=4 \
+    BLAZE_SLO_JOBS=160 \
+    BLAZE_SLO_DATASETS=8 \
+    BLAZE_SLO_MAX_P99_MS=51.75 \
+    ./build/bench/bench_traffic_slo
+  ./build/tools/trace_validate "$smoke_dir/slo.json" --summary \
+    --require-span job.run --require-span stage.run --require-span task.run \
+    --require-audit admit
+}
+
 perf_smoke() {
   # Wall-clock guard for the fig09 hot path: best-of-3 at scale 0.25 on the
   # PageRank workload must stay within 10% of the recorded seed numbers
@@ -135,6 +167,8 @@ if [[ "$mode" == "plain" || "$mode" == "all" ]]; then
   spill_smoke build
   micro_storage_smoke
   micro_serialize_smoke
+  micro_trace_smoke
+  traffic_slo_smoke
   perf_smoke
 fi
 

@@ -4,7 +4,12 @@
 //
 //   trace_validate TRACE.json [--audit FILE.jsonl]
 //                  [--require-span NAME]... [--require-audit KIND]...
-//                  [--require-overlap NAME ARG]...
+//                  [--require-overlap NAME ARG]... [--summary]
+//
+// --summary additionally prints, after validation, a per-(category, span)
+// duration table — count, mean, p50/p95/p99, max — plus a rollup line per
+// category, computed with the same log-bucketed LatencyHistogram (and its
+// bucket-merge path) the live telemetry registry uses.
 //
 // Checks, in order:
 //   - the trace file parses as JSON with a non-empty "traceEvents" array;
@@ -23,9 +28,11 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/json.h"
+#include "src/metrics/histogram.h"
 
 namespace {
 
@@ -72,6 +79,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> required_spans;
   std::vector<std::string> required_audits;
   std::vector<std::pair<std::string, std::string>> required_overlaps;  // (span, arg key)
+  bool summary = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--audit" && i + 1 < argc) {
@@ -83,6 +91,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--require-overlap" && i + 2 < argc) {
       const std::string span = argv[++i];
       required_overlaps.emplace_back(span, argv[++i]);
+    } else if (arg == "--summary") {
+      summary = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return Fail("unknown flag " + arg);
     } else if (trace_path.empty()) {
@@ -122,6 +132,8 @@ int main(int argc, char** argv) {
   }
   std::map<std::string, uint64_t> span_counts;
   std::map<size_t, std::vector<SpanInstance>> overlap_spans;  // overlap-req index -> spans
+  // --summary accumulators: category -> span name -> duration histogram.
+  std::map<std::string, std::map<std::string, blaze::LatencyHistogram>> span_hists;
   uint64_t num_events = 0;
   for (const blaze::json::Value& event : events->as_array()) {
     if (!event.is_object()) {
@@ -146,6 +158,13 @@ int main(int argc, char** argv) {
         return Fail(trace_path + ": span '" + name->as_string() + "' lacks numeric dur");
       }
       ++span_counts[name->as_string()];
+      if (summary) {
+        const blaze::json::Value* cat = event.Find("cat");
+        const std::string category =
+            cat != nullptr && cat->is_string() ? cat->as_string() : "(none)";
+        // Chrome-trace ts/dur are microseconds; the histograms bin in ms.
+        span_hists[category][name->as_string()].Record(dur->as_number() / 1000.0);
+      }
       for (size_t req = 0; req < required_overlaps.size(); ++req) {
         if (required_overlaps[req].first != name->as_string()) {
           continue;
@@ -217,6 +236,25 @@ int main(int argc, char** argv) {
   for (const std::string& kind : required_audits) {
     if (kind_counts[kind] == 0) {
       return Fail(audit_path + ": no audit record of kind '" + kind + "'");
+    }
+  }
+
+  if (summary) {
+    std::printf("%-10s %-22s %s\n", "category", "span", "durations");
+    for (const auto& [category, names] : span_hists) {
+      // Category rollup: bucket-merge every span histogram of the category —
+      // the same mergeable-percentile path the telemetry registry snapshots
+      // exercise, so this summary and /stats agree on the math.
+      blaze::LatencyHistogram rollup;
+      for (const auto& [name, hist] : names) {
+        std::printf("%-10s %-22s %s\n", category.c_str(), name.c_str(),
+                    hist.Snapshot().ToString().c_str());
+        rollup.MergeFrom(hist);
+      }
+      if (names.size() > 1) {
+        std::printf("%-10s %-22s %s\n", category.c_str(), "(all)",
+                    rollup.Snapshot().ToString().c_str());
+      }
     }
   }
 

@@ -12,8 +12,21 @@
 // exits nonzero on any malformation — so the CI smoke (tools/ci.sh) fails if
 // the endpoints ever serve garbage under real concurrency.
 //
+// Two arrival models:
+//   closed (default) — N driver threads issue the next job only after the
+//     previous one returns. Throughput adapts to the system; latency hides
+//     queueing (coordinated omission).
+//   open — jobs arrive on a Poisson process at a fixed offered rate and are
+//     submitted asynchronously (DagScheduler::SubmitJob) regardless of how
+//     many are still in flight, so a slow system builds a real queue and the
+//     reported percentiles include the queueing delay a fixed-rate client
+//     would actually see. Arrival times are absolute (pre-scheduled against
+//     the run start), so a late submission doesn't shift later arrivals.
+//
 // Env knobs (all optional):
-//   BLAZE_SLO_DRIVERS=N      concurrent driver threads        (default 4)
+//   BLAZE_SLO_MODE=closed|open  arrival model                  (default closed)
+//   BLAZE_SLO_RATE=F         open-loop offered rate, jobs/sec  (default 100)
+//   BLAZE_SLO_DRIVERS=N      closed-loop driver threads        (default 4)
 //   BLAZE_SLO_JOBS=N         total measured jobs              (default 240)
 //   BLAZE_SLO_DATASETS=N     cached datasets in the pool      (default 12)
 //   BLAZE_SLO_ALPHA=F        Zipf skew of dataset popularity  (default 1.1)
@@ -22,6 +35,8 @@
 //   BLAZE_TRACE=PATH         record the measured phase with the flight
 //                            recorder and export Chrome trace + audit JSONL
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -179,37 +194,88 @@ int Run() {
     trace::Start();
   }
 
+  const char* mode_env = std::getenv("BLAZE_SLO_MODE");
+  const std::string mode = mode_env != nullptr && *mode_env != '\0' ? mode_env : "closed";
+  if (mode != "closed" && mode != "open") {
+    std::fprintf(stderr, "traffic_slo: BLAZE_SLO_MODE must be closed or open\n");
+    return 2;
+  }
+  const double rate = EnvDouble("BLAZE_SLO_RATE", 100.0);
+
   std::atomic<uint64_t> rows_counted{0};
   const int jobs_per_driver = params.jobs / params.drivers;
+  const int expected_jobs = mode == "open" ? params.jobs : jobs_per_driver * params.drivers;
   Stopwatch wall;
-  std::vector<std::thread> drivers;
-  drivers.reserve(params.drivers);
-  for (int d = 0; d < params.drivers; ++d) {
-    drivers.emplace_back([&, d] {
-      Rng rng(0xB1A2E5ULL + static_cast<uint64_t>(d));
-      for (int j = 0; j < jobs_per_driver; ++j) {
-        auto& ds = pool[rng.NextPowerLaw(pool.size(), params.alpha)];
-        if (rng.NextDouble() < params.shuffle_frac) {
-          // Shuffle job: aggregate the dataset by key (map stage + result
-          // stage; retention_jobs=4 keeps the shuffle pool cycling).
-          auto reduced = ReduceByKey<uint32_t, uint64_t>(
-              ds, [](const uint64_t& a, const uint64_t& b) { return a + b; },
-              params.partitions);
-          rows_counted.fetch_add(reduced->Count(), std::memory_order_relaxed);
-        } else {
-          // Scan job: one narrow pass over the cached rows.
-          auto mapped = ds->Map(
-              [](const std::pair<uint32_t, uint64_t>& row) {
-                return row.first ^ static_cast<uint32_t>(row.second);
-              },
-              "slo_scan");
-          rows_counted.fetch_add(mapped->Count(), std::memory_order_relaxed);
-        }
+  if (mode == "open") {
+    // Open loop: arrivals are pre-scheduled against the run start on a Poisson
+    // process at the offered rate; each arrival is submitted asynchronously
+    // and the handles are only joined after the last arrival, so in-flight
+    // jobs never gate the next submission.
+    Rng rng(0xB1A2E5ULL);
+    std::vector<JobHandle> handles;
+    handles.reserve(params.jobs);
+    const auto count_rows = [](const BlockPtr& block) -> std::any {
+      return block->NumRows();
+    };
+    const auto start = std::chrono::steady_clock::now();
+    double arrival_s = 0.0;
+    for (int j = 0; j < params.jobs; ++j) {
+      arrival_s += -std::log(1.0 - rng.NextDouble()) / rate;
+      std::this_thread::sleep_until(start + std::chrono::duration<double>(arrival_s));
+      auto& ds = pool[rng.NextPowerLaw(pool.size(), params.alpha)];
+      if (rng.NextDouble() < params.shuffle_frac) {
+        auto reduced = ReduceByKey<uint32_t, uint64_t>(
+            ds, [](const uint64_t& a, const uint64_t& b) { return a + b; },
+            params.partitions);
+        handles.push_back(
+            engine.scheduler().SubmitJob(reduced, count_rows, /*raw_blocks=*/true));
+      } else {
+        auto mapped = ds->Map(
+            [](const std::pair<uint32_t, uint64_t>& row) {
+              return row.first ^ static_cast<uint32_t>(row.second);
+            },
+            "slo_scan");
+        handles.push_back(
+            engine.scheduler().SubmitJob(mapped, count_rows, /*raw_blocks=*/true));
       }
-    });
-  }
-  for (std::thread& driver : drivers) {
-    driver.join();
+    }
+    for (JobHandle& handle : handles) {
+      uint64_t rows = 0;
+      for (std::any& result : handle.Wait()) {
+        rows += std::any_cast<size_t>(result);
+      }
+      rows_counted.fetch_add(rows, std::memory_order_relaxed);
+    }
+  } else {
+    std::vector<std::thread> drivers;
+    drivers.reserve(params.drivers);
+    for (int d = 0; d < params.drivers; ++d) {
+      drivers.emplace_back([&, d] {
+        Rng rng(0xB1A2E5ULL + static_cast<uint64_t>(d));
+        for (int j = 0; j < jobs_per_driver; ++j) {
+          auto& ds = pool[rng.NextPowerLaw(pool.size(), params.alpha)];
+          if (rng.NextDouble() < params.shuffle_frac) {
+            // Shuffle job: aggregate the dataset by key (map stage + result
+            // stage; retention_jobs=4 keeps the shuffle pool cycling).
+            auto reduced = ReduceByKey<uint32_t, uint64_t>(
+                ds, [](const uint64_t& a, const uint64_t& b) { return a + b; },
+                params.partitions);
+            rows_counted.fetch_add(reduced->Count(), std::memory_order_relaxed);
+          } else {
+            // Scan job: one narrow pass over the cached rows.
+            auto mapped = ds->Map(
+                [](const std::pair<uint32_t, uint64_t>& row) {
+                  return row.first ^ static_cast<uint32_t>(row.second);
+                },
+                "slo_scan");
+            rows_counted.fetch_add(mapped->Count(), std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& driver : drivers) {
+      driver.join();
+    }
   }
   const double wall_ms = wall.ElapsedMillis();
 
@@ -233,7 +299,6 @@ int Run() {
   const RegistrySnapshot snap = MetricsRegistry::Global().Snapshot();
   const HistogramSnapshot* job_hist = snap.FindHistogram("sched.job_latency_ms");
   const uint64_t* jobs_completed = snap.FindCounter("sched.jobs_completed");
-  const int expected_jobs = jobs_per_driver * params.drivers;
   if (job_hist == nullptr || jobs_completed == nullptr ||
       *jobs_completed < static_cast<uint64_t>(expected_jobs)) {
     std::fprintf(stderr, "traffic_slo: registry lost jobs (%llu < %d)\n",
@@ -244,9 +309,17 @@ int Run() {
     return 1;
   }
   const double wall_s = wall_ms / 1e3;
-  std::printf("traffic_slo: drivers=%d jobs=%llu datasets=%d alpha=%.2f shuffle=%.0f%%\n",
-              params.drivers, static_cast<unsigned long long>(*jobs_completed),
-              params.datasets, params.alpha, params.shuffle_frac * 100.0);
+  if (mode == "open") {
+    std::printf("traffic_slo: mode=open rate=%.1f/s jobs=%llu datasets=%d alpha=%.2f "
+                "shuffle=%.0f%%\n",
+                rate, static_cast<unsigned long long>(*jobs_completed), params.datasets,
+                params.alpha, params.shuffle_frac * 100.0);
+  } else {
+    std::printf("traffic_slo: mode=closed drivers=%d jobs=%llu datasets=%d alpha=%.2f "
+                "shuffle=%.0f%%\n",
+                params.drivers, static_cast<unsigned long long>(*jobs_completed),
+                params.datasets, params.alpha, params.shuffle_frac * 100.0);
+  }
   std::printf("traffic_slo: wall=%.1fms jobs/sec=%.1f rows/sec=%.3g\n", wall_ms,
               static_cast<double>(*jobs_completed) / wall_s,
               static_cast<double>(rows_counted.load()) / wall_s);

@@ -25,6 +25,9 @@ struct JobState {
   int job_id = 0;
   std::shared_ptr<RddBase> target;
   std::function<std::any(const BlockPtr&)> process;
+  // Result-stage blocks are handed to `process` in their cached
+  // representation (no forced row decode); see DagScheduler::RunJob.
+  bool raw_blocks = false;
   std::vector<DagScheduler::StagePlan> plans;
 
   // Per-stage countdowns. pending_parents gates launch (a stage launches when
@@ -262,12 +265,13 @@ StageInfo DagScheduler::MakeStageInfo(const internal::JobState& job, int stage_i
 
 std::vector<std::any> DagScheduler::RunJob(
     const std::shared_ptr<RddBase>& target,
-    const std::function<std::any(const BlockPtr&)>& process) {
-  return SubmitJob(target, process).Wait();
+    const std::function<std::any(const BlockPtr&)>& process, bool raw_blocks) {
+  return SubmitJob(target, process, raw_blocks).Wait();
 }
 
 JobHandle DagScheduler::SubmitJob(const std::shared_ptr<RddBase>& target,
-                                  const std::function<std::any(const BlockPtr&)>& process) {
+                                  const std::function<std::any(const BlockPtr&)>& process,
+                                  bool raw_blocks) {
   EngineContext& engine = *engine_;
   const int job_id = next_job_id_.fetch_add(1);
 
@@ -275,6 +279,7 @@ JobHandle DagScheduler::SubmitJob(const std::shared_ptr<RddBase>& target,
   job->job_id = job_id;
   job->target = target;
   job->process = process;
+  job->raw_blocks = raw_blocks;
   job->job_start_us = ProcessMicros();
   telemetry_.jobs_submitted->Add();
   telemetry_.jobs_active->Add(1);
@@ -402,7 +407,14 @@ void DagScheduler::RunStageTasks(const std::shared_ptr<internal::JobState>& job,
       }
       TaskContext tc(&engine, job_id, plan.stage_index, p, executor);
       Stopwatch task_watch;
-      const BlockPtr block = tc.GetBlock(terminal, p);
+      // Consumers that read blocks representation-agnostically — bucketizers
+      // built on ForEachRow, raw-block actions — take the terminal in its
+      // cached form, so a columnar hit skips the row recomposition.
+      const bool keep_columnar = plan.shuffle_dep != nullptr
+                                     ? plan.shuffle_dep->accepts_columnar
+                                     : job->raw_blocks;
+      const BlockPtr block = keep_columnar ? tc.GetColumnarForTask(terminal, p)
+                                           : tc.GetBlock(terminal, p);
       if (plan.shuffle_dep != nullptr) {
         std::vector<BlockPtr> buckets =
             plan.shuffle_dep->bucketizer(block, plan.shuffle_dep->num_reduce);

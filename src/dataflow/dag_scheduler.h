@@ -77,14 +77,20 @@ class DagScheduler {
   ~DagScheduler();
 
   // Runs one action job to completion; returns one result per partition of
-  // `target`. Thread-safe; equivalent to SubmitJob(...).Wait().
+  // `target`. Thread-safe; equivalent to SubmitJob(...).Wait(). With
+  // raw_blocks set, `process` receives the terminal block in whatever
+  // representation it is cached in (a columnar hit skips the row decode);
+  // only actions that read blocks representation-agnostically (NumRows,
+  // ForEachRow folds) may set it.
   std::vector<std::any> RunJob(const std::shared_ptr<RddBase>& target,
-                               const std::function<std::any(const BlockPtr&)>& process);
+                               const std::function<std::any(const BlockPtr&)>& process,
+                               bool raw_blocks = false);
 
   // Submits the job and returns immediately; stages launch as their parents
   // complete. Thread-safe.
   JobHandle SubmitJob(const std::shared_ptr<RddBase>& target,
-                      const std::function<std::any(const BlockPtr&)>& process);
+                      const std::function<std::any(const BlockPtr&)>& process,
+                      bool raw_blocks = false);
 
   int jobs_run() const { return next_job_id_.load(); }
 

@@ -250,13 +250,14 @@ void EngineContext::MarkComputed(const BlockId& id) {
 
 std::vector<std::any> EngineContext::RunJob(
     const std::shared_ptr<RddBase>& target,
-    const std::function<std::any(const BlockPtr&)>& process) {
-  return scheduler_->RunJob(target, process);
+    const std::function<std::any(const BlockPtr&)>& process, bool raw_blocks) {
+  return scheduler_->RunJob(target, process, raw_blocks);
 }
 
 JobHandle EngineContext::SubmitJob(const std::shared_ptr<RddBase>& target,
-                                   const std::function<std::any(const BlockPtr&)>& process) {
-  return scheduler_->SubmitJob(target, process);
+                                   const std::function<std::any(const BlockPtr&)>& process,
+                                   bool raw_blocks) {
+  return scheduler_->SubmitJob(target, process, raw_blocks);
 }
 
 uint64_t EngineContext::TotalMemoryUsed() const {

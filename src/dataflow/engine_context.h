@@ -74,6 +74,14 @@ struct EngineConfig {
   // blocks — bulk-copy serialization and one-shot teardown — while executing
   // tasks keep consuming object rows. Kill switch for A/B and debugging.
   bool enable_columnar = true;
+  // Vectorized (batch-at-a-time) execution: fusable chains whose operators
+  // all have columnar kernels run as tight per-column loops over ColumnBatch
+  // views (selection vectors instead of row copies), reading cached columnar
+  // blocks without row recomposition. Off = every chain takes the
+  // row-at-a-time RowSink path and raw-copyable pair types stop being cached
+  // columnar (their layout only pays off with kernels). Kill switch for A/B
+  // benchmarking and debugging; results are identical either way.
+  bool enable_vectorized = true;
   // Live telemetry (MetricsExporter): -1 = no HTTP endpoints (default),
   // 0 = bind an ephemeral loopback port, >0 = bind that port. /metrics serves
   // Prometheus text, /stats one-line JSON. Overridable at runtime with the
@@ -142,14 +150,19 @@ class EngineContext {
   // Runs an action job: computes every partition of `target` and applies
   // `process` to each materialized block, returning per-partition results
   // (indexed by partition). Delegates to the DAG scheduler. Thread-safe: any
-  // number of driver threads may run (or submit) jobs concurrently.
+  // number of driver threads may run (or submit) jobs concurrently. With
+  // raw_blocks, `process` receives terminal blocks in their cached
+  // representation (columnar hits skip the row decode); only for consumers
+  // that read representation-agnostically (NumRows, ForEachRow).
   std::vector<std::any> RunJob(const std::shared_ptr<RddBase>& target,
-                               const std::function<std::any(const BlockPtr&)>& process);
+                               const std::function<std::any(const BlockPtr&)>& process,
+                               bool raw_blocks = false);
 
   // Asynchronous variant: submits the job and returns a handle whose Wait()
   // yields the per-partition results (see dag_scheduler.h).
   JobHandle SubmitJob(const std::shared_ptr<RddBase>& target,
-                      const std::function<std::any(const BlockPtr&)>& process);
+                      const std::function<std::any(const BlockPtr&)>& process,
+                      bool raw_blocks = false);
 
   // Total memory-store bytes currently cached across executors (diagnostics).
   uint64_t TotalMemoryUsed() const;

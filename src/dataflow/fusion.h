@@ -19,6 +19,7 @@
 #ifndef SRC_DATAFLOW_FUSION_H_
 #define SRC_DATAFLOW_FUSION_H_
 
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -61,6 +62,118 @@ template <typename T, typename F>
 ForwardingSink<T, F> MakeSink(F fn) {
   return ForwardingSink<T, F>(std::move(fn));
 }
+
+// --- batch channel (vectorized execution) -------------------------------------------
+//
+// The vectorized counterpart of the row channel above: operators exchange
+// batches of up to kVectorBatchRows rows at a time, so virtual dispatch is
+// paid once per batch instead of once per row and each kernel runs as a tight
+// loop over dense arrays. Filters and Sample narrow a batch by emitting a
+// *selection vector* over the upstream values instead of compacting them —
+// downstream kernels index through `sel`, and the values are copied at most
+// once (by the next Map-like kernel, or by the terminal collect).
+
+// Rows per batch on the vectorized path. Large enough to amortize the
+// per-batch virtual call to nothing, small enough that a batch's working set
+// (values + selection + one kernel's output scratch) stays cache-resident.
+inline constexpr uint32_t kVectorBatchRows = 1024;
+
+// Rows cheap to copy into a kernel's scratch buffer: no heap payload behind
+// any member, assignment is a fixed-size store. This is the gate for
+// Map-style kernels (which densify by value). Note std::is_trivially_copyable
+// alone won't do: std::pair's assignment operators are user-provided, so
+// pair<uint32_t, double> — the dominant shuffle row — reports non-trivial
+// even though copying it is two stores. Pairs are therefore decomposed
+// structurally.
+template <typename T>
+struct FixedWidthRowTraits {
+  static constexpr bool value = std::is_trivially_copyable_v<T>;
+};
+template <typename A, typename B>
+struct FixedWidthRowTraits<std::pair<A, B>> {
+  static constexpr bool value = FixedWidthRowTraits<A>::value && FixedWidthRowTraits<B>::value;
+};
+template <typename T>
+inline constexpr bool kFixedWidthRow = FixedWidthRowTraits<T>::value;
+
+// A borrowed view of up to kVectorBatchRows rows. `values` points at storage
+// owned by the producer (a column gather buffer, a kernel's scratch vector,
+// or a row block's contiguous vector) and is valid only for the duration of
+// the PushBatch call. `sel == nullptr` means the batch is dense: rows are
+// values[0..count). Otherwise the live rows are values[sel[0..count)] and
+// `sel` entries are strictly increasing indexes into the producer's buffer.
+template <typename T>
+struct ColumnBatch {
+  const T* values = nullptr;
+  const uint32_t* sel = nullptr;
+  uint32_t count = 0;
+
+  // Index of the i-th live row within `values`.
+  uint32_t RowIndex(uint32_t i) const { return sel ? sel[i] : i; }
+  const T& Row(uint32_t i) const { return values[RowIndex(i)]; }
+};
+
+template <typename T>
+class ColumnSink {
+ public:
+  virtual ~ColumnSink() = default;
+  virtual void PushBatch(const ColumnBatch<T>& batch) = 0;
+};
+
+// Terminal sink: appends the chain's surviving rows to a vector. Dense
+// batches append with one bulk insert; selective batches gather.
+template <typename T>
+class CollectColumnSink final : public ColumnSink<T> {
+ public:
+  explicit CollectColumnSink(std::vector<T>* out) : out_(out) {}
+  void PushBatch(const ColumnBatch<T>& batch) override {
+    if (batch.sel == nullptr) {
+      out_->insert(out_->end(), batch.values, batch.values + batch.count);
+    } else {
+      for (uint32_t i = 0; i < batch.count; ++i) {
+        out_->push_back(batch.values[batch.sel[i]]);
+      }
+    }
+  }
+
+ private:
+  std::vector<T>* out_;
+};
+
+// Adapts a lambda taking `const ColumnBatch<T>&` into a sink (one virtual hop
+// per batch, the only dispatch the vectorized chain pays).
+template <typename T, typename F>
+class ForwardingColumnSink final : public ColumnSink<T> {
+ public:
+  explicit ForwardingColumnSink(F fn) : fn_(std::move(fn)) {}
+  void PushBatch(const ColumnBatch<T>& batch) override { fn_(batch); }
+
+ private:
+  F fn_;
+};
+
+template <typename T, typename F>
+ForwardingColumnSink<T, F> MakeColumnSink(F fn) {
+  return ForwardingColumnSink<T, F>(std::move(fn));
+}
+
+// Bridges a vectorized upstream into a row-at-a-time downstream: used when a
+// chain prefix has columnar kernels but the tail (or the terminal consumer)
+// only speaks rows. Rows cross as const& — the batch's storage outlives the
+// Push call, never the chain.
+template <typename T>
+class BatchToRowSink final : public ColumnSink<T> {
+ public:
+  explicit BatchToRowSink(RowSink<T>* rows) : rows_(rows) {}
+  void PushBatch(const ColumnBatch<T>& batch) override {
+    for (uint32_t i = 0; i < batch.count; ++i) {
+      rows_->Push(batch.Row(i));
+    }
+  }
+
+ private:
+  RowSink<T>* rows_;
+};
 
 }  // namespace blaze
 

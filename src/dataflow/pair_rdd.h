@@ -89,22 +89,31 @@ class ShuffledRdd final : public Rdd<std::pair<K, C>> {
     dep.is_shuffle = true;
     dep.shuffle_id = ctx->shuffle().NewShuffleId();
     dep.num_reduce = num_reduce;
+    // The bucketizer below iterates representation-agnostically, so the
+    // scheduler may feed it a cached columnar map output directly.
+    dep.accepts_columnar = BlazeColumns<std::pair<K, V>>::kEnabled;
     dep.bucketizer = [partitioner = std::move(partitioner)](const BlockPtr& block,
                                                             size_t reduce_count) {
       if (reduce_count == 1) {
         // Every row lands in the single bucket: alias the map output's rows
         // instead of copying them. The owned view keeps the full payload
         // charge — the shuffle service retains these rows past the map
-        // output's lifetime and bills them to the execution ledger.
-        return std::vector<BlockPtr>{MakeOwnedBlockView(SharedRowsOf<std::pair<K, V>>(block))};
+        // output's lifetime and bills them to the execution ledger. A
+        // columnar map output pays one recomposition here (the bucket must
+        // hold object rows for the reduce side).
+        const BlockPtr rows_block =
+            block->representation() == BlockRepresentation::kObjectRows
+                ? block
+                : block->MaterializeRows();
+        return std::vector<BlockPtr>{
+            MakeOwnedBlockView(SharedRowsOf<std::pair<K, V>>(rows_block))};
       }
-      const auto& rows = RowsOf<std::pair<K, V>>(block);
       std::vector<std::vector<std::pair<K, V>>> buckets(reduce_count);
-      for (const auto& row : rows) {
+      ForEachRow<std::pair<K, V>>(block, [&](const std::pair<K, V>& row) {
         const uint32_t bucket = partitioner ? partitioner(row.first, reduce_count)
                                             : KeyPartition(row.first, reduce_count);
         buckets[bucket].push_back(row);
-      }
+      });
       std::vector<BlockPtr> out;
       out.reserve(reduce_count);
       for (auto& bucket : buckets) {
@@ -157,15 +166,38 @@ template <typename K, typename V, typename F>
 auto MapValues(RddPtr<std::pair<K, V>> parent, F fn, std::string name = "mapValues")
     -> RddPtr<std::pair<K, std::invoke_result_t<F, const V&>>> {
   using U = std::invoke_result_t<F, const V&>;
-  auto result = NewRdd<PipelineRdd<std::pair<K, U>>>(
+  using P = std::pair<K, V>;
+  using Q = std::pair<K, U>;
+  // Columnar kernel for fixed-width pairs: densify the selection while
+  // copying keys through and transforming values, one tight loop per batch.
+  typename PipelineRdd<Q>::VecFn vec = nullptr;
+  if constexpr (kFixedWidthRow<P> && kFixedWidthRow<Q>) {
+    vec = [parent, fn](TaskContext& tc, uint32_t index, ColumnSink<Q>& sink) {
+      std::vector<Q> out(kVectorBatchRows);
+      auto link = MakeColumnSink<P>([&fn, &sink, &out](const ColumnBatch<P>& in) {
+        if (in.count > out.size()) {
+          out.resize(in.count);
+        }
+        for (uint32_t i = 0; i < in.count; ++i) {
+          const P& row = in.values[in.RowIndex(i)];
+          out[i].first = row.first;
+          out[i].second = fn(row.second);
+        }
+        sink.PushBatch(ColumnBatch<Q>{out.data(), nullptr, in.count});
+      });
+      return parent->StreamBatches(tc, index, link);
+    };
+  }
+  auto result = NewRdd<PipelineRdd<Q>>(
       parent->context(), std::move(name), parent->num_partitions(),
       std::vector<Dependency>{Dependency{parent}},
-      [parent, fn](TaskContext& tc, uint32_t index, RowSink<std::pair<K, U>>& sink) {
-        auto link = MakeSink<std::pair<K, V>>([&fn, &sink](auto&& row) {
-          sink.Push(std::pair<K, U>(row.first, fn(row.second)));
+      [parent, fn](TaskContext& tc, uint32_t index, RowSink<Q>& sink) {
+        auto link = MakeSink<P>([&fn, &sink](auto&& row) {
+          sink.Push(Q(row.first, fn(row.second)));
         });
         parent->StreamRows(tc, index, link);
-      });
+      },
+      nullptr, std::move(vec));
   result->set_hash_partitioned(parent->hash_partitioned());
   return result;
 }

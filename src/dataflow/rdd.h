@@ -6,6 +6,7 @@
 #ifndef SRC_DATAFLOW_RDD_H_
 #define SRC_DATAFLOW_RDD_H_
 
+#include <algorithm>
 #include <any>
 #include <functional>
 #include <memory>
@@ -57,7 +58,12 @@ class Rdd : public RddBase {
 
   BlockPtr CacheRepresentation(const BlockPtr& block) const override {
     if constexpr (kColumnarAutoEligible<T>) {
+      // Layouts that only pay off under vectorized execution (raw-copyable
+      // pairs) stay as object rows when the vectorized path is off: without
+      // column kernels every memory hit would eat a recompose for nothing.
       if (!this->context()->config().enable_columnar ||
+          (kColumnarNeedsVectorized<T> &&
+           !this->context()->config().enable_vectorized) ||
           block->representation() != BlockRepresentation::kObjectRows) {
         return block;
       }
@@ -141,6 +147,37 @@ class Rdd : public RddBase {
   // through it when allowed, else materializing via tc.GetBlock (cache-aware).
   void StreamRows(TaskContext& tc, uint32_t index, RowSink<T>& sink) const;
   SharedRows<T> FusedRows(TaskContext& tc, uint32_t index) const;
+
+  // --- vectorized (batch-at-a-time) access -------------------------------------------
+  // The batch counterpart of StreamRows: operators with columnar kernels
+  // exchange ColumnBatch views (dense values + optional selection vector)
+  // instead of single rows, so a fusable chain runs as tight per-column loops
+  // with one virtual call per kVectorBatchRows rows. Viability is decided on
+  // the way *down* the chain — a link without a kernel declines before any
+  // block is fetched or row produced — so a false return is side-effect free
+  // and the caller falls back to the row path with identical results.
+
+  // True if this operator can run as a columnar kernel (PipelineRdds built
+  // with a VecFn). Sources and barriers don't need one: StreamBatches serves
+  // them straight from the fetched block.
+  virtual bool HasColumnarKernel() const { return false; }
+
+  // Runs this operator's kernel, pulling parent batches recursively. Returns
+  // false (before pushing anything) if the upstream chain cannot vectorize.
+  virtual bool StreamBatchesFused(TaskContext& tc, uint32_t index, ColumnSink<T>& sink) const {
+    (void)tc;
+    (void)index;
+    (void)sink;
+    return false;
+  }
+
+  // Consumer entry point: streams this dataset's rows as batches. At a fusion
+  // barrier (or a non-fusable node) the block is fetched columnar-capable via
+  // tc.GetColumnarForTask and windowed into batches — columnar blocks gather
+  // through a scratch buffer without materializing a row block, object-row
+  // blocks emit zero-copy dense windows. Returns false if the chain has a
+  // kernel-less link or vectorization is switched off.
+  bool StreamBatches(TaskContext& tc, uint32_t index, ColumnSink<T>& sink) const;
 };
 
 // Dataset computed by a user function over parent partitions. One generic node
@@ -178,12 +215,18 @@ class PipelineRdd final : public Rdd<U> {
   // a per-row pass, Union/Coalesce return views of parent rows. Used by
   // RowsFused instead of collecting the stream.
   using RowsFn = std::function<SharedRows<U>(TaskContext&, uint32_t)>;
+  // Optional columnar kernel: pulls parent batches (parent->StreamBatches)
+  // and pushes transformed/selected batches. Returns false — before pushing
+  // anything — when the upstream chain cannot vectorize.
+  using VecFn = std::function<bool(TaskContext&, uint32_t, ColumnSink<U>&)>;
 
   PipelineRdd(EngineContext* ctx, std::string name, size_t num_partitions,
-              std::vector<Dependency> deps, StreamFn stream, RowsFn rows = nullptr)
+              std::vector<Dependency> deps, StreamFn stream, RowsFn rows = nullptr,
+              VecFn vec = nullptr)
       : Rdd<U>(ctx, std::move(name), num_partitions, std::move(deps)),
         stream_(std::move(stream)),
-        rows_(std::move(rows)) {}
+        rows_(std::move(rows)),
+        vec_(std::move(vec)) {}
 
   BlockPtr Compute(uint32_t index, TaskContext& tc) const override {
     return MakeBlockView(this->RowsFused(tc, index));
@@ -191,11 +234,38 @@ class PipelineRdd final : public Rdd<U> {
 
   bool IsFusable() const override { return true; }
 
+  bool HasColumnarKernel() const override { return vec_ != nullptr; }
+
+  bool StreamBatchesFused(TaskContext& tc, uint32_t index, ColumnSink<U>& sink) const override {
+    return vec_ != nullptr && vec_(tc, index, sink);
+  }
+
   void StreamFused(TaskContext& tc, uint32_t index, RowSink<U>& sink) const override {
+    // Hybrid chains: vectorize the upstream prefix even when this link's
+    // consumer only speaks rows (a row-only operator downstream, or a
+    // RowSink-based terminal). Declining is side-effect free, so the row
+    // stream below starts from scratch.
+    if (vec_ != nullptr && this->context()->config().enable_vectorized) {
+      BatchToRowSink<U> bridge(&sink);
+      if (vec_(tc, index, bridge)) {
+        return;
+      }
+    }
     stream_(tc, index, sink);
   }
 
   SharedRows<U> RowsFused(TaskContext& tc, uint32_t index) const override {
+    // Terminal of a fully-vectorized chain: collect surviving batches into
+    // the block's row vector. Falls back to the row pipeline when any
+    // upstream link lacks a kernel.
+    if (vec_ != nullptr && this->context()->config().enable_vectorized) {
+      auto out = std::make_shared<std::vector<U>>();
+      CollectColumnSink<U> collect(out.get());
+      if (vec_(tc, index, collect)) {
+        out->shrink_to_fit();
+        return out;
+      }
+    }
     if (rows_) {
       return rows_(tc, index);
     }
@@ -205,6 +275,7 @@ class PipelineRdd final : public Rdd<U> {
  private:
   StreamFn stream_;
   RowsFn rows_;
+  VecFn vec_;
 };
 
 // Adapters for vector-building operators: `build` produces the partition's
@@ -290,17 +361,101 @@ SharedRows<T> Rdd<T>::FusedRows(TaskContext& tc, uint32_t index) const {
 }
 
 template <typename T>
+bool Rdd<T>::StreamBatches(TaskContext& tc, uint32_t index, ColumnSink<T>& sink) const {
+  if (!this->context()->config().enable_vectorized) {
+    return false;
+  }
+  if (IsFusable() && !tc.IsFusionBarrier(*this)) {
+    // Interior link: run this operator's kernel (if any) over parent batches.
+    if (!HasColumnarKernel() || !StreamBatchesFused(tc, index, sink)) {
+      return false;
+    }
+    tc.OnOperatorFused(*this);
+    return true;
+  }
+  // Chain source (barrier or non-fusable node): fetch the block without
+  // forcing a row decode and window it into batches. Reached only after every
+  // downstream link accepted, so the fetch happens exactly once per task.
+  const BlockPtr block = tc.GetColumnarForTask(*this, index);
+  uint64_t batches = 0;
+  uint64_t rows_pushed = 0;
+  bool served_columnar = false;
+  if constexpr (BlazeColumns<T>::kEnabled) {
+    if (const auto* col = dynamic_cast<const ColumnarBlock<T>*>(block.get())) {
+      // Gather batches straight off the columns through one scratch buffer
+      // (row heap capacity reused across the partition via ColumnarAssignRow).
+      const size_t n = col->NumRows();
+      std::vector<T> scratch(std::min<size_t>(n, kVectorBatchRows));
+      for (size_t off = 0; off < n; off += kVectorBatchRows) {
+        const auto len = static_cast<uint32_t>(std::min<size_t>(kVectorBatchRows, n - off));
+        for (uint32_t i = 0; i < len; ++i) {
+          ColumnarAssignRow<T>(col->columns(), off + i, scratch[i]);
+        }
+        sink.PushBatch(ColumnBatch<T>{scratch.data(), nullptr, len});
+        ++batches;
+        rows_pushed += len;
+      }
+      served_columnar = true;
+    }
+  }
+  if (!served_columnar) {
+    // Object-row block: zero-copy dense windows over the contiguous vector.
+    const std::vector<T>& rows = RowsOf<T>(block);
+    for (size_t off = 0; off < rows.size(); off += kVectorBatchRows) {
+      const auto len =
+          static_cast<uint32_t>(std::min<size_t>(kVectorBatchRows, rows.size() - off));
+      sink.PushBatch(ColumnBatch<T>{rows.data() + off, nullptr, len});
+      ++batches;
+      rows_pushed += len;
+    }
+  }
+  // Counted once per chain, at the source: batches entering the pipeline.
+  tc.metrics().vectorized_batches += batches;
+  tc.metrics().rows_vectorized += rows_pushed;
+  return true;
+}
+
+template <typename T>
 template <typename F>
 auto Rdd<T>::Map(F fn, std::string name) -> RddPtr<std::invoke_result_t<F, const T&>> {
   using U = std::invoke_result_t<F, const T&>;
   auto parent = SharedThis();
+  // Columnar kernel for fixed-width rows: densify the input selection while
+  // applying fn in one tight loop, then push a dense output batch. Var-len
+  // rows (strings, vectors) stay on the row path, where moves beat the
+  // kernel's scratch copies.
+  typename PipelineRdd<U>::VecFn vec = nullptr;
+  if constexpr (kFixedWidthRow<T> && kFixedWidthRow<U>) {
+    vec = [parent, fn](TaskContext& tc, uint32_t index, ColumnSink<U>& sink) {
+      std::vector<U> out(kVectorBatchRows);
+      auto link = MakeColumnSink<T>([&fn, &sink, &out](const ColumnBatch<T>& in) {
+        if (in.count > out.size()) {
+          out.resize(in.count);
+        }
+        // Dense and selective loops split by hand: the dense form has no
+        // per-row indirection, so the compiler can SIMD-vectorize it.
+        if (in.sel == nullptr) {
+          for (uint32_t i = 0; i < in.count; ++i) {
+            out[i] = fn(in.values[i]);
+          }
+        } else {
+          for (uint32_t i = 0; i < in.count; ++i) {
+            out[i] = fn(in.values[in.sel[i]]);
+          }
+        }
+        sink.PushBatch(ColumnBatch<U>{out.data(), nullptr, in.count});
+      });
+      return parent->StreamBatches(tc, index, link);
+    };
+  }
   return NewRdd<PipelineRdd<U>>(
       this->context(), std::move(name), this->num_partitions(),
       std::vector<Dependency>{Dependency{parent}},
       [parent, fn](TaskContext& tc, uint32_t index, RowSink<U>& sink) {
         auto link = MakeSink<T>([&fn, &sink](auto&& row) { sink.Push(fn(row)); });
         parent->StreamRows(tc, index, link);
-      });
+      },
+      nullptr, std::move(vec));
 }
 
 template <typename T>
@@ -326,6 +481,37 @@ auto Rdd<T>::FlatMap(F fn, std::string name)
 template <typename T>
 RddPtr<T> Rdd<T>::Filter(std::function<bool(const T&)> pred, std::string name) {
   auto parent = SharedThis();
+  // Columnar kernel (any row type): refine the selection vector in place —
+  // surviving rows are never copied, only their indexes, and the downstream
+  // kernel (or terminal collect) reads them straight from the parent's batch.
+  typename PipelineRdd<T>::VecFn vec =
+      [parent, pred](TaskContext& tc, uint32_t index, ColumnSink<T>& sink) {
+        std::vector<uint32_t> selbuf(kVectorBatchRows);
+        auto link = MakeColumnSink<T>([&pred, &sink, &selbuf](const ColumnBatch<T>& in) {
+          if (in.count > selbuf.size()) {
+            selbuf.resize(in.count);
+          }
+          uint32_t n = 0;
+          if (in.sel == nullptr) {
+            for (uint32_t i = 0; i < in.count; ++i) {
+              if (pred(in.values[i])) {
+                selbuf[n++] = i;
+              }
+            }
+          } else {
+            for (uint32_t i = 0; i < in.count; ++i) {
+              const uint32_t r = in.sel[i];
+              if (pred(in.values[r])) {
+                selbuf[n++] = r;
+              }
+            }
+          }
+          if (n > 0) {
+            sink.PushBatch(ColumnBatch<T>{in.values, selbuf.data(), n});
+          }
+        });
+        return parent->StreamBatches(tc, index, link);
+      };
   auto result = NewRdd<PipelineRdd<T>>(
       this->context(), std::move(name), this->num_partitions(),
       std::vector<Dependency>{Dependency{parent}},
@@ -336,7 +522,8 @@ RddPtr<T> Rdd<T>::Filter(std::function<bool(const T&)> pred, std::string name) {
           }
         });
         parent->StreamRows(tc, index, link);
-      });
+      },
+      nullptr, std::move(vec));
   result->set_hash_partitioned(this->hash_partitioned());
   return result;
 }
@@ -359,6 +546,32 @@ auto Rdd<T>::MapPartitions(F fn, std::string name)
 template <typename T>
 RddPtr<T> Rdd<T>::Sample(double fraction, uint64_t seed, std::string name) {
   auto parent = SharedThis();
+  // Columnar kernel: like Filter, but the predicate is the rng draw. The
+  // generator seeding and per-live-row draw order are identical to the row
+  // path (batches arrive in row order; sel lists live rows in order), so the
+  // sampled subset matches row execution bit for bit.
+  typename PipelineRdd<T>::VecFn vec =
+      [parent, fraction, seed](TaskContext& tc, uint32_t index, ColumnSink<T>& sink) {
+        Rng rng(seed * 0x100000001B3ULL + index);
+        std::vector<uint32_t> selbuf(kVectorBatchRows);
+        auto link =
+            MakeColumnSink<T>([&rng, fraction, &sink, &selbuf](const ColumnBatch<T>& in) {
+              if (in.count > selbuf.size()) {
+                selbuf.resize(in.count);
+              }
+              uint32_t n = 0;
+              for (uint32_t i = 0; i < in.count; ++i) {
+                const uint32_t r = in.RowIndex(i);
+                if (rng.NextBool(fraction)) {
+                  selbuf[n++] = r;
+                }
+              }
+              if (n > 0) {
+                sink.PushBatch(ColumnBatch<T>{in.values, selbuf.data(), n});
+              }
+            });
+        return parent->StreamBatches(tc, index, link);
+      };
   return NewRdd<PipelineRdd<T>>(
       this->context(), std::move(name), this->num_partitions(),
       std::vector<Dependency>{Dependency{parent}},
@@ -372,7 +585,8 @@ RddPtr<T> Rdd<T>::Sample(double fraction, uint64_t seed, std::string name) {
           }
         });
         parent->StreamRows(tc, index, link);
-      });
+      },
+      nullptr, std::move(vec));
 }
 
 template <typename T>
@@ -390,8 +604,10 @@ std::vector<T> Rdd<T>::Collect() {
 
 template <typename T>
 size_t Rdd<T>::Count() {
+  // raw_blocks: a cached columnar terminal is counted without row decode.
   auto results = this->context()->RunJob(
-      SharedThis(), [](const BlockPtr& block) -> std::any { return block->NumRows(); });
+      SharedThis(), [](const BlockPtr& block) -> std::any { return block->NumRows(); },
+      /*raw_blocks=*/true);
   size_t total = 0;
   for (std::any& result : results) {
     total += std::any_cast<size_t>(result);
@@ -403,14 +619,16 @@ template <typename T>
 template <typename A>
 A Rdd<T>::Aggregate(A zero, std::function<void(A&, const T&)> seq_op,
                     std::function<void(A&, const A&)> comb_op) {
+  // raw_blocks + ForEachRow: folds over a cached columnar terminal through a
+  // reused scratch row instead of materializing the whole partition.
   auto results = this->context()->RunJob(
-      SharedThis(), [&zero, &seq_op](const BlockPtr& block) -> std::any {
+      SharedThis(),
+      [&zero, &seq_op](const BlockPtr& block) -> std::any {
         A acc = zero;
-        for (const T& row : RowsOf<T>(block)) {
-          seq_op(acc, row);
-        }
+        ForEachRow<T>(block, [&acc, &seq_op](const T& row) { seq_op(acc, row); });
         return acc;
-      });
+      },
+      /*raw_blocks=*/true);
   A total = zero;
   for (std::any& result : results) {
     comb_op(total, std::any_cast<A>(result));

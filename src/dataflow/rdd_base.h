@@ -32,6 +32,11 @@ struct Dependency {
   int shuffle_id = -1;
   size_t num_reduce = 0;
   ShuffleBucketizer bucketizer;
+  // The bucketizer iterates rows representation-agnostically (ForEachRow), so
+  // the map-stage terminal may be fetched without forcing a row decode
+  // (TaskContext::GetColumnarForTask) — a cached columnar parent feeds the
+  // shuffle straight from its columns.
+  bool accepts_columnar = false;
 };
 
 class RddBase : public std::enable_shared_from_this<RddBase> {

@@ -50,9 +50,28 @@ BlockPtr TaskContext::MaterializeForTask(BlockPtr block) {
 }
 
 BlockPtr TaskContext::GetBlock(const RddBase& rdd, uint32_t index) {
+  return GetBlockImpl(rdd, index, /*keep_columnar=*/false);
+}
+
+BlockPtr TaskContext::GetColumnarForTask(const RddBase& rdd, uint32_t index) {
+  return GetBlockImpl(rdd, index, /*keep_columnar=*/true);
+}
+
+BlockPtr TaskContext::GetBlockImpl(const RddBase& rdd, uint32_t index, bool keep_columnar) {
+  // A compact hit handed straight to a columnar-capable consumer skips the
+  // row recomposition entirely — the materialization the vectorized path
+  // exists to avoid. Pin/arbiter semantics are identical either way.
+  const auto serve = [&](BlockPtr block) -> BlockPtr {
+    if (keep_columnar && block->representation() == BlockRepresentation::kColumnar) {
+      ++metrics_.materializations_avoided;
+      return block;
+    }
+    return MaterializeForTask(std::move(block));
+  };
+
   CacheCoordinator& coordinator = engine_->coordinator();
   if (auto hit = coordinator.Lookup(rdd, index, *this)) {
-    return MaterializeForTask(std::move(*hit));
+    return serve(std::move(*hit));
   }
 
   const BlockId block_id{rdd.id(), index};
@@ -68,7 +87,7 @@ BlockPtr TaskContext::GetBlock(const RddBase& rdd, uint32_t index) {
       metrics_.cache_disk_ms += op.elapsed_ms + decode_watch.ElapsedMillis();
       metrics_.cache_disk_bytes_read += bytes->size();
       engine_->metrics().RecordCacheHit(/*from_memory=*/false);
-      return MaterializeForTask(std::move(block));
+      return serve(std::move(block));
     }
   }
   // A re-materialization of a coordinator-managed block is a *recovery*: the
@@ -104,6 +123,8 @@ BlockPtr TaskContext::GetBlock(const RddBase& rdd, uint32_t index) {
 BlockPtr TaskContext::ComputeBlock(const RddBase& rdd, uint32_t index) {
   frames_.push_back(Frame{});
   const uint64_t fused_before = metrics_.fused_ops;
+  const uint64_t vec_batches_before = metrics_.vectorized_batches;
+  const uint64_t vec_rows_before = metrics_.rows_vectorized;
   const uint64_t start_us = trace::Enabled() ? ProcessMicros() : 0;
   BlockPtr block = rdd.Compute(index, *this);
   const Frame& frame = frames_.back();
@@ -122,6 +143,12 @@ BlockPtr TaskContext::ComputeBlock(const RddBase& rdd, uint32_t index) {
   if (fused_in_chain > 0 && start_us != 0 && trace::Enabled()) {
     trace::Complete("task.fused_chain", "sched", start_us, trace::TArg("rdd", rdd.id()),
                     trace::TArg("part", index), trace::TArg("fused_ops", fused_in_chain));
+  }
+  const uint64_t vec_batches = metrics_.vectorized_batches - vec_batches_before;
+  if (vec_batches > 0 && start_us != 0 && trace::Enabled()) {
+    trace::Complete("task.vectorized_chain", "sched", start_us, trace::TArg("rdd", rdd.id()),
+                    trace::TArg("part", index), trace::TArg("batches", vec_batches),
+                    trace::TArg("rows", metrics_.rows_vectorized - vec_rows_before));
   }
 
   engine_->MarkComputed(BlockId{rdd.id(), index});

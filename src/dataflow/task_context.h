@@ -31,6 +31,13 @@ class TaskContext {
   // the lineage on miss. Every materialization is offered to the coordinator.
   BlockPtr GetBlock(const RddBase& rdd, uint32_t index);
 
+  // Like GetBlock, but a cache hit served in a compact representation is
+  // returned as-is (pinned, arbiter semantics unchanged) instead of being
+  // recomposed into object rows — the entry point of the vectorized path and
+  // of row-fold consumers that iterate via ForEachRow. Callers must handle
+  // both representations: a miss recomputes and returns object rows.
+  BlockPtr GetColumnarForTask(const RddBase& rdd, uint32_t index);
+
   // Reads all map-side buckets for (shuffle_id, reduce_partition). Missing
   // buckets are a checked error: the scheduler guarantees parent map stages ran.
   std::vector<BlockPtr> ReadShuffleBuckets(int shuffle_id, size_t num_map,
@@ -68,6 +75,10 @@ class TaskContext {
   // Computes the block via rdd.Compute with exclusive timing (child compute
   // time subtracted), emits the BlockComputed offer, and returns the block.
   BlockPtr ComputeBlock(const RddBase& rdd, uint32_t index);
+
+  // Shared body of GetBlock/GetColumnarForTask; keep_columnar skips the
+  // row recomposition for compact cache hits.
+  BlockPtr GetBlockImpl(const RddBase& rdd, uint32_t index, bool keep_columnar);
 
   // Tasks consume object rows: a cache hit served in a compact representation
   // (columnar) is recomposed here, on the read path, with the cost metered.

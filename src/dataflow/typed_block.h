@@ -25,6 +25,7 @@
 #ifndef SRC_DATAFLOW_TYPED_BLOCK_H_
 #define SRC_DATAFLOW_TYPED_BLOCK_H_
 
+#include <concepts>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -149,12 +150,42 @@ struct BlazeColumns {
   static constexpr bool kAutoSelect = false;
 };
 
-// A type the engine converts to columnar at cache admission. Raw-copyable
-// rows are excluded: they are already contiguous and bulk-copyable as object
-// vectors, so columnarization would only add a recompose cost per memory hit.
+// A type the engine converts to columnar at cache admission.
 template <typename T>
 inline constexpr bool kColumnarAutoEligible =
-    BlazeColumns<T>::kEnabled && BlazeColumns<T>::kAutoSelect && !kRawCopyable<T>;
+    BlazeColumns<T>::kEnabled && BlazeColumns<T>::kAutoSelect;
+
+// Some layouts only pay off when tasks can execute over the columns directly:
+// raw-copyable pairs are already contiguous and bulk-copyable as object
+// vectors, so columnarizing them buys nothing on the storage path and costs a
+// recompose per memory hit on the row path. Such specializations set
+// kRequiresVectorized, and Rdd::CacheRepresentation keeps them as object rows
+// whenever EngineConfig::enable_vectorized is off.
+template <typename T>
+consteval bool ColumnarNeedsVectorizedImpl() {
+  if constexpr (requires {
+                  { BlazeColumns<T>::kRequiresVectorized } -> std::convertible_to<bool>;
+                }) {
+    return BlazeColumns<T>::kRequiresVectorized;
+  } else {
+    return false;
+  }
+}
+template <typename T>
+inline constexpr bool kColumnarNeedsVectorized = ColumnarNeedsVectorizedImpl<T>();
+
+// Recomposes row i into an existing row object. Specializations with
+// variable-length fields provide AssignRow so a vectorized gather loop can
+// reuse one scratch row's heap capacity across the whole batch; the fallback
+// constructs a fresh row per call.
+template <typename T>
+void ColumnarAssignRow(const typename BlazeColumns<T>::Columns& cols, size_t i, T& out) {
+  if constexpr (requires { BlazeColumns<T>::AssignRow(cols, i, out); }) {
+    BlazeColumns<T>::AssignRow(cols, i, out);
+  } else {
+    out = BlazeColumns<T>::RowAt(cols, i);
+  }
+}
 
 // Bulk helpers shared by BlazeColumns specializations.
 template <typename T>
@@ -174,15 +205,17 @@ ArenaColumn<T> DecodeColumn(ByteSource& src, size_t n, BlockArena& arena) {
   return col;
 }
 
-// Generic columnar layout for pairs of arithmetic fields. Not auto-selected:
-// padding-free pairs already ride the raw-copy fast path, and padded ones
-// gain little — the specialization exists for benchmarks and as the template
-// for real row types. (Workload structs opt in in workloads/element_types.h.)
+// Generic columnar layout for pairs of arithmetic fields — the currency of
+// every shuffle (PageRank ranks, word counts, join keys). Auto-selected, but
+// only when vectorized execution is on (kRequiresVectorized): without column
+// kernels the pair columns would be recomposed into rows on every memory hit,
+// and padding-free pairs already ride the codec's raw-copy fast path.
 template <typename A, typename B>
   requires(std::is_arithmetic_v<A> && std::is_arithmetic_v<B>)
 struct BlazeColumns<std::pair<A, B>> {
   static constexpr bool kEnabled = true;
-  static constexpr bool kAutoSelect = false;
+  static constexpr bool kAutoSelect = true;
+  static constexpr bool kRequiresVectorized = true;
 
   struct Columns {
     ArenaColumn<A> first;
@@ -293,6 +326,37 @@ class ColumnarBlock : public BlockData {
 template <typename T>
 BlockPtr MakeColumnarBlock(const std::vector<T>& rows) {
   return std::make_shared<ColumnarBlock<T>>(rows);
+}
+
+// Representation-dispatching row iteration: applies `fn` to every row of a
+// block without forcing a full materialization. Object-row blocks iterate the
+// vector in place; columnar blocks recompose through one scratch row (heap
+// capacity reused across rows via ColumnarAssignRow). Consumers that only
+// fold over rows — Count/Aggregate/shuffle bucketizers — use this to read
+// cached columnar blocks with zero row-block allocation.
+template <typename T, typename Fn>
+void ForEachRow(const BlockPtr& block, Fn&& fn) {
+  if (const auto* typed = dynamic_cast<const TypedBlock<T>*>(block.get())) {
+    for (const T& row : typed->rows()) {
+      fn(row);
+    }
+    return;
+  }
+  if constexpr (BlazeColumns<T>::kEnabled) {
+    if (const auto* col = dynamic_cast<const ColumnarBlock<T>*>(block.get())) {
+      T scratch{};
+      const size_t n = col->NumRows();
+      for (size_t i = 0; i < n; ++i) {
+        ColumnarAssignRow<T>(col->columns(), i, scratch);
+        fn(scratch);
+      }
+      return;
+    }
+  }
+  // Unknown representation: pay the one-shot materialization.
+  for (const T& row : RowsOf<T>(block->MaterializeRows())) {
+    fn(row);
+  }
 }
 
 }  // namespace blaze

@@ -24,6 +24,9 @@ RunMetrics::RunMetrics(size_t num_executors) {
   telemetry_.spill_queue_rejects = reg.Counter("spill.queue_rejects");
   telemetry_.spills_cancelled = reg.Counter("spill.cancelled");
   telemetry_.ilp_solves = reg.Counter("ilp.solves");
+  telemetry_.vectorized_batches = reg.Counter("vec.batches");
+  telemetry_.rows_vectorized = reg.Counter("vec.rows");
+  telemetry_.materializations_avoided = reg.Counter("vec.materializations_avoided");
   telemetry_.task_latency_ms = reg.Histogram("task.latency_ms");
   telemetry_.disk_io_ms = reg.Histogram("disk.io_ms");
   telemetry_.ilp_solve_ms = reg.Histogram("ilp.solve_ms");
@@ -31,6 +34,13 @@ RunMetrics::RunMetrics(size_t num_executors) {
 
 void RunMetrics::AddTask(const TaskMetrics& m, double task_wall_ms, int job_id) {
   telemetry_.tasks_completed->Add();
+  if (m.vectorized_batches > 0) {
+    telemetry_.vectorized_batches->Add(m.vectorized_batches);
+    telemetry_.rows_vectorized->Add(m.rows_vectorized);
+  }
+  if (m.materializations_avoided > 0) {
+    telemetry_.materializations_avoided->Add(m.materializations_avoided);
+  }
   if (task_wall_ms > 0.0) {
     telemetry_.task_latency_ms->Record(task_wall_ms);
   }

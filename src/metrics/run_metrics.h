@@ -27,6 +27,9 @@ struct TaskMetrics {
   uint64_t cache_disk_bytes_written = 0;
   uint64_t blocks_computed = 0;  // block materializations (fused chains: 1)
   uint64_t fused_ops = 0;        // operators whose block was elided by fusion
+  uint64_t vectorized_batches = 0;        // ColumnBatch pushes on the vectorized path
+  uint64_t rows_vectorized = 0;           // rows those batches carried
+  uint64_t materializations_avoided = 0;  // columnar reads served without row decode
 
   void MergeFrom(const TaskMetrics& other) {
     compute_ms += other.compute_ms;
@@ -37,6 +40,9 @@ struct TaskMetrics {
     cache_disk_bytes_written += other.cache_disk_bytes_written;
     blocks_computed += other.blocks_computed;
     fused_ops += other.fused_ops;
+    vectorized_batches += other.vectorized_batches;
+    rows_vectorized += other.rows_vectorized;
+    materializations_avoided += other.materializations_avoided;
   }
 };
 
@@ -150,6 +156,9 @@ class RunMetrics {
     TelemetryCounter* spill_queue_rejects;
     TelemetryCounter* spills_cancelled;
     TelemetryCounter* ilp_solves;
+    TelemetryCounter* vectorized_batches;
+    TelemetryCounter* rows_vectorized;
+    TelemetryCounter* materializations_avoided;
     StreamingHistogram* task_latency_ms;
     StreamingHistogram* disk_io_ms;
     StreamingHistogram* ilp_solve_ms;

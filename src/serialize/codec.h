@@ -57,12 +57,37 @@ struct Codec<std::string> {
   // An SSO string holds its payload inside the object footprint already; only
   // heap-spilled capacity is extra live bytes. Counting inline capacity twice
   // would make the row-side estimate disagree with the arena/columnar
-  // accounting, shifting MCKP size terms with representation.
+  // accounting, shifting MCKP size terms with representation. A heap-spilled
+  // string allocates capacity()+1 (the terminator lives in the allocation) —
+  // dropping the +1 is the drift that kept the ledger from balancing exactly
+  // against per-block release sizes.
   static size_t ByteSize(const std::string& v) {
     const size_t inline_capacity = std::string().capacity();
-    return sizeof(std::string) + (v.capacity() > inline_capacity ? v.capacity() : 0);
+    return sizeof(std::string) + (v.capacity() > inline_capacity ? v.capacity() + 1 : 0);
   }
 };
+
+// Fixed-footprint rows: the whole live value sits inside sizeof(T) — no heap
+// payload behind any member. Their in-memory estimate must be sizeof(T)
+// itself (including padding), because that is what a vector<T> slot actually
+// occupies; summing member sizes undercounts padded pairs (e.g.
+// pair<uint32_t, double>: 12 vs 16) and drifts the row-side estimate away
+// from the view/columnar accounting.
+template <typename T>
+struct FlatFootprintTraits {
+  static constexpr bool value = false;
+};
+template <typename T>
+  requires std::is_arithmetic_v<T>
+struct FlatFootprintTraits<T> {
+  static constexpr bool value = true;
+};
+template <typename A, typename B>
+struct FlatFootprintTraits<std::pair<A, B>> {
+  static constexpr bool value = FlatFootprintTraits<A>::value && FlatFootprintTraits<B>::value;
+};
+template <typename T>
+inline constexpr bool kFlatFootprint = FlatFootprintTraits<T>::value;
 
 // --- std::pair ---
 template <typename A, typename B>
@@ -77,7 +102,11 @@ struct Codec<std::pair<A, B>> {
     return {std::move(a), std::move(b)};
   }
   static size_t ByteSize(const std::pair<A, B>& v) {
-    return Codec<A>::ByteSize(v.first) + Codec<B>::ByteSize(v.second);
+    if constexpr (kFlatFootprint<std::pair<A, B>>) {
+      return sizeof(std::pair<A, B>);  // padding included: the slot's true size
+    } else {
+      return Codec<A>::ByteSize(v.first) + Codec<B>::ByteSize(v.second);
+    }
   }
 };
 
@@ -155,7 +184,9 @@ struct Codec<std::vector<T>> {
   }
   static size_t ByteSize(const std::vector<T>& v) {
     size_t total = sizeof(std::vector<T>);
-    if constexpr (std::is_arithmetic_v<T>) {
+    if constexpr (kFlatFootprint<T>) {
+      // Flat elements occupy exactly capacity() * sizeof(T) on the heap;
+      // per-element sums would undercount padded slots.
       total += v.capacity() * sizeof(T);
     } else {
       for (const T& e : v) {

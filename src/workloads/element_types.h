@@ -162,9 +162,17 @@ struct BlazeColumns<LabeledPoint> {
 
   static LabeledPoint RowAt(const Columns& c, size_t i) {
     LabeledPoint p;
-    p.label = c.label[i];
-    p.features.assign(c.features.data() + c.offsets[i], c.features.data() + c.offsets[i + 1]);
+    AssignRow(c, i, p);
     return p;
+  }
+
+  // In-place recomposition: assign() reuses `out`'s heap capacity, so gather
+  // loops (ForEachRow, vectorized batch sources) recycle one scratch row's
+  // allocation across a whole partition.
+  static void AssignRow(const Columns& c, size_t i, LabeledPoint& out) {
+    out.label = c.label[i];
+    out.features.assign(c.features.data() + c.offsets[i],
+                        c.features.data() + c.offsets[i + 1]);
   }
 
   static void Encode(const Columns& c, size_t /*n*/, ByteSink& sink) {
@@ -229,10 +237,14 @@ struct BlazeColumns<FactorVec> {
 
   static FactorVec RowAt(const Columns& c, size_t i) {
     FactorVec f;
-    f.values.assign(c.values.data() + c.offsets[i], c.values.data() + c.offsets[i + 1]);
-    f.bias = c.bias[i];
-    f.weight = c.weight[i];
+    AssignRow(c, i, f);
     return f;
+  }
+
+  static void AssignRow(const Columns& c, size_t i, FactorVec& out) {
+    out.values.assign(c.values.data() + c.offsets[i], c.values.data() + c.offsets[i + 1]);
+    out.bias = c.bias[i];
+    out.weight = c.weight[i];
   }
 
   static void Encode(const Columns& c, size_t /*n*/, ByteSink& sink) {
@@ -300,10 +312,14 @@ struct BlazeColumns<LogEvent> {
 
   static LogEvent RowAt(const Columns& c, size_t i) {
     LogEvent e;
-    e.timestamp = c.timestamp[i];
-    e.severity = c.severity[i];
-    e.message.assign(c.chars.data() + c.offsets[i], c.chars.data() + c.offsets[i + 1]);
+    AssignRow(c, i, e);
     return e;
+  }
+
+  static void AssignRow(const Columns& c, size_t i, LogEvent& out) {
+    out.timestamp = c.timestamp[i];
+    out.severity = c.severity[i];
+    out.message.assign(c.chars.data() + c.offsets[i], c.chars.data() + c.offsets[i + 1]);
   }
 
   static void Encode(const Columns& c, size_t /*n*/, ByteSink& sink) {

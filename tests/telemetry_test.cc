@@ -105,21 +105,33 @@ TEST(TelemetryEndToEndTest, StatsMatchRunMetricsUnderConcurrentDrivers) {
   // registry. Counter pointers stay valid across Reset.
   MetricsRegistry::Global().Reset();
 
+  // Shared columnar-cached source: every driver's chain is vectorizable
+  // (pair rows, Map kernel), so the vec.* counters accumulate from all four
+  // drivers concurrently and cached reads skip the row decode.
+  static constexpr size_t kSharedRows = 2048;
+  std::vector<std::pair<uint32_t, uint64_t>> shared_rows(kSharedRows);
+  for (size_t i = 0; i < shared_rows.size(); ++i) {
+    shared_rows[i] = {static_cast<uint32_t>(i), i * 3};
+  }
+  auto shared_src =
+      Parallelize<std::pair<uint32_t, uint64_t>>(&engine, "telemetry_shared",
+                                                 std::move(shared_rows), 4);
+  shared_src->Cache();
+  ASSERT_EQ(shared_src->Count(), kSharedRows);  // admit as columnar
+
   constexpr int kDrivers = 4;
   constexpr int kJobsPerDriver = 6;
+  constexpr uint64_t kTotalJobs = static_cast<uint64_t>(kDrivers) * kJobsPerDriver + 1;
   std::vector<std::thread> drivers;
   for (int d = 0; d < kDrivers; ++d) {
-    drivers.emplace_back([&engine, d] {
+    drivers.emplace_back([&engine, &shared_src, d] {
       for (int j = 0; j < kJobsPerDriver; ++j) {
-        std::vector<uint64_t> rows(512);
-        for (size_t i = 0; i < rows.size(); ++i) {
-          rows[i] = static_cast<uint64_t>(d) * 1000 + i;
-        }
-        auto rdd = Parallelize<uint64_t>(
-            &engine, "telemetry_d" + std::to_string(d) + "_j" + std::to_string(j),
-            std::move(rows), 4);
-        auto mapped = rdd->Map([](const uint64_t& v) { return v * 2 + 1; }, "double");
-        ASSERT_EQ(mapped->Count(), 512u);
+        auto mapped = shared_src->Map(
+            [](const std::pair<uint32_t, uint64_t>& p) {
+              return std::make_pair(p.first, p.second * 2 + 1);
+            },
+            "double_d" + std::to_string(d) + "_j" + std::to_string(j));
+        ASSERT_EQ(mapped->Count(), kSharedRows);
       }
     });
   }
@@ -154,10 +166,20 @@ TEST(TelemetryEndToEndTest, StatsMatchRunMetricsUnderConcurrentDrivers) {
   EXPECT_EQ(JsonCounter(*stats, "task.completed"), run.num_tasks);
   EXPECT_EQ(JsonCounter(*stats, "cache.hits_memory"), run.cache_hits_memory);
   EXPECT_EQ(JsonCounter(*stats, "cache.misses"), run.cache_misses);
-  EXPECT_EQ(JsonCounter(*stats, "sched.jobs_completed"),
-            static_cast<uint64_t>(kDrivers) * kJobsPerDriver);
-  EXPECT_EQ(JsonCounter(*stats, "sched.jobs_submitted"),
-            static_cast<uint64_t>(kDrivers) * kJobsPerDriver);
+  EXPECT_EQ(JsonCounter(*stats, "sched.jobs_completed"), kTotalJobs);
+  EXPECT_EQ(JsonCounter(*stats, "sched.jobs_submitted"), kTotalJobs);
+
+  // Vectorized-path counters: /stats and the end-of-run report must agree
+  // exactly with four drivers pushing batches concurrently, and the run must
+  // actually have taken the vectorized path over the cached columnar source.
+  EXPECT_EQ(JsonCounter(*stats, "vec.batches"), run.total_task.vectorized_batches);
+  EXPECT_EQ(JsonCounter(*stats, "vec.rows"), run.total_task.rows_vectorized);
+  EXPECT_EQ(JsonCounter(*stats, "vec.materializations_avoided"),
+            run.total_task.materializations_avoided);
+  EXPECT_GT(run.total_task.vectorized_batches, 0u);
+  EXPECT_GE(run.total_task.rows_vectorized,
+            static_cast<uint64_t>(kDrivers) * kJobsPerDriver * kSharedRows);
+  EXPECT_GT(run.total_task.materializations_avoided, 0u);
 
   // No jobs in flight -> the active gauge must have returned to zero.
   const json::Value* gauges = stats->Find("gauges");
@@ -171,16 +193,14 @@ TEST(TelemetryEndToEndTest, StatsMatchRunMetricsUnderConcurrentDrivers) {
   ASSERT_NE(hists, nullptr);
   const json::Value* job_hist = hists->Find("sched.job_latency_ms");
   ASSERT_NE(job_hist, nullptr);
-  EXPECT_DOUBLE_EQ(job_hist->Find("count")->as_number(),
-                   static_cast<double>(kDrivers) * kJobsPerDriver);
+  EXPECT_DOUBLE_EQ(job_hist->Find("count")->as_number(), static_cast<double>(kTotalJobs));
 
   // Prometheus endpoint carries the same counters in exposition format.
   const auto metrics_body = HttpGetLocal(port, "/metrics");
   ASSERT_TRUE(metrics_body.has_value());
   EXPECT_NE(metrics_body->find("# TYPE blaze_sched_jobs_completed counter"),
             std::string::npos);
-  EXPECT_NE(metrics_body->find("blaze_sched_jobs_completed " +
-                               std::to_string(kDrivers * kJobsPerDriver)),
+  EXPECT_NE(metrics_body->find("blaze_sched_jobs_completed " + std::to_string(kTotalJobs)),
             std::string::npos);
   EXPECT_NE(metrics_body->find("blaze_task_latency_ms_count"), std::string::npos);
 }

@@ -321,6 +321,15 @@ void RenderTop(const json::Value& snap, int port) {
                 FormatMillis(StatHistField(snap, "task.latency_ms", "p99_ms"))});
   std::cout << tasks.Render("tasks");
 
+  // Which execution path tasks took: batches/rows that ran through columnar
+  // kernels, and cached columnar reads served without row materialization.
+  TextTable vec;
+  vec.AddRow({"vectorized", "batches", "rows", "materializations avoided"});
+  vec.AddRow({"", std::to_string(StatCounter(snap, "counters", "vec.batches")),
+              std::to_string(StatCounter(snap, "counters", "vec.rows")),
+              std::to_string(StatCounter(snap, "counters", "vec.materializations_avoided"))});
+  std::cout << vec.Render("vectorized");
+
   const uint64_t hits_mem = StatCounter(snap, "counters", "cache.hits_memory");
   const uint64_t hits_disk = StatCounter(snap, "counters", "cache.hits_disk");
   const uint64_t misses = StatCounter(snap, "counters", "cache.misses");

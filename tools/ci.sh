@@ -54,6 +54,7 @@ trace_smoke() {
   ./build/tools/fused_smoke "$smoke_dir/fused.json"
   ./build/tools/trace_validate "$smoke_dir/fused.json" \
     --require-span task.run --require-span task.fused_chain \
+    --require-span task.vectorized_chain \
     --require-span task.recompute --require-audit admit --require-audit evict
   # Concurrent-job smoke: two driver threads on one engine. The trace must
   # contain two job.run spans with *different* job ids that intersect in
@@ -99,6 +100,16 @@ micro_serialize_smoke() {
     ./build/bench/bench_micro_serialize --benchmark_filter='Columnar|Teardown'
 }
 
+micro_pipeline_smoke() {
+  # Vectorized-execution win guard: the batch-kernel path must beat the fused
+  # row-at-a-time path by >= 2x on the 4-map+filter POD chain (the binary
+  # times both engines after its benchmark pass and enforces the bound).
+  # Filter to the pair-chain benchmarks to keep CI fast.
+  echo "=== [plain] micro-pipeline vectorized guard ==="
+  BLAZE_MICRO_PIPELINE_MIN_VEC_SPEEDUP=2.0 \
+    ./build/bench/bench_micro_pipeline --benchmark_filter='PairChain'
+}
+
 micro_trace_smoke() {
   # Always-on telemetry overhead guard: TelemetryCounter::Add must stay under
   # 20 ns/op across 4 threads (the binary times a manual loop after the
@@ -129,6 +140,19 @@ traffic_slo_smoke() {
   ./build/tools/trace_validate "$smoke_dir/slo.json" --summary \
     --require-span job.run --require-span stage.run --require-span task.run \
     --require-audit admit
+  # Open-loop leg: Poisson arrivals at a fixed offered rate, submitted
+  # asynchronously so queueing delay lands in the percentiles (no coordinated
+  # omission). 100 jobs/s is ~5% of the closed-loop throughput on the CI
+  # machine, so the queue stays shallow and p99 holds far under the bound
+  # (observed ~2-5 ms; limit leaves 10x for background-load spikes on the
+  # shared 1-vCPU box).
+  echo "=== [plain] traffic SLO open-loop smoke ==="
+  BLAZE_SLO_MODE=open \
+    BLAZE_SLO_RATE=100 \
+    BLAZE_SLO_JOBS=120 \
+    BLAZE_SLO_DATASETS=8 \
+    BLAZE_SLO_MAX_P99_MS=50 \
+    ./build/bench/bench_traffic_slo
 }
 
 perf_smoke() {
@@ -167,6 +191,7 @@ if [[ "$mode" == "plain" || "$mode" == "all" ]]; then
   spill_smoke build
   micro_storage_smoke
   micro_serialize_smoke
+  micro_pipeline_smoke
   micro_trace_smoke
   traffic_slo_smoke
   perf_smoke
@@ -194,7 +219,7 @@ if [[ "$mode" == "asan" || "$mode" == "all" ]]; then
   echo "=== [asan] ctest (storage/columnar subset) ==="
   ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir build-asan --output-on-failure -j "$jobs" \
-      -R 'columnar_arena|storage|spill_pipeline|memory_arbiter|serialize|dataflow|fusion'
+      -R 'columnar_arena|storage|spill_pipeline|memory_arbiter|serialize|dataflow|fusion|vectorized'
   ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" spill_smoke build-asan
 fi
 

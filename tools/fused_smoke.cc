@@ -57,6 +57,29 @@ int Run(const std::string& trace_path) {
   const auto again = m2->Collect();
   BLAZE_CHECK(again == first) << "fused recompute diverged from first run";
 
+  // Vectorized chain over a columnar-cached pair source: the batch path
+  // (kernel Map + selection-vector Filter) must leave task.vectorized_chain
+  // spans in the same trace the row-fused chains write to.
+  auto pairs = Generate<std::pair<uint32_t, uint64_t>>(
+      &engine, "smoke.pairs", 2, [](uint32_t p) {
+        std::vector<std::pair<uint32_t, uint64_t>> rows(1000);
+        for (size_t i = 0; i < rows.size(); ++i) {
+          rows[i] = {static_cast<uint32_t>(p * rows.size() + i), i * 2};
+        }
+        return rows;
+      });
+  pairs->Cache();
+  BLAZE_CHECK_EQ(pairs->Count(), 2000u);  // admit as columnar
+  auto vec_tail =
+      pairs
+          ->Map([](const std::pair<uint32_t, uint64_t>& r) {
+            return std::make_pair(r.first, r.second + 1);
+          },
+                "smoke.vmap")
+          ->Filter([](const std::pair<uint32_t, uint64_t>& r) { return (r.first & 1) == 0; },
+                   "smoke.vfilter");
+  BLAZE_CHECK_EQ(vec_tail->Count(), 1000u);
+
   trace::Stop();
   const trace::Dump dump = trace::Drain();
   if (!trace::WriteChromeTrace(dump, trace_path)) {

@@ -8,7 +8,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace blaze {
 
@@ -49,8 +51,17 @@ bool HttpServer::Start(uint16_t port, Handler handler) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 16) != 0) {
+  // A fixed port may still be in TIME_WAIT from a just-restarted process (or
+  // a sibling in distributed mode): retry EADDRINUSE with backoff instead of
+  // failing telemetry outright. Kernel-assigned ports (port==0) never clash.
+  int backoff_ms = 10;
+  int rc = ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  while (rc != 0 && errno == EADDRINUSE && port != 0 && backoff_ms <= 500) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms *= 2;
+    rc = ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  }
+  if (rc != 0 || ::listen(fd, 16) != 0) {
     ::close(fd);
     return false;
   }

@@ -1,5 +1,7 @@
 #include "src/common/trace.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
@@ -242,6 +244,9 @@ Dump Drain() {
 }
 
 void WriteChromeTrace(const Dump& dump, std::ostream& os) {
+  // Real process id, so traces from a coordinator and its workers can be
+  // merged into one Chrome timeline with distinct process lanes.
+  const long pid = static_cast<long>(::getpid());
   os << "{\"traceEvents\":[";
   bool first = true;
   for (const ThreadDump& td : dump.threads) {
@@ -249,13 +254,14 @@ void WriteChromeTrace(const Dump& dump, std::ostream& os) {
       os << ",";
     }
     first = false;
-    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << td.tid
-       << ",\"args\":{\"name\":\"" << json::Escape(td.name) << "\"}}";
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":" << td.tid << ",\"args\":{\"name\":\"" << json::Escape(td.name)
+       << "\"}}";
     for (const Event& event : td.events) {
       os << ",{\"name\":\"" << json::Escape(event.name != nullptr ? event.name : "")
          << "\",\"cat\":\"" << json::Escape(event.cat != nullptr ? event.cat : "")
-         << "\",\"ph\":\"" << event.phase << "\",\"pid\":1,\"tid\":" << event.tid
-         << ",\"ts\":" << event.ts_us;
+         << "\",\"ph\":\"" << event.phase << "\",\"pid\":" << pid
+         << ",\"tid\":" << event.tid << ",\"ts\":" << event.ts_us;
       if (event.phase == 'X') {
         os << ",\"dur\":" << event.dur_us;
       }

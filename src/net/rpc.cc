@@ -1,0 +1,174 @@
+#include "src/net/rpc.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "src/common/logging.h"
+
+namespace blaze::net {
+
+bool RpcServer::Start(std::string* error) {
+  listen_fd_ = ListenLocal(requested_port_, &bound_port_, /*attempts=*/10, error);
+  if (listen_fd_ < 0) {
+    return false;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void RpcServer::Stop() {
+  if (listen_fd_ < 0) {
+    return;
+  }
+  stopping_.store(true);
+  // shutdown() wakes the blocked accept(); close alone is not reliable when
+  // another thread is parked in it.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (auto& t : conns) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+void RpcServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) {
+        return;
+      }
+      if (errno == EINTR || errno == ECONNABORTED) {
+        continue;
+      }
+      return;
+    }
+    SetSocketTimeouts(fd, /*timeout_ms=*/30000);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void RpcServer::ServeConnection(int fd) {
+  std::vector<uint8_t> request;
+  std::string error;
+  while (!stopping_.load()) {
+    if (!ReadFrame(fd, &request, &error)) {
+      // "eof" is the normal hang-up; anything else is a protocol error worth
+      // a log line before the drop.
+      if (error != "eof" && !stopping_.load()) {
+        BLAZE_LOG(kWarn) << "rpc: dropping connection: " << error;
+      }
+      break;
+    }
+    ByteSource src(request);
+    const auto header = MessageHeader::Decode(src);
+    if (!header.has_value()) {
+      BLAZE_LOG(kWarn) << "rpc: dropping connection: bad message header";
+      break;
+    }
+    const std::vector<uint8_t> response = handler_(*header, src);
+    if (response.empty()) {
+      BLAZE_LOG(kWarn) << "rpc: dropping connection: handler rejected "
+                         << MsgTypeName(header->type);
+      break;
+    }
+    if (!WriteFrame(fd, response, &error)) {
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+RpcClient::~RpcClient() {
+  for (auto& conn : conns_) {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    if (conn.fd >= 0) {
+      ::close(conn.fd);
+      conn.fd = -1;
+    }
+  }
+}
+
+void RpcClient::MarkDown() {
+  down_.store(true, std::memory_order_relaxed);
+  for (auto& conn : conns_) {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    if (conn.fd >= 0) {
+      // shutdown wakes any thread currently blocked on this connection so it
+      // fails its call instead of waiting out the socket timeout.
+      ::shutdown(conn.fd, SHUT_RDWR);
+      ::close(conn.fd);
+      conn.fd = -1;
+    }
+  }
+}
+
+void RpcClient::MarkUp() { down_.store(false, std::memory_order_relaxed); }
+
+bool RpcClient::Call(const std::vector<uint8_t>& request,
+                     std::vector<uint8_t>* response, std::string* error,
+                     int attempts) {
+  const size_t slot = next_slot_.fetch_add(1) % conns_.size();
+  Conn& conn = conns_[slot];
+  std::lock_guard<std::mutex> lock(conn.mu);
+
+  if (down()) {
+    attempts = 1;  // fail fast; the monitor decided this peer is gone
+  }
+  std::string local_error;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0 && on_retry_) {
+      on_retry_();
+    }
+    if (conn.fd < 0) {
+      conn.fd = ConnectLocal(port_, /*attempts=*/down() ? 1 : 3, timeout_ms_,
+                             &local_error);
+      if (conn.fd < 0) {
+        continue;
+      }
+    }
+    if (WriteFrame(conn.fd, request, &local_error) &&
+        ReadFrame(conn.fd, response, &local_error)) {
+      return true;
+    }
+    // Socket is in an unknown state (half-written request, truncated
+    // response): never reuse it. The next attempt re-dials.
+    ::close(conn.fd);
+    conn.fd = -1;
+  }
+  if (error != nullptr) {
+    *error = local_error.empty() ? "rpc failed" : local_error;
+  }
+  return false;
+}
+
+std::optional<MessageHeader> DecodeResponseHeader(
+    const std::vector<uint8_t>& response, uint64_t expect_request_id,
+    ByteSource* body) {
+  ByteSource src(response);
+  const auto header = MessageHeader::Decode(src);
+  if (!header.has_value() || header->request_id != expect_request_id) {
+    return std::nullopt;
+  }
+  *body = src;
+  return header;
+}
+
+}  // namespace blaze::net

@@ -88,10 +88,21 @@ bool MemoryStore::PutInternal(const BlockId& id, BlockPtr data, uint64_t size_by
 }
 
 void MemoryStore::Put(const BlockId& id, BlockPtr data, uint64_t size_bytes) {
+  // Offload (blocking RPC in distributed mode) happens before any shard lock.
+  if (offload_) {
+    if (BlockPtr stub = offload_(id, data, size_bytes)) {
+      data = std::move(stub);
+    }
+  }
   PutInternal(id, std::move(data), size_bytes, /*fatal=*/true);
 }
 
 bool MemoryStore::TryPut(const BlockId& id, BlockPtr data, uint64_t size_bytes) {
+  if (offload_) {
+    if (BlockPtr stub = offload_(id, data, size_bytes)) {
+      data = std::move(stub);
+    }
+  }
   return PutInternal(id, std::move(data), size_bytes, /*fatal=*/false);
 }
 

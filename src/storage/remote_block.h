@@ -1,0 +1,103 @@
+// Stub for a block whose payload lives in a worker process.
+//
+// Distributed mode disaggregates the data plane: when a cache admission
+// lands, the encoded payload is shipped to a worker and the coordinator's
+// MemoryStore holds this stub instead. The stub reports the *logical* block
+// size (what the original in-memory representation weighed), so every ledger
+// above it — MemoryStore reservations, the MemoryArbiter, MCKP sizing, victim
+// ranking — is unchanged by where the bytes physically are.
+//
+// The stub carries closures instead of a transport dependency (the storage
+// layer stays below src/net): fetch pulls the payload back for a read, demote
+// moves it memory -> disk inside the worker (a spill that never transits the
+// wire), release drops the remote copy when the stub is destroyed. The
+// incarnation number pins release to the exact payload this stub was created
+// for — a replacement under the same BlockId gets a fresh incarnation, so a
+// stale stub's destructor cannot delete its successor's bytes.
+//
+// A stub never serializes or materializes: every consumer resolves it (fetch
+// + RDD decode) before use, so EncodeTo/MaterializeRows are checked dead ends.
+#ifndef SRC_STORAGE_REMOTE_BLOCK_H_
+#define SRC_STORAGE_REMOTE_BLOCK_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/storage/block.h"
+
+namespace blaze {
+
+class RemoteBlockStub final : public BlockData {
+ public:
+  // Fetches the encoded payload (worker memory, then worker disk); nullopt
+  // when the worker is gone — the caller falls back to lineage recompute.
+  // Milliseconds spent on the wire are written to *ms when non-null.
+  using FetchFn = std::function<std::optional<std::vector<uint8_t>>(double* ms)>;
+  // Moves the payload memory -> disk inside the worker. False = payload lost.
+  using DemoteFn = std::function<bool()>;
+  // Drops the remote memory copy (incarnation-guarded, best effort).
+  using ReleaseFn = std::function<void()>;
+
+  RemoteBlockStub(BlockId id, size_t slot, uint64_t incarnation,
+                  uint64_t logical_bytes, size_t rows, BlockRepresentation rep,
+                  FetchFn fetch, DemoteFn demote, ReleaseFn release)
+      : id_(id),
+        slot_(slot),
+        incarnation_(incarnation),
+        logical_bytes_(logical_bytes),
+        rows_(rows),
+        rep_(rep),
+        fetch_(std::move(fetch)),
+        demote_(std::move(demote)),
+        release_(std::move(release)) {}
+
+  ~RemoteBlockStub() override {
+    if (release_) {
+      release_();
+    }
+  }
+
+  size_t SizeBytes() const override { return logical_bytes_; }
+  size_t NumRows() const override { return rows_; }
+  // The representation the payload decodes back to (admission's choice);
+  // coordinators keep making row-vs-columnar decisions as if it were local.
+  BlockRepresentation representation() const override { return rep_; }
+
+  void EncodeTo(ByteSink&) const override {
+    BLAZE_CHECK(false) << "remote stub " << id_.ToString()
+                       << " must be fetched, not encoded";
+  }
+  std::shared_ptr<const BlockData> MaterializeRows() const override {
+    BLAZE_CHECK(false) << "remote stub " << id_.ToString()
+                       << " must be fetched, not materialized";
+    return nullptr;
+  }
+
+  std::optional<std::vector<uint8_t>> Fetch(double* ms = nullptr) const {
+    return fetch_ ? fetch_(ms) : std::nullopt;
+  }
+  bool Demote() const { return demote_ ? demote_() : false; }
+
+  const BlockId& id() const { return id_; }
+  size_t slot() const { return slot_; }
+  uint64_t incarnation() const { return incarnation_; }
+
+ private:
+  BlockId id_;
+  size_t slot_;
+  uint64_t incarnation_;
+  uint64_t logical_bytes_;
+  size_t rows_;
+  BlockRepresentation rep_;
+  FetchFn fetch_;
+  DemoteFn demote_;
+  ReleaseFn release_;
+};
+
+}  // namespace blaze
+
+#endif  // SRC_STORAGE_REMOTE_BLOCK_H_

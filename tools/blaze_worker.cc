@@ -1,0 +1,9 @@
+// blaze_worker: one worker process of distributed mode.
+//
+// Spawned by the coordinator (RemoteExecutorSet) with its stdin as a lifeline
+// pipe; announces its RPC port on stdout and serves block/bucket/task traffic
+// until the lifeline closes or a shutdown message arrives. Run it by hand
+// with --port for debugging a live wire session.
+#include "src/net/worker.h"
+
+int main(int argc, char** argv) { return blaze::net::WorkerMain(argc, argv); }

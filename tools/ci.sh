@@ -155,6 +155,15 @@ traffic_slo_smoke() {
     ./build/bench/bench_traffic_slo
 }
 
+dist_smoke() {
+  # Distributed-mode smoke: coordinator + 2 worker processes over the real
+  # wire protocol must produce results byte-identical to in-process mode,
+  # and a SIGKILLed worker must be detected, respawned, and recovered from
+  # through lineage. See tools/dist_smoke.cc for the phase breakdown.
+  echo "=== [plain] distributed smoke ==="
+  ./build/tools/dist_smoke
+}
+
 perf_smoke() {
   # Wall-clock guard for the fig09 hot path: best-of-3 at scale 0.25 on the
   # PageRank workload must stay within 10% of the recorded seed numbers
@@ -194,6 +203,7 @@ if [[ "$mode" == "plain" || "$mode" == "all" ]]; then
   micro_pipeline_smoke
   micro_trace_smoke
   traffic_slo_smoke
+  dist_smoke
   perf_smoke
 fi
 

@@ -2,9 +2,17 @@
 // the cache-audit JSONL written next to it. Used by tools/ci.sh as a smoke
 // check that instrumentation actually fires end-to-end.
 //
-//   trace_validate TRACE.json [--audit FILE.jsonl]
+//   trace_validate TRACE.json [TRACE2.json ...] [--audit FILE.jsonl]
 //                  [--require-span NAME]... [--require-audit KIND]...
 //                  [--require-overlap NAME ARG]... [--summary]
+//                  [--merge OUT.json]
+//
+// Multiple trace files may be given; every file is validated and the
+// --require-* checks apply to their union. --merge OUT.json additionally
+// stitches all inputs into one Chrome trace — events keep their per-process
+// "pid" tag (distributed runs export one trace per process, each tagged with
+// its real pid), so the merged timeline shows coordinator and workers as
+// separate process lanes.
 //
 // --summary additionally prints, after validation, a per-(category, span)
 // duration table — count, mean, p50/p95/p99, max — plus a rollup line per
@@ -12,7 +20,7 @@
 // bucket-merge path) the live telemetry registry uses.
 //
 // Checks, in order:
-//   - the trace file parses as JSON with a non-empty "traceEvents" array;
+//   - each trace file parses as JSON with a non-empty "traceEvents" array;
 //   - every event has a name/ph, and spans (ph == "X") carry ts + dur;
 //   - each --require-span NAME appears at least once as a complete span;
 //   - each --require-overlap NAME ARG finds two complete spans named NAME
@@ -21,11 +29,16 @@
 //     jobs genuinely ran concurrently;
 //   - every audit line parses as JSON with seq/ts_us/kind;
 //   - each --require-audit KIND appears at least once.
-// The audit path defaults to the trace path with .json -> .audit.jsonl.
+// The audit path defaults to the first trace path with .json -> .audit.jsonl;
+// with multiple trace files the audit check only runs when --audit or
+// --require-audit is given explicitly.
 // Exits 0 on success; prints the first failure and exits 1 otherwise.
+#include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -71,11 +84,74 @@ std::string Stringify(const blaze::json::Value& value) {
   return "?";
 }
 
+// Re-serializes a parsed document for --merge. Integral numbers print as
+// integers (pid/tid/ts must not come back as 1.4132e+09).
+void WriteJson(const blaze::json::Value& value, std::ostream& os) {
+  using blaze::json::Value;
+  switch (value.type()) {
+    case Value::Type::kNull:
+      os << "null";
+      break;
+    case Value::Type::kBool:
+      os << (value.as_bool() ? "true" : "false");
+      break;
+    case Value::Type::kNumber: {
+      const double d = value.as_number();
+      if (d == std::floor(d) && std::fabs(d) < 9.0e18) {
+        os << static_cast<long long>(d);
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        os << buf;
+      }
+      break;
+    }
+    case Value::Type::kString:
+      os << '"' << blaze::json::Escape(value.as_string()) << '"';
+      break;
+    case Value::Type::kArray: {
+      os << '[';
+      bool first = true;
+      for (const Value& element : value.as_array()) {
+        os << (first ? "" : ",");
+        first = false;
+        WriteJson(element, os);
+      }
+      os << ']';
+      break;
+    }
+    case Value::Type::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [key, member] : value.as_object()) {
+        os << (first ? "" : ",") << '"' << blaze::json::Escape(key) << "\":";
+        first = false;
+        WriteJson(member, os);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+// Validation accumulators shared across all input trace files.
+struct TraceState {
+  std::map<std::string, uint64_t> span_counts;
+  std::map<size_t, std::vector<SpanInstance>> overlap_spans;  // overlap-req index
+  // --summary accumulators: category -> span name -> duration histogram.
+  std::map<std::string, std::map<std::string, blaze::LatencyHistogram>> span_hists;
+  std::set<long long> pids;
+  uint64_t num_events = 0;
+  double dropped_events = 0.0;
+  std::vector<blaze::json::Value> merge_events;  // populated only when merging
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string trace_path;
+  std::vector<std::string> trace_paths;
   std::string audit_path;
+  std::string merge_path;
   std::vector<std::string> required_spans;
   std::vector<std::string> required_audits;
   std::vector<std::pair<std::string, std::string>> required_overlaps;  // (span, arg key)
@@ -84,6 +160,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--audit" && i + 1 < argc) {
       audit_path = argv[++i];
+    } else if (arg == "--merge" && i + 1 < argc) {
+      merge_path = argv[++i];
     } else if (arg == "--require-span" && i + 1 < argc) {
       required_spans.push_back(argv[++i]);
     } else if (arg == "--require-audit" && i + 1 < argc) {
@@ -95,101 +173,113 @@ int main(int argc, char** argv) {
       summary = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return Fail("unknown flag " + arg);
-    } else if (trace_path.empty()) {
-      trace_path = arg;
     } else {
-      return Fail("unexpected argument " + arg);
+      trace_paths.push_back(arg);
     }
   }
-  if (trace_path.empty()) {
+  if (trace_paths.empty()) {
     return Fail(
-        "usage: trace_validate TRACE.json [--audit FILE.jsonl] "
+        "usage: trace_validate TRACE.json [TRACE2.json ...] [--audit FILE.jsonl] "
         "[--require-span NAME]... [--require-audit KIND]... "
-        "[--require-overlap NAME ARG]...");
+        "[--require-overlap NAME ARG]... [--merge OUT.json]");
   }
+  const bool check_audit =
+      trace_paths.size() == 1 || !audit_path.empty() || !required_audits.empty();
   if (audit_path.empty()) {
-    const size_t dot = trace_path.rfind('.');
-    audit_path =
-        (dot == std::string::npos ? trace_path : trace_path.substr(0, dot)) + ".audit.jsonl";
+    const std::string& base = trace_paths.front();
+    const size_t dot = base.rfind('.');
+    audit_path = (dot == std::string::npos ? base : base.substr(0, dot)) + ".audit.jsonl";
   }
 
-  // --- trace file -----------------------------------------------------------
-  std::string text;
-  if (!ReadFile(trace_path, &text)) {
-    return Fail("cannot read " + trace_path);
-  }
-  std::string error;
-  const auto doc = blaze::json::Parse(text, &error);
-  if (!doc) {
-    return Fail(trace_path + ": " + error);
-  }
-  const blaze::json::Value* events = doc->Find("traceEvents");
-  if (events == nullptr || !events->is_array()) {
-    return Fail(trace_path + ": missing traceEvents array");
-  }
-  if (events->as_array().empty()) {
-    return Fail(trace_path + ": traceEvents is empty");
-  }
-  std::map<std::string, uint64_t> span_counts;
-  std::map<size_t, std::vector<SpanInstance>> overlap_spans;  // overlap-req index -> spans
-  // --summary accumulators: category -> span name -> duration histogram.
-  std::map<std::string, std::map<std::string, blaze::LatencyHistogram>> span_hists;
-  uint64_t num_events = 0;
-  for (const blaze::json::Value& event : events->as_array()) {
-    if (!event.is_object()) {
-      return Fail(trace_path + ": traceEvents entry is not an object");
+  // --- trace files ----------------------------------------------------------
+  TraceState state;
+  for (const std::string& trace_path : trace_paths) {
+    std::string text;
+    if (!ReadFile(trace_path, &text)) {
+      return Fail("cannot read " + trace_path);
     }
-    const blaze::json::Value* name = event.Find("name");
-    const blaze::json::Value* ph = event.Find("ph");
-    if (name == nullptr || !name->is_string() || ph == nullptr || !ph->is_string()) {
-      return Fail(trace_path + ": event without string name/ph");
+    std::string error;
+    const auto doc = blaze::json::Parse(text, &error);
+    if (!doc) {
+      return Fail(trace_path + ": " + error);
     }
-    if (ph->as_string() == "M") {
-      continue;  // thread_name metadata
+    const blaze::json::Value* events = doc->Find("traceEvents");
+    if (events == nullptr || !events->is_array()) {
+      return Fail(trace_path + ": missing traceEvents array");
     }
-    ++num_events;
-    const blaze::json::Value* ts = event.Find("ts");
-    if (ts == nullptr || !ts->is_number()) {
-      return Fail(trace_path + ": event '" + name->as_string() + "' lacks numeric ts");
+    if (events->as_array().empty()) {
+      return Fail(trace_path + ": traceEvents is empty");
     }
-    if (ph->as_string() == "X") {
-      const blaze::json::Value* dur = event.Find("dur");
-      if (dur == nullptr || !dur->is_number()) {
-        return Fail(trace_path + ": span '" + name->as_string() + "' lacks numeric dur");
-      }
-      ++span_counts[name->as_string()];
-      if (summary) {
-        const blaze::json::Value* cat = event.Find("cat");
-        const std::string category =
-            cat != nullptr && cat->is_string() ? cat->as_string() : "(none)";
-        // Chrome-trace ts/dur are microseconds; the histograms bin in ms.
-        span_hists[category][name->as_string()].Record(dur->as_number() / 1000.0);
-      }
-      for (size_t req = 0; req < required_overlaps.size(); ++req) {
-        if (required_overlaps[req].first != name->as_string()) {
-          continue;
+    if (const blaze::json::Value* other = doc->Find("otherData")) {
+      if (const blaze::json::Value* dropped = other->Find("dropped_events")) {
+        if (dropped->is_number()) {
+          state.dropped_events += dropped->as_number();
         }
-        const blaze::json::Value* args = event.Find("args");
-        const blaze::json::Value* key =
-            args != nullptr && args->is_object() ? args->Find(required_overlaps[req].second)
-                                                 : nullptr;
-        if (key == nullptr) {
-          return Fail(trace_path + ": span '" + name->as_string() + "' lacks args." +
-                      required_overlaps[req].second);
+      }
+    }
+    for (const blaze::json::Value& event : events->as_array()) {
+      if (!event.is_object()) {
+        return Fail(trace_path + ": traceEvents entry is not an object");
+      }
+      const blaze::json::Value* name = event.Find("name");
+      const blaze::json::Value* ph = event.Find("ph");
+      if (name == nullptr || !name->is_string() || ph == nullptr || !ph->is_string()) {
+        return Fail(trace_path + ": event without string name/ph");
+      }
+      const blaze::json::Value* pid = event.Find("pid");
+      if (pid != nullptr && pid->is_number()) {
+        state.pids.insert(static_cast<long long>(pid->as_number()));
+      }
+      if (!merge_path.empty()) {
+        state.merge_events.push_back(event);
+      }
+      if (ph->as_string() == "M") {
+        continue;  // thread_name metadata
+      }
+      ++state.num_events;
+      const blaze::json::Value* ts = event.Find("ts");
+      if (ts == nullptr || !ts->is_number()) {
+        return Fail(trace_path + ": event '" + name->as_string() + "' lacks numeric ts");
+      }
+      if (ph->as_string() == "X") {
+        const blaze::json::Value* dur = event.Find("dur");
+        if (dur == nullptr || !dur->is_number()) {
+          return Fail(trace_path + ": span '" + name->as_string() + "' lacks numeric dur");
         }
-        overlap_spans[req].push_back(
-            SpanInstance{Stringify(*key), ts->as_number(), dur->as_number()});
+        ++state.span_counts[name->as_string()];
+        if (summary) {
+          const blaze::json::Value* cat = event.Find("cat");
+          const std::string category =
+              cat != nullptr && cat->is_string() ? cat->as_string() : "(none)";
+          // Chrome-trace ts/dur are microseconds; the histograms bin in ms.
+          state.span_hists[category][name->as_string()].Record(dur->as_number() / 1000.0);
+        }
+        for (size_t req = 0; req < required_overlaps.size(); ++req) {
+          if (required_overlaps[req].first != name->as_string()) {
+            continue;
+          }
+          const blaze::json::Value* args = event.Find("args");
+          const blaze::json::Value* key =
+              args != nullptr && args->is_object() ? args->Find(required_overlaps[req].second)
+                                                   : nullptr;
+          if (key == nullptr) {
+            return Fail(trace_path + ": span '" + name->as_string() + "' lacks args." +
+                        required_overlaps[req].second);
+          }
+          state.overlap_spans[req].push_back(
+              SpanInstance{Stringify(*key), ts->as_number(), dur->as_number()});
+        }
       }
     }
   }
   for (const std::string& span : required_spans) {
-    if (span_counts[span] == 0) {
-      return Fail(trace_path + ": no complete span named '" + span + "'");
+    if (state.span_counts[span] == 0) {
+      return Fail("no complete span named '" + span + "' in any input");
     }
   }
   for (size_t req = 0; req < required_overlaps.size(); ++req) {
     const auto& [span, arg_key] = required_overlaps[req];
-    const std::vector<SpanInstance>& instances = overlap_spans[req];
+    const std::vector<SpanInstance>& instances = state.overlap_spans[req];
     bool found = false;
     for (size_t i = 0; i < instances.size() && !found; ++i) {
       for (size_t j = i + 1; j < instances.size() && !found; ++j) {
@@ -199,21 +289,46 @@ int main(int argc, char** argv) {
       }
     }
     if (!found) {
-      return Fail(trace_path + ": no two overlapping '" + span + "' spans with distinct args." +
-                  arg_key + " (" + std::to_string(instances.size()) + " instances)");
+      return Fail("no two overlapping '" + span + "' spans with distinct args." + arg_key +
+                  " (" + std::to_string(instances.size()) + " instances)");
     }
+  }
+
+  // --- merge ----------------------------------------------------------------
+  if (!merge_path.empty()) {
+    std::ofstream out(merge_path, std::ios::trunc);
+    if (!out) {
+      return Fail("cannot write " + merge_path);
+    }
+    out << "{\"traceEvents\":[";
+    bool first = true;
+    for (const blaze::json::Value& event : state.merge_events) {
+      out << (first ? "" : ",");
+      first = false;
+      WriteJson(event, out);
+    }
+    out << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
+        << static_cast<long long>(state.dropped_events)
+        << ",\"merged_traces\":" << trace_paths.size()
+        << ",\"merged_pids\":" << state.pids.size() << "}}";
+    if (!out.good()) {
+      return Fail("write failed for " + merge_path);
+    }
+    std::fprintf(stderr, "trace_validate: merged %zu trace(s), %zu process id(s) -> %s\n",
+                 trace_paths.size(), state.pids.size(), merge_path.c_str());
   }
 
   // --- audit file -----------------------------------------------------------
   std::map<std::string, uint64_t> kind_counts;
   uint64_t num_records = 0;
-  {
+  if (check_audit) {
     std::ifstream in(audit_path);
     if (!in && !required_audits.empty()) {
       return Fail("cannot read " + audit_path);
     }
     std::string line;
     size_t line_no = 0;
+    std::string error;
     while (std::getline(in, line)) {
       ++line_no;
       if (line.empty()) {
@@ -241,7 +356,7 @@ int main(int argc, char** argv) {
 
   if (summary) {
     std::printf("%-10s %-22s %s\n", "category", "span", "durations");
-    for (const auto& [category, names] : span_hists) {
+    for (const auto& [category, names] : state.span_hists) {
       // Category rollup: bucket-merge every span histogram of the category —
       // the same mergeable-percentile path the telemetry registry snapshots
       // exercise, so this summary and /stats agree on the math.
@@ -258,8 +373,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::fprintf(stderr, "trace_validate: OK — %llu trace events (%zu span names), %llu audit records\n",
-               static_cast<unsigned long long>(num_events), span_counts.size(),
+  std::fprintf(stderr,
+               "trace_validate: OK — %llu trace events (%zu span names), %llu audit records\n",
+               static_cast<unsigned long long>(state.num_events), state.span_counts.size(),
                static_cast<unsigned long long>(num_records));
   return 0;
 }

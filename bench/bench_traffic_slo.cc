@@ -32,8 +32,18 @@
 //   BLAZE_SLO_ALPHA=F        Zipf skew of dataset popularity  (default 1.1)
 //   BLAZE_SLO_SHUFFLE_FRAC=F fraction of jobs that shuffle    (default 0.15)
 //   BLAZE_SLO_MAX_P99_MS=F   exit 1 if p99 exceeds this       (default off)
+//   BLAZE_SLO_TENANTS=spec   multi-tenant SLO classes (closed mode only):
+//                            comma list of name:drivers[:max_p99_ms], e.g.
+//                            "gold:2,bronze:6" or "gold:2:50,bronze:6:500".
+//                            The engine runs multi-tenant (equal shares, no
+//                            admission caps), every class driver submits via
+//                            RunJobAs, and the report adds one line per class
+//                            with its own p50/p95/p99 and hit rate. A class
+//                            with a max_p99_ms bound fails the run (exit 1)
+//                            when exceeded.
 //   BLAZE_TRACE=PATH         record the measured phase with the flight
 //                            recorder and export Chrome trace + audit JSONL
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -71,6 +81,61 @@ double EnvDouble(const char* name, double fallback) {
 uint64_t EnvU64(const char* name, uint64_t fallback) {
   const char* v = std::getenv(name);
   return v != nullptr && *v != '\0' ? static_cast<uint64_t>(std::atoll(v)) : fallback;
+}
+
+struct SloClass {
+  std::string name;
+  int drivers = 1;
+  double max_p99_ms = 0.0;  // 0 = report only, no bound
+  TenantId tenant = 0;
+};
+
+// "gold:2:50,bronze:6" -> classes. Empty vector on a malformed spec.
+std::vector<SloClass> ParseSloClasses(const std::string& spec) {
+  std::vector<SloClass> classes;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) {
+      continue;
+    }
+    SloClass cls;
+    const size_t c1 = entry.find(':');
+    cls.name = entry.substr(0, c1);
+    if (cls.name.empty()) {
+      return {};
+    }
+    if (c1 != std::string::npos) {
+      const size_t c2 = entry.find(':', c1 + 1);
+      cls.drivers = std::atoi(entry.substr(c1 + 1, c2 - c1 - 1).c_str());
+      if (c2 != std::string::npos) {
+        cls.max_p99_ms = std::atof(entry.substr(c2 + 1).c_str());
+      }
+    }
+    if (cls.drivers <= 0) {
+      return {};
+    }
+    classes.push_back(std::move(cls));
+  }
+  return classes;
+}
+
+// Exact percentile over the per-class sample set (nearest-rank). The global
+// report keeps using the registry histogram; per-class samples are collected
+// driver-side because the histogram has no tenant dimension.
+double SamplePercentile(std::vector<double>& samples, double q) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  return samples[rank == 0 ? 0 : rank - 1];
 }
 
 struct SloParams {
@@ -146,6 +211,24 @@ int Run() {
   const double max_p99_ms = EnvDouble("BLAZE_SLO_MAX_P99_MS", 0.0);
   const char* trace_path = std::getenv("BLAZE_TRACE");
 
+  // Multi-tenant SLO classes: each class gets its own tenant identity, its own
+  // closed-loop driver pool, and its own percentile report.
+  std::vector<SloClass> classes;
+  if (const char* spec = std::getenv("BLAZE_SLO_TENANTS");
+      spec != nullptr && *spec != '\0') {
+    classes = ParseSloClasses(spec);
+    if (classes.empty()) {
+      std::fprintf(stderr,
+                   "traffic_slo: malformed BLAZE_SLO_TENANTS (want "
+                   "name:drivers[:max_p99_ms],...)\n");
+      return 2;
+    }
+    params.drivers = 0;
+    for (const SloClass& cls : classes) {
+      params.drivers += cls.drivers;
+    }
+  }
+
   const uint64_t dataset_bytes =
       params.rows_per_dataset * sizeof(std::pair<uint32_t, uint64_t>);
   EngineConfig config;
@@ -158,7 +241,24 @@ int Run() {
   config.disk_throughput_bytes_per_sec = 64ULL << 20;
   config.shuffle_retention_jobs = 4;
   config.telemetry_port = 0;  // ephemeral: the whole run serves /metrics + /stats
+  if (!classes.empty()) {
+    config.multi_tenant = true;
+    for (const SloClass& cls : classes) {
+      TenantSpec spec;
+      spec.name = cls.name;  // equal shares, no admission caps: SLO classes
+      config.tenants.push_back(std::move(spec));
+    }
+  }
   EngineContext engine(config);
+  for (size_t c = 0; c < classes.size(); ++c) {
+    const auto tenant = engine.tenants()->FindByName(classes[c].name);
+    if (!tenant.has_value()) {
+      std::fprintf(stderr, "traffic_slo: duplicate class name %s\n",
+                   classes[c].name.c_str());
+      return 2;
+    }
+    classes[c].tenant = *tenant;
+  }
   engine.SetCoordinator(std::make_unique<PolicyCoordinator>(&engine, MakePolicy("lru"),
                                                             EvictionMode::kMemAndDisk));
   if (engine.exporter() == nullptr || !engine.exporter()->ok()) {
@@ -200,9 +300,14 @@ int Run() {
     std::fprintf(stderr, "traffic_slo: BLAZE_SLO_MODE must be closed or open\n");
     return 2;
   }
+  if (!classes.empty() && mode != "closed") {
+    std::fprintf(stderr, "traffic_slo: BLAZE_SLO_TENANTS requires closed mode\n");
+    return 2;
+  }
   const double rate = EnvDouble("BLAZE_SLO_RATE", 100.0);
 
   std::atomic<uint64_t> rows_counted{0};
+  std::vector<std::vector<double>> class_lat(classes.size());
   const int jobs_per_driver = params.jobs / params.drivers;
   const int expected_jobs = mode == "open" ? params.jobs : jobs_per_driver * params.drivers;
   Stopwatch wall;
@@ -247,34 +352,76 @@ int Run() {
       rows_counted.fetch_add(rows, std::memory_order_relaxed);
     }
   } else {
+    // Per-driver class assignment: class 0's drivers first, then class 1's,
+    // etc. Single-tenant runs leave every slot unassigned (-1).
+    std::vector<int> driver_class(params.drivers, -1);
+    if (!classes.empty()) {
+      int slot = 0;
+      for (size_t c = 0; c < classes.size(); ++c) {
+        for (int d = 0; d < classes[c].drivers; ++d) {
+          driver_class[slot++] = static_cast<int>(c);
+        }
+      }
+    }
+    // Per-driver latency samples, merged per class after the join (the
+    // registry job histogram has no tenant dimension).
+    std::vector<std::vector<double>> driver_lat(params.drivers);
     std::vector<std::thread> drivers;
     drivers.reserve(params.drivers);
     for (int d = 0; d < params.drivers; ++d) {
       drivers.emplace_back([&, d] {
         Rng rng(0xB1A2E5ULL + static_cast<uint64_t>(d));
+        const int cls = driver_class[d];
+        const auto count_rows = [](const BlockPtr& block) -> std::any {
+          return block->NumRows();
+        };
+        // Tenant-attributed action: RunJobAs routes through admission and the
+        // per-tenant hit/miss chokepoint; plain Count() otherwise.
+        const auto run = [&](const std::shared_ptr<RddBase>& target) {
+          Stopwatch job_watch;
+          uint64_t rows = 0;
+          if (cls >= 0) {
+            for (std::any& result :
+                 engine.RunJobAs(classes[cls].tenant, target, count_rows,
+                                 /*raw_blocks=*/true)) {
+              rows += std::any_cast<size_t>(result);
+            }
+            driver_lat[d].push_back(job_watch.ElapsedMillis());
+          } else {
+            for (std::any& result :
+                 engine.RunJob(target, count_rows, /*raw_blocks=*/true)) {
+              rows += std::any_cast<size_t>(result);
+            }
+          }
+          rows_counted.fetch_add(rows, std::memory_order_relaxed);
+        };
         for (int j = 0; j < jobs_per_driver; ++j) {
           auto& ds = pool[rng.NextPowerLaw(pool.size(), params.alpha)];
           if (rng.NextDouble() < params.shuffle_frac) {
             // Shuffle job: aggregate the dataset by key (map stage + result
             // stage; retention_jobs=4 keeps the shuffle pool cycling).
-            auto reduced = ReduceByKey<uint32_t, uint64_t>(
+            run(ReduceByKey<uint32_t, uint64_t>(
                 ds, [](const uint64_t& a, const uint64_t& b) { return a + b; },
-                params.partitions);
-            rows_counted.fetch_add(reduced->Count(), std::memory_order_relaxed);
+                params.partitions));
           } else {
             // Scan job: one narrow pass over the cached rows.
-            auto mapped = ds->Map(
+            run(ds->Map(
                 [](const std::pair<uint32_t, uint64_t>& row) {
                   return row.first ^ static_cast<uint32_t>(row.second);
                 },
-                "slo_scan");
-            rows_counted.fetch_add(mapped->Count(), std::memory_order_relaxed);
+                "slo_scan"));
           }
         }
       });
     }
     for (std::thread& driver : drivers) {
       driver.join();
+    }
+    if (!classes.empty()) {
+      for (int d = 0; d < params.drivers; ++d) {
+        auto& sink = class_lat[static_cast<size_t>(driver_class[d])];
+        sink.insert(sink.end(), driver_lat[d].begin(), driver_lat[d].end());
+      }
     }
   }
   const double wall_ms = wall.ElapsedMillis();
@@ -334,6 +481,35 @@ int Run() {
               static_cast<unsigned long long>(hits_mem),
               static_cast<unsigned long long>(misses));
 
+  // Per-class report + bound enforcement (BLAZE_SLO_TENANTS runs only).
+  bool class_bound_failed = false;
+  for (size_t c = 0; c < classes.size(); ++c) {
+    const SloClass& cls = classes[c];
+    std::vector<double>& lat = class_lat[c];
+    const double p50 = SamplePercentile(lat, 0.50);
+    const double p95 = SamplePercentile(lat, 0.95);
+    const double p99 = SamplePercentile(lat, 0.99);
+    const auto tenant_counter = [&](const char* which) {
+      const uint64_t* v =
+          snap.FindCounter(("tenant." + cls.name + "." + which).c_str());
+      return v != nullptr ? *v : 0;
+    };
+    const uint64_t t_hits = tenant_counter("hits");
+    const uint64_t t_misses = tenant_counter("misses");
+    const uint64_t t_lookups = t_hits + t_misses;
+    std::printf("traffic_slo: class %s drivers=%d jobs=%zu p50=%.2fms p95=%.2fms "
+                "p99=%.2fms hit%%=%s\n",
+                cls.name.c_str(), cls.drivers, lat.size(), p50, p95, p99,
+                t_lookups == 0
+                    ? "-"
+                    : (std::to_string(100 * t_hits / t_lookups) + "%").c_str());
+    if (cls.max_p99_ms > 0.0 && p99 > cls.max_p99_ms) {
+      std::fprintf(stderr, "FAIL: class %s p99 %.2fms exceeds bound %.2fms\n",
+                   cls.name.c_str(), p99, cls.max_p99_ms);
+      class_bound_failed = true;
+    }
+  }
+
   if (!ValidateTelemetry(port, *jobs_completed)) {
     return 1;
   }
@@ -345,7 +521,7 @@ int Run() {
                  job_hist->p99_ms, max_p99_ms);
     return 1;
   }
-  return 0;
+  return class_bound_failed ? 1 : 0;
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <tuple>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -178,7 +179,7 @@ bool BlazeCoordinator::EvictBlock(size_t executor, const MemoryEntry& victim, bo
   engine_->audit().Evict(static_cast<uint32_t>(executor), victim.id.rdd_id,
                          victim.id.partition, victim.size_bytes, to_disk,
                          options_.cost_aware_eviction ? "BlazeCost" : "BlazeLRU", reason,
-                         score, candidates);
+                         score, candidates, victim.tenant);
   return true;
 }
 
@@ -200,8 +201,11 @@ bool BlazeCoordinator::EnsureSpace(size_t executor, uint64_t needed, double inco
   // Rank victims: cheapest potential recovery first (cost-aware modes) or LRU
   // (+AutoCache). Then take victims until the incoming block fits. Pinned
   // entries are excluded: an executing task still references them and
-  // RemoveIfUnpinned would refuse the eviction anyway.
-  std::vector<std::pair<double, size_t>> order;
+  // RemoveIfUnpinned would refuse the eviction anyway. In multi-tenant mode
+  // blocks referenced by more than one tenant ("cross-tenant hot") sort
+  // behind everything else, so they are the last candidates any scan touches.
+  const TenantRegistry* tenants = engine_->tenants();
+  std::vector<std::tuple<int, double, size_t>> order;
   order.reserve(entries.size());
   for (size_t i = 0; i < entries.size(); ++i) {
     if (entries[i].pins > 0) {
@@ -210,16 +214,46 @@ bool BlazeCoordinator::EnsureSpace(size_t executor, uint64_t needed, double inco
     const double cost = options_.cost_aware_eviction
                             ? VictimCost(estimator, entries[i].id)
                             : static_cast<double>(entries[i].last_access_seq);
-    order.emplace_back(cost, i);
+    const int shared_hot =
+        tenants != nullptr && tenants->TenantsReferencing(entries[i].id.rdd_id) > 1 ? 1 : 0;
+    order.emplace_back(shared_hot, cost, i);
   }
   std::sort(order.begin(), order.end());
+
+  // Eviction floor (tentpole invariant): a scan on behalf of `requester` may
+  // reclaim another tenant's bytes only down to that tenant's share. The
+  // per-victim-tenant budget starts at the tenant's live borrowed (over-share)
+  // bytes and shrinks as victims accumulate, so one batched scan cannot
+  // select a victim set that would dip below any tenant's floor.
+  const uint32_t requester = tc.tenant();
+  std::unordered_map<uint32_t, uint64_t> borrow_budget;
+  const MemoryArbiter& arbiter = bm.arbiter();
+  const auto floor_allows = [&](const MemoryEntry& entry) {
+    if (tenants == nullptr) {
+      return true;
+    }
+    const uint32_t victim_tenant = entry.tenant;
+    if (victim_tenant == kNoTenant || victim_tenant == requester) {
+      return true;
+    }
+    auto [it, inserted] =
+        borrow_budget.try_emplace(victim_tenant, arbiter.TenantBorrowedBytes(victim_tenant));
+    if (it->second == 0) {
+      return false;  // at or under its share: the floor holds
+    }
+    it->second -= std::min<uint64_t>(it->second, entry.size_bytes);
+    return true;
+  };
 
   std::vector<size_t> victims;
   uint64_t reclaimed = 0;
   double displaced_cost = 0.0;
-  for (const auto& [cost, index] : order) {
+  for (const auto& [shared_hot, cost, index] : order) {
     if (free_bytes + reclaimed >= needed) {
       break;
+    }
+    if (!floor_allows(entries[index])) {
+      continue;
     }
     victims.push_back(index);
     reclaimed += entries[index].size_bytes;
@@ -305,6 +339,17 @@ void BlazeCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
                           MakeShuffleAvailability());
   const BlockCost cost = estimator.Estimate(rdd.id(), partition);
 
+  // Multi-tenant charging: the cached bytes land on the dataset owner's
+  // ledger (first-toucher; shared datasets are charged once), falling back to
+  // the computing task's tenant for datasets the registry has not seen.
+  uint32_t owner = kNoTenant;
+  if (const TenantRegistry* tenants = engine_->tenants(); tenants != nullptr) {
+    owner = tenants->OwnerOf(rdd.id());
+    if (owner == kNoTenant) {
+      owner = tc.tenant();
+    }
+  }
+
   // A memory placement decided by the ILP plan was already justified against
   // the whole executor's universe, so the local admission comparison is
   // bypassed (incoming cost treated as unbeatable).
@@ -314,11 +359,11 @@ void BlazeCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
   // TryPut, not Put: with the arbiter attached the bound can shrink between
   // EnsureSpace and the insert as concurrent shuffle reservations land.
   if (want_memory && EnsureSpace(executor, size, admission_cost, tc) &&
-      bm.memory().TryPut(id, cached, size)) {
+      bm.memory().TryPut(id, cached, size, owner)) {
     lineage_.SetState(rdd.id(), partition, PartitionState::kMemory);
     engine_->audit().Admit(static_cast<uint32_t>(executor), id.rdd_id, id.partition, size,
                            /*to_disk=*/false, "Blaze",
-                           planned ? "ilp_planned" : "admission_cost_won");
+                           planned ? "ilp_planned" : "admission_cost_won", owner);
     return;
   }
 
@@ -339,7 +384,8 @@ void BlazeCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
     engine_->metrics().RecordEviction(executor, size, /*to_disk=*/true);
     engine_->audit().Admit(static_cast<uint32_t>(executor), id.rdd_id, id.partition, size,
                            /*to_disk=*/true, "Blaze",
-                           planned ? "ilp_planned_disk" : "disk_cheaper_than_recompute");
+                           planned ? "ilp_planned_disk" : "disk_cheaper_than_recompute",
+                           owner);
   }
 }
 
@@ -363,6 +409,8 @@ void BlazeCoordinator::UnpersistRdd(const RddBase& rdd) {
   if (options_.auto_cache) {
     return;  // Blaze manages lifetimes itself; user annotations are ignored.
   }
+  const TenantRegistry* tenants = engine_->tenants();
+  const uint32_t owner = tenants != nullptr ? tenants->OwnerOf(rdd.id()) : kNoTenant;
   for (uint32_t p = 0; p < rdd.num_partitions(); ++p) {
     const size_t executor = engine_->ExecutorFor(p);
     std::lock_guard<std::mutex> lock(*executor_mu_[executor]);
@@ -378,7 +426,7 @@ void BlazeCoordinator::UnpersistRdd(const RddBase& rdd) {
     lineage_.SetState(rdd.id(), p, PartitionState::kNone);
     if (resident) {
       engine_->audit().Unpersist(static_cast<uint32_t>(executor), id.rdd_id, id.partition,
-                                 /*size_bytes=*/0, "Blaze", "user_unpersist");
+                                 /*size_bytes=*/0, "Blaze", "user_unpersist", owner);
     }
   }
 }
@@ -408,7 +456,7 @@ void BlazeCoordinator::AutoUnpersist() {
         engine_->metrics().RecordUnpersist();
         engine_->audit().Unpersist(static_cast<uint32_t>(e), entry.id.rdd_id,
                                    entry.id.partition, entry.size_bytes, "Blaze",
-                                   "refcount_zero");
+                                   "refcount_zero", entry.tenant);
       }
     }
     for (const BlockId& id : bm.disk().Blocks()) {
@@ -443,6 +491,7 @@ void BlazeCoordinator::RunIlpPlan(int job_id) {
                      window_roles.end());
 
   std::unordered_map<BlockId, PartitionState, BlockIdHash> new_desired;
+  const TenantRegistry* tenants = engine_->tenants();
 
   for (size_t e = 0; e < engine_->num_executors(); ++e) {
     std::lock_guard<std::mutex> lock(*executor_mu_[e]);
@@ -481,221 +530,267 @@ void BlazeCoordinator::RunIlpPlan(int job_id) {
       continue;
     }
 
-    // Build and solve the MCKP: one group per partition with (memory, disk,
-    // unpersist) choices (paper Eq. 5-6; see src/solver/mckp.h for the
-    // reduction). Two fixed-point rounds: the second round re-prices cost_r
-    // as if the first round's plan were applied, so chained recomputation
-    // costs of co-dropped partitions are visible (paper §5.5).
-    CostEstimator round_estimator(&lineage_, DiskThroughput(), options_.use_disk,
-                                  MakeShuffleAvailability());
-    // Residents whose last reference is the current job will be auto-
-    // unpersisted before the window's later accesses happen: price downstream
-    // recomputations as if they were already gone.
-    for (const auto& [resident_id, state] : current_state) {
-      if (state != PartitionState::kNone &&
-          lineage_.FutureRefCount(resident_id.rdd_id, job_id,
-                                  /*include_current=*/false) == 0) {
-        round_estimator.OverrideState(resident_id.rdd_id, resident_id.partition,
-                                      PartitionState::kNone);
+    // Multi-tenant partitioning: one knapsack per owning tenant, each solved
+    // against the tenant's effective capacity — its arbiter share plus the
+    // headroom the explicit shares leave unclaimed (work-conserving
+    // borrowing). A dataset referenced by several tenants is charged once, to
+    // its owner's knapsack, so no block is double-counted across solves.
+    // Without a registry everything lands in one untenanted bucket with the
+    // whole executor capacity: byte-for-byte the single-tenant plan.
+    struct Bucket {
+      uint32_t tenant = kNoTenant;
+      std::vector<BlockId> ids;
+      double capacity = 0.0;
+    };
+    std::vector<Bucket> buckets;
+    if (tenants == nullptr) {
+      Bucket all;
+      all.ids = std::move(universe);
+      all.capacity = static_cast<double>(bm.memory().capacity_bytes());
+      buckets.push_back(std::move(all));
+    } else {
+      const MemoryArbiter& arbiter = bm.arbiter();
+      const uint64_t cap = bm.memory().capacity_bytes();
+      uint64_t claimed = 0;
+      for (uint32_t t = 0; t < tenants->num_tenants(); ++t) {
+        claimed += arbiter.TenantShareBytes(t);
       }
-    }
-    MckpSolution solution;
-    std::vector<BlockId> group_ids;
-    std::vector<uint64_t> group_sizes;
-    std::vector<double> group_d_cost;
-    std::vector<double> group_u_cost;
-    Stopwatch solve_watch;
-    const uint64_t solve_start_us = trace::Enabled() ? ProcessMicros() : 0;
-    constexpr int kFixedPointRounds = 2;
-    for (int round = 0; round < kFixedPointRounds; ++round) {
-      std::vector<MckpGroup> groups;
-      groups.reserve(universe.size());
-      group_ids.clear();
-      group_sizes.clear();
-      group_d_cost.clear();
-      group_u_cost.clear();
+      const uint64_t headroom = cap > claimed ? cap - claimed : 0;
+      std::unordered_map<uint32_t, size_t> bucket_index;
       for (const BlockId& id : universe) {
-        const auto info = lineage_.GetPartition(id.rdd_id, id.partition);
-        if (!info || info->size_bytes == 0) {
-          continue;  // no size estimate yet; leave to admission-time handling
+        const uint32_t owner = tenants->OwnerOf(id.rdd_id);
+        auto [it, inserted] = bucket_index.try_emplace(owner, buckets.size());
+        if (inserted) {
+          Bucket bucket;
+          bucket.tenant = owner;
+          bucket.capacity = owner == kNoTenant
+                                ? static_cast<double>(cap)
+                                : static_cast<double>(arbiter.TenantShareBytes(owner) +
+                                                      headroom);
+          buckets.push_back(std::move(bucket));
         }
-        const BlockCost cost = round_estimator.Estimate(id.rdd_id, id.partition);
-        MckpGroup group;
-        group.choices.push_back({0.0, static_cast<double>(info->size_bytes)});  // m
-        if (options_.use_disk) {
-          // Writing to disk costs an extra pass when the copy does not exist yet.
-          const double write_factor =
-              current_state[id] == PartitionState::kDisk ? 1.0 : 2.0;
-          group.choices.push_back({cost.cost_d_ms * write_factor, 0.0});  // d
-        }
-        group.choices.push_back({cost.cost_r_ms, 0.0});  // u
-        groups.push_back(std::move(group));
-        group_ids.push_back(id);
-        group_sizes.push_back(info->size_bytes);
-        group_d_cost.push_back(cost.cost_d_ms);
-        group_u_cost.push_back(cost.cost_r_ms);
+        buckets[it->second].ids.push_back(id);
       }
-      if (groups.empty()) {
-        break;
-      }
-      // Latency-bounded solve: a 0.2% optimality gap and node cap keep each
-      // per-job decision round in the low milliseconds (paper's ILP budget).
-      solution = SolveMckp(groups, static_cast<double>(bm.memory().capacity_bytes()),
-                           /*max_nodes=*/4000, /*relative_gap=*/0.002);
-      if (solution.status == MckpStatus::kInfeasible || round + 1 == kFixedPointRounds) {
-        break;
-      }
-      for (size_t g = 0; g < group_ids.size(); ++g) {
-        PartitionState planned_state = PartitionState::kNone;
-        if (solution.choice[g] == 0) {
-          planned_state = PartitionState::kMemory;
-        } else if (options_.use_disk && solution.choice[g] == 1) {
-          planned_state = PartitionState::kDisk;
-        }
-        round_estimator.OverrideState(group_ids[g].rdd_id, group_ids[g].partition,
-                                      planned_state);
-      }
-    }
-    const double solve_ms = solve_watch.ElapsedMillis();
-    uint32_t chose_memory = 0;
-    uint32_t chose_disk = 0;
-    uint32_t chose_drop = 0;
-    if (solution.status != MckpStatus::kInfeasible) {
-      for (size_t g = 0; g < group_ids.size(); ++g) {
-        if (solution.choice[g] == 0) {
-          ++chose_memory;
-        } else if (options_.use_disk && solution.choice[g] == 1) {
-          ++chose_disk;
-        } else {
-          ++chose_drop;
-        }
-      }
-    }
-    const char* status = solution.status == MckpStatus::kOptimal     ? "optimal"
-                         : solution.status == MckpStatus::kNodeLimit ? "node_limit"
-                                                                     : "infeasible";
-    if (!group_ids.empty()) {
-      engine_->audit().IlpSolve(static_cast<uint32_t>(e), job_id,
-                                static_cast<uint32_t>(group_ids.size()), chose_memory,
-                                chose_disk, chose_drop, solve_ms, "MCKP", status);
-      if (solve_start_us != 0 && trace::Enabled()) {
-        trace::Complete("ilp.solve", "cache", solve_start_us, trace::TArg("job", job_id),
-                        trace::TArg("executor", static_cast<uint64_t>(e)),
-                        trace::TArg("universe", static_cast<uint64_t>(group_ids.size())),
-                        trace::TArg("status", status));
-      }
-    }
-    if (group_ids.empty() || solution.status == MckpStatus::kInfeasible) {
-      continue;
     }
 
-    // Eq. 6's extension constraint: when the disk tier is budgeted, demote
-    // the d-choices with the smallest regret (cost_r - cost_d) to unpersist
-    // until the planned disk bytes fit the budget.
-    if (options_.use_disk && options_.disk_capacity_bytes > 0) {
-      uint64_t planned_disk = 0;
-      for (size_t g = 0; g < group_ids.size(); ++g) {
-        if (solution.choice[g] == 1) {
-          planned_disk += group_sizes[g];
+    for (Bucket& bucket : buckets) {
+      // Build and solve the MCKP: one group per partition with (memory, disk,
+      // unpersist) choices (paper Eq. 5-6; see src/solver/mckp.h for the
+      // reduction). Two fixed-point rounds: the second round re-prices cost_r
+      // as if the first round's plan were applied, so chained recomputation
+      // costs of co-dropped partitions are visible (paper §5.5).
+      CostEstimator round_estimator(&lineage_, DiskThroughput(), options_.use_disk,
+                                    MakeShuffleAvailability());
+      // Residents whose last reference is the current job will be auto-
+      // unpersisted before the window's later accesses happen: price downstream
+      // recomputations as if they were already gone.
+      for (const auto& [resident_id, state] : current_state) {
+        if (state != PartitionState::kNone &&
+            lineage_.FutureRefCount(resident_id.rdd_id, job_id,
+                                    /*include_current=*/false) == 0) {
+          round_estimator.OverrideState(resident_id.rdd_id, resident_id.partition,
+                                        PartitionState::kNone);
         }
       }
-      while (planned_disk > options_.disk_capacity_bytes) {
-        size_t best = group_ids.size();
-        double best_regret = std::numeric_limits<double>::infinity();
-        for (size_t g = 0; g < group_ids.size(); ++g) {
-          if (solution.choice[g] != 1) {
-            continue;
+      MckpSolution solution;
+      std::vector<BlockId> group_ids;
+      std::vector<uint64_t> group_sizes;
+      std::vector<double> group_d_cost;
+      std::vector<double> group_u_cost;
+      Stopwatch solve_watch;
+      const uint64_t solve_start_us = trace::Enabled() ? ProcessMicros() : 0;
+      constexpr int kFixedPointRounds = 2;
+      for (int round = 0; round < kFixedPointRounds; ++round) {
+        std::vector<MckpGroup> groups;
+        groups.reserve(bucket.ids.size());
+        group_ids.clear();
+        group_sizes.clear();
+        group_d_cost.clear();
+        group_u_cost.clear();
+        for (const BlockId& id : bucket.ids) {
+          const auto info = lineage_.GetPartition(id.rdd_id, id.partition);
+          if (!info || info->size_bytes == 0) {
+            continue;  // no size estimate yet; leave to admission-time handling
           }
-          const double regret = group_u_cost[g] - group_d_cost[g];
-          if (regret < best_regret) {
-            best_regret = regret;
-            best = g;
+          const BlockCost cost = round_estimator.Estimate(id.rdd_id, id.partition);
+          MckpGroup group;
+          group.choices.push_back({0.0, static_cast<double>(info->size_bytes)});  // m
+          if (options_.use_disk) {
+            // Writing to disk costs an extra pass when the copy does not exist yet.
+            const double write_factor =
+                current_state[id] == PartitionState::kDisk ? 1.0 : 2.0;
+            group.choices.push_back({cost.cost_d_ms * write_factor, 0.0});  // d
           }
+          group.choices.push_back({cost.cost_r_ms, 0.0});  // u
+          groups.push_back(std::move(group));
+          group_ids.push_back(id);
+          group_sizes.push_back(info->size_bytes);
+          group_d_cost.push_back(cost.cost_d_ms);
+          group_u_cost.push_back(cost.cost_r_ms);
         }
-        if (best == group_ids.size()) {
+        if (groups.empty()) {
           break;
         }
-        solution.choice[best] = 2;  // u
-        planned_disk -= group_sizes[best];
+        // Latency-bounded solve: a 0.2% optimality gap and node cap keep each
+        // per-job decision round in the low milliseconds (paper's ILP budget).
+        solution = SolveMckp(groups, bucket.capacity,
+                             /*max_nodes=*/4000, /*relative_gap=*/0.002);
+        if (solution.status == MckpStatus::kInfeasible || round + 1 == kFixedPointRounds) {
+          break;
+        }
+        for (size_t g = 0; g < group_ids.size(); ++g) {
+          PartitionState planned_state = PartitionState::kNone;
+          if (solution.choice[g] == 0) {
+            planned_state = PartitionState::kMemory;
+          } else if (options_.use_disk && solution.choice[g] == 1) {
+            planned_state = PartitionState::kDisk;
+          }
+          round_estimator.OverrideState(group_ids[g].rdd_id, group_ids[g].partition,
+                                        planned_state);
+        }
       }
-    }
-
-    // Decode choices back to states and apply the transitions. Demotions run
-    // before promotions so the capacity plan is respected.
-    std::vector<std::pair<BlockId, PartitionState>> plan;
-    for (size_t g = 0; g < group_ids.size(); ++g) {
-      PartitionState state = PartitionState::kNone;
-      const int choice = solution.choice[g];
-      if (choice == 0) {
-        state = PartitionState::kMemory;
-      } else if (options_.use_disk && choice == 1) {
-        state = PartitionState::kDisk;
+      const double solve_ms = solve_watch.ElapsedMillis();
+      uint32_t chose_memory = 0;
+      uint32_t chose_disk = 0;
+      uint32_t chose_drop = 0;
+      if (solution.status != MckpStatus::kInfeasible) {
+        for (size_t g = 0; g < group_ids.size(); ++g) {
+          if (solution.choice[g] == 0) {
+            ++chose_memory;
+          } else if (options_.use_disk && solution.choice[g] == 1) {
+            ++chose_disk;
+          } else {
+            ++chose_drop;
+          }
+        }
       }
-      plan.emplace_back(group_ids[g], state);
-    }
-    std::stable_sort(plan.begin(), plan.end(), [](const auto& a, const auto& b) {
-      return (a.second == PartitionState::kMemory) < (b.second == PartitionState::kMemory);
-    });
-
-    for (const auto& [id, state] : plan) {
-      const PartitionState current = current_state[id];
-      if (current == state) {
+      const char* status = solution.status == MckpStatus::kOptimal     ? "optimal"
+                           : solution.status == MckpStatus::kNodeLimit ? "node_limit"
+                                                                       : "infeasible";
+      if (!group_ids.empty()) {
+        engine_->audit().IlpSolve(static_cast<uint32_t>(e), job_id,
+                                  static_cast<uint32_t>(group_ids.size()), chose_memory,
+                                  chose_disk, chose_drop, solve_ms, "MCKP", status,
+                                  bucket.tenant);
+        if (solve_start_us != 0 && trace::Enabled()) {
+          trace::Complete("ilp.solve", "cache", solve_start_us, trace::TArg("job", job_id),
+                          trace::TArg("executor", static_cast<uint64_t>(e)),
+                          trace::TArg("universe", static_cast<uint64_t>(group_ids.size())),
+                          trace::TArg("status", status));
+        }
+      }
+      if (group_ids.empty() || solution.status == MckpStatus::kInfeasible) {
         continue;
       }
-      if (current == PartitionState::kMemory) {
-        auto data = bm.memory().Peek(id);
-        if (!data) {
+
+      // Eq. 6's extension constraint: when the disk tier is budgeted, demote
+      // the d-choices with the smallest regret (cost_r - cost_d) to unpersist
+      // until the planned disk bytes fit the budget.
+      if (options_.use_disk && options_.disk_capacity_bytes > 0) {
+        uint64_t planned_disk = 0;
+        for (size_t g = 0; g < group_ids.size(); ++g) {
+          if (solution.choice[g] == 1) {
+            planned_disk += group_sizes[g];
+          }
+        }
+        while (planned_disk > options_.disk_capacity_bytes) {
+          size_t best = group_ids.size();
+          double best_regret = std::numeric_limits<double>::infinity();
+          for (size_t g = 0; g < group_ids.size(); ++g) {
+            if (solution.choice[g] != 1) {
+              continue;
+            }
+            const double regret = group_u_cost[g] - group_d_cost[g];
+            if (regret < best_regret) {
+              best_regret = regret;
+              best = g;
+            }
+          }
+          if (best == group_ids.size()) {
+            break;
+          }
+          solution.choice[best] = 2;  // u
+          planned_disk -= group_sizes[best];
+        }
+      }
+
+      // Decode choices back to states and apply the transitions. Demotions run
+      // before promotions so the capacity plan is respected.
+      std::vector<std::pair<BlockId, PartitionState>> plan;
+      for (size_t g = 0; g < group_ids.size(); ++g) {
+        PartitionState state = PartitionState::kNone;
+        const int choice = solution.choice[g];
+        if (choice == 0) {
+          state = PartitionState::kMemory;
+        } else if (options_.use_disk && choice == 1) {
+          state = PartitionState::kDisk;
+        }
+        plan.emplace_back(group_ids[g], state);
+      }
+      std::stable_sort(plan.begin(), plan.end(), [](const auto& a, const auto& b) {
+        return (a.second == PartitionState::kMemory) < (b.second == PartitionState::kMemory);
+      });
+
+      for (const auto& [id, state] : plan) {
+        const PartitionState current = current_state[id];
+        if (current == state) {
           continue;
         }
-        MemoryEntry victim;
-        victim.id = id;
-        victim.data = *data;
-        victim.size_bytes = (*data)->SizeBytes();
-        EvictBlock(e, victim, /*spill=*/state == PartitionState::kDisk, nullptr,
-                   "ilp_demote", /*score=*/0.0, static_cast<uint32_t>(group_ids.size()));
-      } else if (current == PartitionState::kDisk) {
-        if (state == PartitionState::kNone) {
-          bm.RemoveFromDisk(id);
-          lineage_.SetState(id.rdd_id, id.partition, PartitionState::kNone);
-          engine_->metrics().RecordUnpersist();
-          engine_->audit().Unpersist(static_cast<uint32_t>(e), id.rdd_id, id.partition,
-                                     /*size_bytes=*/0, "MCKP", "ilp_drop");
-        } else {
-          // d -> m prefetch: reload if the dataset is still alive and it
-          // fits. Scheduled on the spill worker so the disk read overlaps
-          // with the planning round and the job's first tasks; the sync path
-          // below is the sync_spill/full-queue fallback.
-          auto rdd = engine_->FindRdd(id.rdd_id);
-          if (rdd == nullptr) {
+        if (current == PartitionState::kMemory) {
+          auto data = bm.memory().Peek(id);
+          if (!data) {
             continue;
           }
-          BlockManager* bmp = &bm;
-          const size_t exec = e;
-          auto promote = [this, bmp, exec, id, rdd](std::optional<std::vector<uint8_t>> bytes,
-                                                    double /*disk_ms*/) {
-            if (!bytes) {
-              return;  // lost or corrupt on disk; admission re-plans later
+          MemoryEntry victim;
+          victim.id = id;
+          victim.data = *data;
+          victim.size_bytes = (*data)->SizeBytes();
+          EvictBlock(e, victim, /*spill=*/state == PartitionState::kDisk, nullptr,
+                     "ilp_demote", /*score=*/0.0, static_cast<uint32_t>(group_ids.size()));
+        } else if (current == PartitionState::kDisk) {
+          if (state == PartitionState::kNone) {
+            bm.RemoveFromDisk(id);
+            lineage_.SetState(id.rdd_id, id.partition, PartitionState::kNone);
+            engine_->metrics().RecordUnpersist();
+            engine_->audit().Unpersist(static_cast<uint32_t>(e), id.rdd_id, id.partition,
+                                       /*size_bytes=*/0, "MCKP", "ilp_drop");
+          } else {
+            // d -> m prefetch: reload if the dataset is still alive and it
+            // fits. Scheduled on the spill worker so the disk read overlaps
+            // with the planning round and the job's first tasks; the sync path
+            // below is the sync_spill/full-queue fallback.
+            auto rdd = engine_->FindRdd(id.rdd_id);
+            if (rdd == nullptr) {
+              continue;
             }
-            ByteSource src(*bytes);
-            BlockPtr block = rdd->DecodeBlock(src);
-            const uint64_t size = block->SizeBytes();
-            // TryPut enforces the (possibly shifted) bound atomically.
-            if (bmp->memory().TryPut(id, std::move(block), size)) {
-              bmp->RemoveFromDisk(id);
-              lineage_.SetState(id.rdd_id, id.partition, PartitionState::kMemory);
-              engine_->audit().Admit(static_cast<uint32_t>(exec), id.rdd_id, id.partition,
-                                     size, /*to_disk=*/false, "MCKP", "ilp_promote");
+            BlockManager* bmp = &bm;
+            const size_t exec = e;
+            auto promote = [this, bmp, exec, id, rdd](std::optional<std::vector<uint8_t>> bytes,
+                                                      double /*disk_ms*/) {
+              if (!bytes) {
+                return;  // lost or corrupt on disk; admission re-plans later
+              }
+              ByteSource src(*bytes);
+              BlockPtr block = rdd->DecodeBlock(src);
+              const uint64_t size = block->SizeBytes();
+              // TryPut enforces the (possibly shifted) bound atomically.
+              if (bmp->memory().TryPut(id, std::move(block), size)) {
+                bmp->RemoveFromDisk(id);
+                lineage_.SetState(id.rdd_id, id.partition, PartitionState::kMemory);
+                engine_->audit().Admit(static_cast<uint32_t>(exec), id.rdd_id, id.partition,
+                                       size, /*to_disk=*/false, "MCKP", "ilp_promote");
+              }
+            };
+            if (!bm.FetchAsync(id, promote)) {
+              double read_ms = 0.0;
+              auto bytes = bm.ReadFromDisk(id, &read_ms);
+              promote(std::move(bytes), read_ms);
             }
-          };
-          if (!bm.FetchAsync(id, promote)) {
-            double read_ms = 0.0;
-            auto bytes = bm.ReadFromDisk(id, &read_ms);
-            promote(std::move(bytes), read_ms);
           }
+        } else {
+          // Absent: remember the plan; admission applies it on materialization.
+          new_desired[id] = state;
         }
-      } else {
-        // Absent: remember the plan; admission applies it on materialization.
-        new_desired[id] = state;
       }
     }
   }

@@ -145,14 +145,35 @@ std::optional<BlockPtr> PolicyCoordinator::Lookup(const RddBase& rdd, uint32_t p
 bool PolicyCoordinator::EnsureSpace(size_t executor, uint64_t needed, RddId incoming_rdd,
                                     TaskContext& tc) {
   BlockManager& bm = engine_->block_manager(executor);
+  const TenantRegistry* tenants = engine_->tenants();
   while (bm.memory().free_bytes() < needed) {
     // Pinned entries are not eviction candidates: an executing task still
-    // references them, and RemoveIfUnpinned would refuse anyway.
+    // references them, and RemoveIfUnpinned would refuse anyway. In
+    // multi-tenant mode the candidate set also honours the eviction floor
+    // (another tenant's block is fair game only while that tenant is over its
+    // arbiter share — a live-ledger check that stays consistent across loop
+    // iterations because each eviction updates the ledger immediately), and
+    // cross-tenant-hot blocks (referenced by several tenants) are offered to
+    // the policy only when nothing else can satisfy the request.
     std::vector<MemoryEntry> candidates;
+    std::vector<MemoryEntry> shared_hot;
     for (MemoryEntry& entry : bm.memory().Entries()) {
-      if (entry.id.rdd_id != incoming_rdd && entry.pins == 0) {
-        candidates.push_back(std::move(entry));
+      if (entry.id.rdd_id == incoming_rdd || entry.pins > 0) {
+        continue;
       }
+      if (tenants != nullptr) {
+        if (!tenants->MayEvict(tc.tenant(), entry.tenant, bm.arbiter())) {
+          continue;
+        }
+        if (tenants->TenantsReferencing(entry.id.rdd_id) > 1) {
+          shared_hot.push_back(std::move(entry));
+          continue;
+        }
+      }
+      candidates.push_back(std::move(entry));
+    }
+    if (candidates.empty()) {
+      candidates = std::move(shared_hot);
     }
     if (candidates.empty()) {
       return false;
@@ -191,7 +212,7 @@ bool PolicyCoordinator::EnsureSpace(size_t executor, uint64_t needed, RddId inco
                            victim.id.partition, victim.size_bytes, to_disk, policy_->name(),
                            "capacity_pressure",
                            static_cast<double>(victim.last_access_seq),
-                           static_cast<uint32_t>(candidates.size()));
+                           static_cast<uint32_t>(candidates.size()), victim.tenant);
   }
   return true;
 }
@@ -205,6 +226,7 @@ void PolicyCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
   const BlockId id{rdd.id(), partition};
   const size_t executor = engine_->ExecutorFor(partition);
   BlockManager& bm = engine_->block_manager(executor);
+  const TenantRegistry* tenants = engine_->tenants();
   std::lock_guard<std::mutex> lock(*executor_mu_[executor]);
   if (bm.memory().Contains(id)) {
     return;
@@ -214,13 +236,24 @@ void PolicyCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
   // holds. Size, admission, and any disk write all use the cached form.
   const BlockPtr cached = rdd.CacheRepresentation(block);
   const uint64_t size = cached->SizeBytes();
+  // Multi-tenant charging: bytes land on the dataset owner's ledger
+  // (first-toucher; a shared dataset is charged once), falling back to the
+  // computing task's tenant when the registry has not seen the dataset.
+  uint32_t owner = kNoTenant;
+  if (tenants != nullptr) {
+    owner = tenants->OwnerOf(rdd.id());
+    if (owner == kNoTenant) {
+      owner = tc.tenant();
+    }
+  }
   // TryPut, not Put: with the arbiter attached the cache bound moves under
   // concurrent shuffle reservations, so the headroom EnsureSpace freed can
   // legitimately be gone by the time the insert lands.
   if (size <= bm.memory().effective_capacity_bytes() &&
-      EnsureSpace(executor, size, rdd.id(), tc) && bm.memory().TryPut(id, cached, size)) {
+      EnsureSpace(executor, size, rdd.id(), tc) &&
+      bm.memory().TryPut(id, cached, size, owner)) {
     engine_->audit().Admit(static_cast<uint32_t>(executor), id.rdd_id, id.partition, size,
-                           /*to_disk=*/false, policy_->name(), "annotated");
+                           /*to_disk=*/false, policy_->name(), "annotated", owner);
     return;
   }
   // Does not fit in memory at all: MEM_AND_DISK stores it straight on disk.
@@ -229,7 +262,8 @@ void PolicyCoordinator::BlockComputed(const RddBase& rdd, uint32_t partition,
     tc.metrics().cache_disk_bytes_written += size;
     engine_->metrics().RecordEviction(executor, size, /*to_disk=*/true);
     engine_->audit().Admit(static_cast<uint32_t>(executor), id.rdd_id, id.partition, size,
-                           /*to_disk=*/true, policy_->name(), "exceeds_memory_capacity");
+                           /*to_disk=*/true, policy_->name(), "exceeds_memory_capacity",
+                           owner);
   }
 }
 
@@ -238,6 +272,8 @@ bool PolicyCoordinator::IsManaged(const RddBase& rdd) const {
 }
 
 void PolicyCoordinator::UnpersistRdd(const RddBase& rdd) {
+  const TenantRegistry* tenants = engine_->tenants();
+  const uint32_t owner = tenants != nullptr ? tenants->OwnerOf(rdd.id()) : kNoTenant;
   for (uint32_t p = 0; p < rdd.num_partitions(); ++p) {
     const size_t executor = engine_->ExecutorFor(p);
     std::lock_guard<std::mutex> lock(*executor_mu_[executor]);
@@ -252,7 +288,7 @@ void PolicyCoordinator::UnpersistRdd(const RddBase& rdd) {
     bm.RemoveFromDisk(id);
     if (resident) {
       engine_->audit().Unpersist(static_cast<uint32_t>(executor), id.rdd_id, id.partition,
-                                 /*size_bytes=*/0, policy_->name(), "user_unpersist");
+                                 /*size_bytes=*/0, policy_->name(), "user_unpersist", owner);
     }
   }
 }

@@ -46,6 +46,11 @@ struct JobState {
   std::vector<std::any> results;  // one slot per target partition
   std::vector<int> pinned_shuffles;
 
+  // Multi-tenant attribution (kNoTenant outside multi-tenant mode); when the
+  // admission layer granted an in-flight slot, FinishJob releases it.
+  uint32_t tenant = kNoTenant;
+  bool tenant_slot_held = false;
+
   std::mutex done_mu;
   std::condition_variable done_cv;
   bool done = false;
@@ -271,7 +276,7 @@ std::vector<std::any> DagScheduler::RunJob(
 
 JobHandle DagScheduler::SubmitJob(const std::shared_ptr<RddBase>& target,
                                   const std::function<std::any(const BlockPtr&)>& process,
-                                  bool raw_blocks) {
+                                  bool raw_blocks, uint32_t tenant, bool tenant_slot_held) {
   EngineContext& engine = *engine_;
   const int job_id = next_job_id_.fetch_add(1);
 
@@ -280,11 +285,19 @@ JobHandle DagScheduler::SubmitJob(const std::shared_ptr<RddBase>& target,
   job->target = target;
   job->process = process;
   job->raw_blocks = raw_blocks;
+  job->tenant = tenant;
+  job->tenant_slot_held = tenant_slot_held;
   job->job_start_us = ProcessMicros();
   telemetry_.jobs_submitted->Add();
   telemetry_.jobs_active->Add(1);
 
   const JobInfo job_info = AnalyzeJob(target, job_id);
+  if (tenant != kNoTenant && engine.tenants() != nullptr) {
+    // Record which datasets this tenant's job references: the cross-tenant
+    // refcounts that drive shared-dataset ownership, eviction ordering, and
+    // unpersist deferral.
+    engine.tenants()->NoteJobDatasets(tenant, job_info);
+  }
 
   // Fan-out nodes (more than one dependent in this job) are fusion barriers:
   // every consumer must read the same materialized block instead of re-running
@@ -405,7 +418,7 @@ void DagScheduler::RunStageTasks(const std::shared_ptr<internal::JobState>& job,
         BLAZE_CHECK_LT(attempt, engine.config().max_task_attempts)
             << "task " << p << " of stage " << plan.stage_index << " exhausted retries";
       }
-      TaskContext tc(&engine, job_id, plan.stage_index, p, executor);
+      TaskContext tc(&engine, job_id, plan.stage_index, p, executor, job->tenant);
       Stopwatch task_watch;
       // Consumers that read blocks representation-agnostically — bucketizers
       // built on ForEachRow, raw-block actions — take the terminal in its
@@ -413,20 +426,25 @@ void DagScheduler::RunStageTasks(const std::shared_ptr<internal::JobState>& job,
       const bool keep_columnar = plan.shuffle_dep != nullptr
                                      ? plan.shuffle_dep->accepts_columnar
                                      : job->raw_blocks;
-      const BlockPtr block = keep_columnar ? tc.GetColumnarForTask(terminal, p)
-                                           : tc.GetBlock(terminal, p);
-      if (plan.shuffle_dep != nullptr) {
-        std::vector<BlockPtr> buckets =
-            plan.shuffle_dep->bucketizer(block, plan.shuffle_dep->num_reduce);
-        BLAZE_CHECK_EQ(buckets.size(), plan.shuffle_dep->num_reduce);
-        for (uint32_t r = 0; r < buckets.size(); ++r) {
-          engine.shuffle().PutBucket(plan.shuffle_dep->shuffle_id, p, r,
-                                     std::move(buckets[r]));
+      // Scoped so the task's block reference is gone before the completion
+      // countdown below: once the driver's Wait() returns, no task thread may
+      // still pin a block (an immediate Unpersist must release its arena).
+      {
+        const BlockPtr block = keep_columnar ? tc.GetColumnarForTask(terminal, p)
+                                             : tc.GetBlock(terminal, p);
+        if (plan.shuffle_dep != nullptr) {
+          std::vector<BlockPtr> buckets =
+              plan.shuffle_dep->bucketizer(block, plan.shuffle_dep->num_reduce);
+          BLAZE_CHECK_EQ(buckets.size(), plan.shuffle_dep->num_reduce);
+          for (uint32_t r = 0; r < buckets.size(); ++r) {
+            engine.shuffle().PutBucket(plan.shuffle_dep->shuffle_id, p, r,
+                                       std::move(buckets[r]));
+          }
+        } else {
+          // Each task owns its distinct results[p] slot; the job's done_mu
+          // publishes the writes to the waiting driver.
+          job->results[p] = job->process(block);
         }
-      } else {
-        // Each task owns its distinct results[p] slot; the job's done_mu
-        // publishes the writes to the waiting driver.
-        job->results[p] = job->process(block);
       }
       const double wall_ms = task_watch.ElapsedMillis();
       tc.metrics().compute_ms = wall_ms - tc.metrics().cache_disk_ms -
@@ -489,6 +507,11 @@ void DagScheduler::FinishJob(const std::shared_ptr<internal::JobState>& job) {
     engine.shuffle().DropStale(job->job_id, engine.config().shuffle_retention_jobs);
   }
   engine.SyncArbiterMetrics();
+  if (job->tenant != kNoTenant && engine.tenants() != nullptr) {
+    // Releases the admission slot (when held) and wakes the longest-parked
+    // queued submit of this tenant.
+    engine.tenants()->OnJobFinished(job->tenant, job->tenant_slot_held);
+  }
   telemetry_.jobs_completed->Add();
   telemetry_.jobs_active->Add(-1);
   telemetry_.job_latency_ms->Record(

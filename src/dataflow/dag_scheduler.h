@@ -87,10 +87,14 @@ class DagScheduler {
                                bool raw_blocks = false);
 
   // Submits the job and returns immediately; stages launch as their parents
-  // complete. Thread-safe.
+  // complete. Thread-safe. `tenant` attributes the job's tasks, lookups, and
+  // cached bytes to a registered tenant (kNoTenant = untenanted, the default);
+  // admission itself lives in EngineContext::SubmitJobAs — when it granted an
+  // in-flight slot for this job, tenant_slot_held makes FinishJob release it.
   JobHandle SubmitJob(const std::shared_ptr<RddBase>& target,
                       const std::function<std::any(const BlockPtr&)>& process,
-                      bool raw_blocks = false);
+                      bool raw_blocks = false, uint32_t tenant = 0xFFFFFFFFu,
+                      bool tenant_slot_held = false);
 
   int jobs_run() const { return next_job_id_.load(); }
 

@@ -72,6 +72,18 @@ EngineContext::EngineContext(const EngineConfig& config)
   checkpoint_store_ = std::make_unique<DiskStore>(disk_root_ / "checkpoints",
                                                   config.disk_throughput_bytes_per_sec);
   coordinator_ = std::make_unique<NoopCoordinator>();
+  if (config_.multi_tenant) {
+    tenants_ = std::make_unique<TenantRegistry>(config_.tenants,
+                                                config_.memory_capacity_per_executor,
+                                                executors_.size());
+    // Install the share split into every executor's arbiter ledger: the
+    // per-tenant floors victim scans must respect live next to the byte
+    // counters they are compared against.
+    for (auto& executor : executors_) {
+      executor->block_manager.arbiter().ConfigureTenantShares(
+          tenants_->ShareBytesPerExecutor());
+    }
+  }
   scheduler_ = std::make_unique<DagScheduler>(this);
 
   // Distributed mode: explicit config, or forced via BLAZE_WORKERS=N (lets
@@ -156,6 +168,46 @@ EngineContext::EngineContext(const EngineConfig& config)
         [this] { return static_cast<int64_t>(shuffle_.approx_bytes()); });
   gauge("arena.live_bytes",
         [] { return static_cast<int64_t>(BlockArena::TotalLiveBytes()); });
+  if (tenants_ != nullptr) {
+    // tenant.<name>.* service-plane gauges: shares and live usage from the
+    // arbiter ledgers, job states from the registry. (The hit/miss pair are
+    // plain counters the registry owns; see TenantRegistry's constructor.)
+    for (TenantId t = 0; t < tenants_->num_tenants(); ++t) {
+      const std::string prefix = "tenant." + tenants_->spec(t).name + ".";
+      gauge(prefix + "share_bytes", [this, t] {
+        int64_t total = 0;
+        for (const auto& executor : executors_) {
+          total +=
+              static_cast<int64_t>(executor->block_manager.arbiter().TenantShareBytes(t));
+        }
+        return total;
+      });
+      gauge(prefix + "used_bytes", [this, t] {
+        int64_t total = 0;
+        for (const auto& executor : executors_) {
+          total +=
+              static_cast<int64_t>(executor->block_manager.arbiter().TenantCacheUsed(t));
+        }
+        return total;
+      });
+      gauge(prefix + "borrowed_bytes", [this, t] {
+        int64_t total = 0;
+        for (const auto& executor : executors_) {
+          total += static_cast<int64_t>(
+              executor->block_manager.arbiter().TenantBorrowedBytes(t));
+        }
+        return total;
+      });
+      gauge(prefix + "jobs_running", [this, t] { return tenants_->RunningJobs(t); });
+      gauge(prefix + "jobs_queued", [this, t] { return tenants_->QueuedJobs(t); });
+      gauge(prefix + "jobs_completed", [this, t] {
+        return static_cast<int64_t>(tenants_->Stats(t).jobs_completed);
+      });
+      gauge(prefix + "jobs_rejected", [this, t] {
+        return static_cast<int64_t>(tenants_->Stats(t).jobs_rejected);
+      });
+    }
+  }
   if (remote_ != nullptr) {
     // Wire-plane counters plus one gauge set per worker process, fed by each
     // worker's heartbeat-ack stats — `blazectl top` renders these as the
@@ -561,6 +613,48 @@ JobHandle EngineContext::SubmitJob(const std::shared_ptr<RddBase>& target,
                                    const std::function<std::any(const BlockPtr&)>& process,
                                    bool raw_blocks) {
   return scheduler_->SubmitJob(target, process, raw_blocks);
+}
+
+JobHandle EngineContext::SubmitJobAs(TenantId tenant,
+                                     const std::shared_ptr<RddBase>& target,
+                                     const std::function<std::any(const BlockPtr&)>& process,
+                                     bool raw_blocks, std::string* reject_reason) {
+  if (tenants_ == nullptr || tenant == kNoTenant) {
+    return scheduler_->SubmitJob(target, process, raw_blocks);
+  }
+  const TenantRegistry::Admission admission = tenants_->AcquireJobSlot(tenant);
+  if (!admission.admitted) {
+    if (reject_reason != nullptr) {
+      *reject_reason = admission.reason;
+    }
+    return JobHandle();
+  }
+  return scheduler_->SubmitJob(target, process, raw_blocks, tenant,
+                               /*tenant_slot_held=*/true);
+}
+
+std::vector<std::any> EngineContext::RunJobAs(
+    TenantId tenant, const std::shared_ptr<RddBase>& target,
+    const std::function<std::any(const BlockPtr&)>& process, bool raw_blocks,
+    std::string* reject_reason) {
+  JobHandle handle = SubmitJobAs(tenant, target, process, raw_blocks, reject_reason);
+  if (!handle.valid()) {
+    return {};
+  }
+  return handle.Wait();
+}
+
+void EngineContext::UnpersistForTenant(const RddBase& rdd, TenantId tenant) {
+  if (tenants_ != nullptr && tenant != kNoTenant &&
+      !tenants_->ReleaseDataset(tenant, rdd.id())) {
+    // Other tenants still reference the dataset: the blocks survive (the
+    // shared-dataset refcount is exactly what keeps a cross-tenant-hot block
+    // alive past one tenant's release). Audited so the deferral is visible.
+    audit_.Unpersist(/*executor=*/0, rdd.id(), /*partition=*/0, /*size_bytes=*/0,
+                     "Tenant", "deferred_shared_refcount", tenant);
+    return;
+  }
+  coordinator_->UnpersistRdd(rdd);
 }
 
 uint64_t EngineContext::TotalMemoryUsed() const {

@@ -20,6 +20,7 @@
 #include "src/dataflow/cache_coordinator.h"
 #include "src/dataflow/rdd_base.h"
 #include "src/dataflow/shuffle.h"
+#include "src/dataflow/tenant.h"
 #include "src/metrics/audit_log.h"
 #include "src/metrics/run_metrics.h"
 #include "src/storage/block_manager.h"
@@ -108,6 +109,15 @@ struct EngineConfig {
   int heartbeat_interval_ms = 250;
   int heartbeat_miss_limit = 4;      // consecutive misses before declaring loss
   std::string worker_binary;         // empty = discover next to the executable
+  // --- multi-tenant service mode ------------------------------------------------
+  // First-class tenants (see src/dataflow/tenant.h): admission control on
+  // SubmitJobAs, per-tenant soft memory shares in the arbiter ledgers with a
+  // hard eviction floor, tenant-partitioned MCKP planning, shared-dataset
+  // refcounting across tenants, and tenant.<name>.* metrics. Off by default;
+  // when off the single-tenant path stays byte-identical (no tenant state is
+  // allocated, and data-path tenant checks reduce to one null test).
+  bool multi_tenant = false;
+  std::vector<TenantSpec> tenants;
 };
 
 class EngineContext {
@@ -182,6 +192,31 @@ class EngineContext {
                       const std::function<std::any(const BlockPtr&)>& process,
                       bool raw_blocks = false);
 
+  // --- multi-tenant service plane ---------------------------------------------------
+  // The tenant registry, or nullptr outside multi-tenant mode.
+  TenantRegistry* tenants() { return tenants_.get(); }
+  const TenantRegistry* tenants() const { return tenants_.get(); }
+
+  // Tenant-scoped submission: runs admission (per-tenant in-flight cap with a
+  // bounded wait) before handing the job to the scheduler. On rejection the
+  // returned handle is invalid and *reject_reason (when non-null) explains
+  // why. Outside multi-tenant mode this is SubmitJob.
+  JobHandle SubmitJobAs(TenantId tenant, const std::shared_ptr<RddBase>& target,
+                        const std::function<std::any(const BlockPtr&)>& process,
+                        bool raw_blocks = false, std::string* reject_reason = nullptr);
+
+  // SubmitJobAs + Wait. Rejected jobs return an empty result vector.
+  std::vector<std::any> RunJobAs(TenantId tenant, const std::shared_ptr<RddBase>& target,
+                                 const std::function<std::any(const BlockPtr&)>& process,
+                                 bool raw_blocks = false,
+                                 std::string* reject_reason = nullptr);
+
+  // Tenant-scoped unpersist: a dataset referenced by several tenants survives
+  // a single tenant's release — the blocks drop only when the last
+  // referencing tenant lets go (the deferral is audited). Outside
+  // multi-tenant mode this is coordinator().UnpersistRdd().
+  void UnpersistForTenant(const RddBase& rdd, TenantId tenant);
+
   // Total memory-store bytes currently cached across executors (diagnostics).
   uint64_t TotalMemoryUsed() const;
 
@@ -241,6 +276,9 @@ class EngineContext {
   std::unique_ptr<DiskStore> checkpoint_store_;
   ShuffleService shuffle_;
   std::unique_ptr<CacheCoordinator> coordinator_;
+  // Tenant plane (multi_tenant only). Declared before the scheduler so job
+  // completions draining in ~DagScheduler can still notify the registry.
+  std::unique_ptr<TenantRegistry> tenants_;
   std::unique_ptr<DagScheduler> scheduler_;
   std::unique_ptr<MetricsExporter> exporter_;
   // Worker fleet (distributed mode only). shared_ptr: stub closures capture

@@ -8,12 +8,13 @@
 namespace blaze {
 
 TaskContext::TaskContext(EngineContext* engine, int job_id, int stage_id, uint32_t partition,
-                         size_t executor_id)
+                         size_t executor_id, uint32_t tenant)
     : engine_(engine),
       job_id_(job_id),
       stage_id_(stage_id),
       partition_(partition),
       executor_id_(executor_id),
+      tenant_(tenant),
       fanout_barriers_(engine->job_fanout_barriers(job_id)) {}
 
 TaskContext::~TaskContext() {
@@ -70,10 +71,21 @@ BlockPtr TaskContext::GetBlockImpl(const RddBase& rdd, uint32_t index, bool keep
     return MaterializeForTask(std::move(block));
   };
 
+  // Per-tenant hit/miss attribution (mirrors the engine-wide cache hit/miss
+  // accounting): only recorded in multi-tenant mode for tenanted tasks.
+  const auto record_tenant_lookup = [&](bool hit) {
+    if (tenant_ != kNoTenant) {
+      if (auto* tr = engine_->tenants(); tr != nullptr) {
+        tr->RecordLookup(tenant_, hit);
+      }
+    }
+  };
+
   CacheCoordinator& coordinator = engine_->coordinator();
   if (auto hit = coordinator.Lookup(rdd, index, *this)) {
     const auto* stub = dynamic_cast<const RemoteBlockStub*>(hit->get());
     if (stub == nullptr) {
+      record_tenant_lookup(/*hit=*/true);
       return serve(std::move(*hit));
     }
     // Distributed mode: the payload lives in a worker process. Pull it over
@@ -87,6 +99,7 @@ BlockPtr TaskContext::GetBlockImpl(const RddBase& rdd, uint32_t index, bool keep
       BlockPtr block = rdd.DecodeBlock(src);
       metrics_.cache_disk_ms += fetch_ms + decode_watch.ElapsedMillis();
       metrics_.cache_disk_bytes_read += bytes->size();
+      record_tenant_lookup(/*hit=*/true);
       return serve(std::move(block));
     }
     // The worker died with the payload. Bring the control plane into
@@ -108,6 +121,7 @@ BlockPtr TaskContext::GetBlockImpl(const RddBase& rdd, uint32_t index, bool keep
       metrics_.cache_disk_ms += op.elapsed_ms + decode_watch.ElapsedMillis();
       metrics_.cache_disk_bytes_read += bytes->size();
       engine_->metrics().RecordCacheHit(/*from_memory=*/false);
+      record_tenant_lookup(/*hit=*/true);
       return serve(std::move(block));
     }
   }
@@ -116,6 +130,9 @@ BlockPtr TaskContext::GetBlockImpl(const RddBase& rdd, uint32_t index, bool keep
   // outermost recovery is timed to avoid double counting nested misses.
   const bool recovery =
       coordinator.IsManaged(rdd) && engine_->WasComputedBefore(block_id);
+  if (recovery) {
+    record_tenant_lookup(/*hit=*/false);
+  }
   Stopwatch recovery_watch;
   const uint64_t recovery_start_us =
       recovery && trace::Enabled() ? ProcessMicros() : 0;

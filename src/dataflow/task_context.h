@@ -20,7 +20,7 @@ class EngineContext;
 class TaskContext {
  public:
   TaskContext(EngineContext* engine, int job_id, int stage_id, uint32_t partition,
-              size_t executor_id);
+              size_t executor_id, uint32_t tenant = 0xFFFFFFFFu);
   // Releases every block pin the task holds (see RegisterPin).
   ~TaskContext();
 
@@ -70,6 +70,9 @@ class TaskContext {
   int stage_id() const { return stage_id_; }
   uint32_t partition() const { return partition_; }
   size_t executor_id() const { return executor_id_; }
+  // Tenant the running job is attributed to (kNoTenant outside multi-tenant
+  // mode): the requester identity victim scans check the eviction floor for.
+  uint32_t tenant() const { return tenant_; }
 
  private:
   // Computes the block via rdd.Compute with exclusive timing (child compute
@@ -94,6 +97,7 @@ class TaskContext {
   int stage_id_;
   uint32_t partition_;
   size_t executor_id_;
+  uint32_t tenant_;
   TaskMetrics metrics_;
   std::vector<std::pair<size_t, BlockId>> pins_;  // (executor, block) to unpin
   std::vector<Frame> frames_;

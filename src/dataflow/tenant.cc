@@ -1,0 +1,216 @@
+#include "src/dataflow/tenant.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/dataflow/events.h"
+#include "src/dataflow/rdd_base.h"
+#include "src/metrics/registry.h"
+
+namespace blaze {
+
+TenantRegistry::TenantRegistry(std::vector<TenantSpec> specs,
+                               uint64_t capacity_per_executor, size_t num_executors)
+    : specs_(std::move(specs)) {
+  (void)num_executors;
+  BLAZE_CHECK(!specs_.empty()) << "multi_tenant mode requires at least one TenantSpec";
+
+  // Share split: explicitly-sized tenants take their fraction; the rest split
+  // whatever fraction remains equally. The sum is clamped to the capacity so
+  // misconfigured fractions degrade to proportional floors, never overcommit.
+  double explicit_sum = 0.0;
+  size_t implicit = 0;
+  for (const TenantSpec& spec : specs_) {
+    if (spec.memory_share > 0.0) {
+      explicit_sum += spec.memory_share;
+    } else {
+      ++implicit;
+    }
+  }
+  const double residue = std::max(0.0, 1.0 - explicit_sum);
+  const double implicit_share = implicit > 0 ? residue / static_cast<double>(implicit) : 0.0;
+  const double scale = explicit_sum > 1.0 ? 1.0 / explicit_sum : 1.0;
+
+  share_bytes_.reserve(specs_.size());
+  states_.reserve(specs_.size());
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  for (const TenantSpec& spec : specs_) {
+    const double frac =
+        (spec.memory_share > 0.0 ? spec.memory_share * scale : implicit_share);
+    share_bytes_.push_back(
+        static_cast<uint64_t>(frac * static_cast<double>(capacity_per_executor)));
+    auto state = std::make_unique<TenantState>();
+    state->hits = reg.Counter("tenant." + spec.name + ".hits");
+    state->misses = reg.Counter("tenant." + spec.name + ".misses");
+    states_.push_back(std::move(state));
+  }
+}
+
+std::optional<TenantId> TenantRegistry::FindByName(const std::string& name) const {
+  for (size_t t = 0; t < specs_.size(); ++t) {
+    if (specs_[t].name == name) {
+      return static_cast<TenantId>(t);
+    }
+  }
+  return std::nullopt;
+}
+
+TenantRegistry::Admission TenantRegistry::AcquireJobSlot(TenantId t) {
+  BLAZE_CHECK_LT(t, states_.size()) << "unknown tenant id " << t;
+  const TenantSpec& spec = specs_[t];
+  TenantState& state = *states_[t];
+  if (spec.max_in_flight_jobs <= 0) {
+    std::lock_guard<std::mutex> lock(state.mu);
+    ++state.running;
+    return {true, false, ""};
+  }
+  std::unique_lock<std::mutex> lock(state.mu);
+  if (state.running < spec.max_in_flight_jobs) {
+    ++state.running;
+    return {true, false, ""};
+  }
+  if (state.queued >= spec.max_queued_jobs) {
+    state.rejected.fetch_add(1, std::memory_order_relaxed);
+    std::ostringstream reason;
+    reason << "queue_full: tenant '" << spec.name << "' has " << state.running
+           << " jobs in flight and " << state.queued << " queued (bounds "
+           << spec.max_in_flight_jobs << "/" << spec.max_queued_jobs << ")";
+    return {false, false, reason.str()};
+  }
+  ++state.queued;
+  const bool got_slot = state.cv.wait_for(
+      lock, std::chrono::milliseconds(spec.max_queue_wait_ms),
+      [&] { return state.running < spec.max_in_flight_jobs; });
+  --state.queued;
+  if (!got_slot) {
+    state.rejected.fetch_add(1, std::memory_order_relaxed);
+    std::ostringstream reason;
+    reason << "queue_timeout: tenant '" << spec.name << "' waited "
+           << spec.max_queue_wait_ms << " ms for a slot (" << spec.max_in_flight_jobs
+           << " in flight)";
+    return {false, true, reason.str()};
+  }
+  ++state.running;
+  return {true, true, ""};
+}
+
+void TenantRegistry::OnJobFinished(TenantId t, bool slot_held) {
+  if (t >= states_.size()) {
+    return;
+  }
+  TenantState& state = *states_[t];
+  state.completed.fetch_add(1, std::memory_order_relaxed);
+  if (slot_held) {
+    std::lock_guard<std::mutex> lock(state.mu);
+    --state.running;
+    state.cv.notify_one();
+  } else {
+    std::lock_guard<std::mutex> lock(state.mu);
+    --state.running;
+  }
+}
+
+void TenantRegistry::NoteJobDatasets(TenantId t, const JobInfo& info) {
+  if (t >= states_.size()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  for (const JobRddInfo& rinfo : info.rdds) {
+    if (rinfo.rdd == nullptr) {
+      continue;
+    }
+    DatasetRef& ref = datasets_[rinfo.rdd->id()];
+    if (ref.tenants.insert(t).second && ref.owner == kNoTenant) {
+      ref.owner = t;
+    }
+  }
+}
+
+TenantId TenantRegistry::OwnerOf(RddId rdd) const {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  auto it = datasets_.find(rdd);
+  return it == datasets_.end() ? kNoTenant : it->second.owner;
+}
+
+size_t TenantRegistry::TenantsReferencing(RddId rdd) const {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  auto it = datasets_.find(rdd);
+  return it == datasets_.end() ? 0 : it->second.tenants.size();
+}
+
+bool TenantRegistry::ReleaseDataset(TenantId t, RddId rdd) {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  auto it = datasets_.find(rdd);
+  if (it == datasets_.end()) {
+    return true;  // untracked: nothing shares it, release proceeds
+  }
+  DatasetRef& ref = it->second;
+  ref.tenants.erase(t);
+  if (ref.tenants.empty()) {
+    datasets_.erase(it);
+    return true;
+  }
+  // Ownership (the share charged for resident blocks) passes to a surviving
+  // referencing tenant so the bytes stay attributed to someone who wants them.
+  if (ref.owner == t) {
+    ref.owner = *ref.tenants.begin();
+  }
+  return false;
+}
+
+bool TenantRegistry::MayEvict(TenantId requester, uint32_t victim_tenant,
+                              const MemoryArbiter& arbiter) const {
+  if (victim_tenant == kNoTenant || victim_tenant == requester) {
+    return true;
+  }
+  // Hard floor: another tenant's block is reclaimable only while that tenant
+  // holds borrowed (over-share) bytes on this executor.
+  return arbiter.TenantBorrowedBytes(victim_tenant) > 0;
+}
+
+void TenantRegistry::RecordLookup(TenantId t, bool hit) {
+  if (t >= states_.size()) {
+    return;
+  }
+  (hit ? states_[t]->hits : states_[t]->misses)->Add();
+}
+
+int TenantRegistry::RunningJobs(TenantId t) const {
+  if (t >= states_.size()) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(states_[t]->mu);
+  return states_[t]->running;
+}
+
+int TenantRegistry::QueuedJobs(TenantId t) const {
+  if (t >= states_.size()) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(states_[t]->mu);
+  return states_[t]->queued;
+}
+
+TenantRegistry::TenantStats TenantRegistry::Stats(TenantId t) const {
+  TenantStats stats;
+  if (t >= states_.size()) {
+    return stats;
+  }
+  const TenantState& state = *states_[t];
+  stats.name = specs_[t].name;
+  stats.share_bytes = share_bytes_[t];
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    stats.jobs_running = state.running;
+    stats.jobs_queued = state.queued;
+  }
+  stats.jobs_completed = state.completed.load(std::memory_order_relaxed);
+  stats.jobs_rejected = state.rejected.load(std::memory_order_relaxed);
+  stats.cache_hits = state.hits->Value();
+  stats.cache_misses = state.misses->Value();
+  return stats;
+}
+
+}  // namespace blaze

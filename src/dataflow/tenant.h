@@ -1,0 +1,153 @@
+// Multi-tenant service plane: tenant identities, admission control, and the
+// cross-tenant dataset reference map (the LERC-style coordination layer).
+//
+// A tenant is a registered principal submitting jobs against one engine. The
+// registry owns three concerns:
+//
+//   * Admission — per-tenant max in-flight jobs with a bounded wait queue:
+//     a submit past the in-flight cap parks (condition variable) until a slot
+//     frees, and past the queue bound (or the wait deadline) it is rejected
+//     with a reason instead of piling up unbounded work.
+//
+//   * Dataset sharing — every job submission records which datasets the
+//     tenant's job references. The first tenant to touch a dataset owns it
+//     (its arbiter share is charged); the full referencing set is what makes
+//     a block "cross-tenant hot" — the last candidate any victim scan
+//     touches — and what a tenant-scoped unpersist decrements: the blocks go
+//     away only when the *last* referencing tenant releases the dataset.
+//
+//   * Accounting — per-tenant hit/miss/job counters feeding the
+//     tenant.<name>.* metrics the service plane and blazectl read.
+//
+// Memory shares themselves live in the per-executor MemoryArbiter ledgers
+// (storage layer); this class computes the per-executor share split from the
+// TenantSpec fractions and provides the eviction-floor predicate coordinators
+// consult during victim scans.
+#ifndef SRC_DATAFLOW_TENANT_H_
+#define SRC_DATAFLOW_TENANT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/dataflow/types.h"
+#include "src/storage/memory_arbiter.h"
+
+namespace blaze {
+
+struct JobInfo;
+class TelemetryCounter;
+
+using TenantId = uint32_t;
+
+struct TenantSpec {
+  std::string name;
+  // Fraction of every executor's memory capacity reserved as this tenant's
+  // share (the eviction floor). 0 = an equal split of whatever fraction the
+  // explicitly-sized tenants leave unclaimed.
+  double memory_share = 0.0;
+  int max_in_flight_jobs = 0;  // 0 = unlimited (no admission gate)
+  int max_queued_jobs = 8;     // waiters allowed beyond the in-flight cap
+  int max_queue_wait_ms = 10000;  // a parked submit rejects after this long
+};
+
+class TenantRegistry {
+ public:
+  struct Admission {
+    bool admitted = false;
+    bool waited = false;    // parked in the queue before getting a slot
+    std::string reason;     // set when !admitted
+  };
+
+  struct TenantStats {
+    std::string name;
+    uint64_t share_bytes = 0;  // summed across executors
+    int jobs_running = 0;
+    int jobs_queued = 0;
+    uint64_t jobs_completed = 0;
+    uint64_t jobs_rejected = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+  };
+
+  // `capacity_per_executor` sizes the share split; the caller installs the
+  // result of ShareBytesPerExecutor() into each executor's arbiter.
+  TenantRegistry(std::vector<TenantSpec> specs, uint64_t capacity_per_executor,
+                 size_t num_executors);
+
+  size_t num_tenants() const { return specs_.size(); }
+  const TenantSpec& spec(TenantId t) const { return specs_[t]; }
+  std::optional<TenantId> FindByName(const std::string& name) const;
+
+  // Per-executor share bytes, indexed by tenant id (what the arbiters get).
+  const std::vector<uint64_t>& ShareBytesPerExecutor() const { return share_bytes_; }
+
+  // --- admission -------------------------------------------------------------------
+  // Acquires an in-flight slot for tenant `t`, parking (bounded) at the cap.
+  Admission AcquireJobSlot(TenantId t);
+  // Job-completion notification; releases the slot when one was acquired
+  // (slot_held) and wakes the longest-parked waiter.
+  void OnJobFinished(TenantId t, bool slot_held);
+
+  // --- dataset sharing -------------------------------------------------------------
+  // Records that tenant `t`'s job references every dataset in `info`. First
+  // toucher becomes the owner.
+  void NoteJobDatasets(TenantId t, const JobInfo& info);
+  // Owner tenant charged for the dataset's blocks, or kNoTenant.
+  TenantId OwnerOf(RddId rdd) const;
+  // Number of distinct tenants whose jobs have referenced the dataset.
+  size_t TenantsReferencing(RddId rdd) const;
+  // Drops tenant `t`'s reference; returns true when no tenant references the
+  // dataset anymore (the caller may then actually unpersist the blocks).
+  bool ReleaseDataset(TenantId t, RddId rdd);
+
+  // Eviction floor (tentpole invariant): may a victim scan running on behalf
+  // of `requester` evict a block owned by `victim_tenant`? Own blocks and
+  // untenanted blocks are always fair game; another tenant's block only while
+  // that tenant is over its share on `arbiter` (the borrowed portion).
+  bool MayEvict(TenantId requester, uint32_t victim_tenant,
+                const MemoryArbiter& arbiter) const;
+
+  // --- accounting ------------------------------------------------------------------
+  void RecordLookup(TenantId t, bool hit);
+  TenantStats Stats(TenantId t) const;
+  int RunningJobs(TenantId t) const;
+  int QueuedJobs(TenantId t) const;
+
+ private:
+  struct TenantState {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    int running = 0;
+    int queued = 0;
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> rejected{0};
+    // tenant.<name>.{hits,misses} counters, resolved once at construction so
+    // the lookup path never pays a registry name probe.
+    TelemetryCounter* hits = nullptr;
+    TelemetryCounter* misses = nullptr;
+  };
+
+  struct DatasetRef {
+    TenantId owner = kNoTenant;
+    std::unordered_set<TenantId> tenants;
+  };
+
+  std::vector<TenantSpec> specs_;
+  std::vector<uint64_t> share_bytes_;  // per executor, indexed by tenant id
+  std::vector<std::unique_ptr<TenantState>> states_;
+
+  mutable std::mutex datasets_mu_;
+  std::unordered_map<RddId, DatasetRef> datasets_;
+};
+
+}  // namespace blaze
+
+#endif  // SRC_DATAFLOW_TENANT_H_

@@ -55,7 +55,7 @@ void CacheAuditLog::Push(uint32_t executor, AuditRecord&& record) {
 
 void CacheAuditLog::Admit(uint32_t executor, uint32_t rdd_id, uint32_t partition,
                           uint64_t size_bytes, bool to_disk, const char* policy,
-                          const char* reason) {
+                          const char* reason, uint32_t tenant) {
   TRACE_EVENT("cache.admit", "cache", trace::TArg("rdd", rdd_id),
               trace::TArg("part", partition), trace::TArg("bytes", size_bytes),
               trace::TArg("reason", reason));
@@ -68,12 +68,14 @@ void CacheAuditLog::Admit(uint32_t executor, uint32_t rdd_id, uint32_t partition
   r.to_disk = to_disk;
   r.policy = policy;
   r.reason = reason;
+  r.tenant = tenant;
   Push(executor, std::move(r));
 }
 
 void CacheAuditLog::Evict(uint32_t executor, uint32_t rdd_id, uint32_t partition,
                           uint64_t size_bytes, bool to_disk, const char* policy,
-                          const char* reason, double score, uint32_t candidates) {
+                          const char* reason, double score, uint32_t candidates,
+                          uint32_t tenant) {
   TRACE_EVENT("cache.evict", "cache", trace::TArg("rdd", rdd_id),
               trace::TArg("part", partition), trace::TArg("bytes", size_bytes),
               trace::TArg("to_disk", to_disk));
@@ -88,11 +90,13 @@ void CacheAuditLog::Evict(uint32_t executor, uint32_t rdd_id, uint32_t partition
   r.reason = reason;
   r.score = score;
   r.candidates = candidates;
+  r.tenant = tenant;
   Push(executor, std::move(r));
 }
 
 void CacheAuditLog::Unpersist(uint32_t executor, uint32_t rdd_id, uint32_t partition,
-                              uint64_t size_bytes, const char* policy, const char* reason) {
+                              uint64_t size_bytes, const char* policy, const char* reason,
+                              uint32_t tenant) {
   TRACE_EVENT("cache.unpersist", "cache", trace::TArg("rdd", rdd_id),
               trace::TArg("part", partition), trace::TArg("reason", reason));
   AuditRecord r;
@@ -103,12 +107,14 @@ void CacheAuditLog::Unpersist(uint32_t executor, uint32_t rdd_id, uint32_t parti
   r.size_bytes = size_bytes;
   r.policy = policy;
   r.reason = reason;
+  r.tenant = tenant;
   Push(executor, std::move(r));
 }
 
 void CacheAuditLog::IlpSolve(uint32_t executor, int32_t job_id, uint32_t universe,
                              uint32_t chose_memory, uint32_t chose_disk, uint32_t chose_drop,
-                             double solve_ms, const char* policy, const char* reason) {
+                             double solve_ms, const char* policy, const char* reason,
+                             uint32_t tenant) {
   TRACE_EVENT("cache.ilp_solve", "cache", trace::TArg("job", job_id),
               trace::TArg("universe", universe), trace::TArg("mem", chose_memory),
               trace::TArg("solve_ms", solve_ms));
@@ -123,6 +129,7 @@ void CacheAuditLog::IlpSolve(uint32_t executor, int32_t job_id, uint32_t univers
   r.chose_disk = chose_disk;
   r.chose_drop = chose_drop;
   r.solve_ms = solve_ms;
+  r.tenant = tenant;
   Push(executor, std::move(r));
 }
 
@@ -157,6 +164,9 @@ void CacheAuditLog::WriteJsonl(std::ostream& os) const {
       if (r.kind == AuditKind::kEvict) {
         os << ",\"score\":" << r.score << ",\"candidates\":" << r.candidates;
       }
+    }
+    if (r.tenant != kNoAuditTenant) {
+      os << ",\"tenant\":" << r.tenant;
     }
     os << ",\"policy\":\"" << json::Escape(r.policy != nullptr ? r.policy : "")
        << "\",\"reason\":\"" << json::Escape(r.reason != nullptr ? r.reason : "") << "\"}\n";

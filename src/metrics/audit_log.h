@@ -48,22 +48,33 @@ struct AuditRecord {
   uint32_t chose_disk = 0;
   uint32_t chose_drop = 0;
   double solve_ms = 0.0;
+
+  // Multi-tenant attribution: the tenant whose bytes the decision touched —
+  // the victim's owner on evict, the charged owner on admit, the releasing
+  // tenant on unpersist, the knapsack's tenant on ilp_solve. kNoAuditTenant
+  // outside multi-tenant mode (and the field is then omitted from JSONL).
+  uint32_t tenant = 0xFFFFFFFFu;
 };
+
+// Mirrors storage's kNoTenant (this library sits below storage in the graph).
+inline constexpr uint32_t kNoAuditTenant = 0xFFFFFFFFu;
 
 class CacheAuditLog {
  public:
   explicit CacheAuditLog(size_t num_executors, size_t capacity_per_executor = 4096);
 
   void Admit(uint32_t executor, uint32_t rdd_id, uint32_t partition, uint64_t size_bytes,
-             bool to_disk, const char* policy, const char* reason);
+             bool to_disk, const char* policy, const char* reason,
+             uint32_t tenant = kNoAuditTenant);
   void Evict(uint32_t executor, uint32_t rdd_id, uint32_t partition, uint64_t size_bytes,
              bool to_disk, const char* policy, const char* reason, double score,
-             uint32_t candidates);
+             uint32_t candidates, uint32_t tenant = kNoAuditTenant);
   void Unpersist(uint32_t executor, uint32_t rdd_id, uint32_t partition,
-                 uint64_t size_bytes, const char* policy, const char* reason);
+                 uint64_t size_bytes, const char* policy, const char* reason,
+                 uint32_t tenant = kNoAuditTenant);
   void IlpSolve(uint32_t executor, int32_t job_id, uint32_t universe, uint32_t chose_memory,
                 uint32_t chose_disk, uint32_t chose_drop, double solve_ms,
-                const char* policy, const char* reason);
+                const char* policy, const char* reason, uint32_t tenant = kNoAuditTenant);
 
   // All retained records across executors, in decision (seq) order.
   std::vector<AuditRecord> Snapshot() const;

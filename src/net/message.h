@@ -39,6 +39,14 @@ enum class MsgType : uint8_t {
   kHeartbeatAck = 12,
   kShutdown = 13,
   kAck = 14,          // generic ok/error response
+
+  // Multi-tenant job service (blaze_serve daemon).
+  kJobSubmit = 15,       // submit a named workload on behalf of a tenant
+  kJobSubmitResp = 16,
+  kJobStatus = 17,       // poll a previously submitted server job
+  kJobStatusResp = 18,
+  kTenantStats = 19,     // one-shot per-tenant usage/admission snapshot
+  kTenantStatsResp = 20,
 };
 
 const char* MsgTypeName(MsgType type);
@@ -190,6 +198,72 @@ struct AckMsg {
 
   void EncodeTo(ByteSink& sink) const;
   static std::optional<AckMsg> Decode(ByteSource& src);
+};
+
+// --- multi-tenant job service -----------------------------------------------
+
+// Submit a registered workload on behalf of a named tenant. The server maps
+// the tenant name to its TenantRegistry id and runs the workload through the
+// engine's tenant-scoped admission path.
+struct JobSubmitMsg {
+  std::string tenant;
+  std::string workload;
+  int32_t iterations = 0;  // 0 = workload default
+
+  void EncodeTo(ByteSink& sink) const;
+  static std::optional<JobSubmitMsg> Decode(ByteSource& src);
+};
+
+struct JobSubmitRespMsg {
+  bool accepted = false;
+  int64_t server_job_id = -1;  // valid when accepted
+  std::string error;           // reject reason otherwise
+
+  void EncodeTo(ByteSink& sink) const;
+  static std::optional<JobSubmitRespMsg> Decode(ByteSource& src);
+};
+
+struct JobStatusMsg {
+  int64_t server_job_id = -1;
+
+  void EncodeTo(ByteSink& sink) const;
+  static std::optional<JobStatusMsg> Decode(ByteSource& src);
+};
+
+struct JobStatusRespMsg {
+  bool known = false;
+  std::string state;   // "queued" | "running" | "done" | "failed" | "rejected"
+  std::string detail;  // result summary or error/reject reason
+  double elapsed_ms = 0.0;
+
+  void EncodeTo(ByteSink& sink) const;
+  static std::optional<JobStatusRespMsg> Decode(ByteSource& src);
+};
+
+// One row per registered tenant in the stats snapshot.
+struct TenantStatRow {
+  std::string name;
+  uint64_t share_bytes = 0;     // summed across executors
+  uint64_t used_bytes = 0;      // cached bytes charged to the tenant
+  uint64_t borrowed_bytes = 0;  // usage above the share (work-conserving)
+  int32_t jobs_running = 0;
+  int32_t jobs_queued = 0;
+  uint64_t jobs_completed = 0;
+  uint64_t jobs_rejected = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+struct TenantStatsMsg {
+  void EncodeTo(ByteSink& sink) const;
+  static std::optional<TenantStatsMsg> Decode(ByteSource& src);
+};
+
+struct TenantStatsRespMsg {
+  std::vector<TenantStatRow> tenants;
+
+  void EncodeTo(ByteSink& sink) const;
+  static std::optional<TenantStatsRespMsg> Decode(ByteSource& src);
 };
 
 // --- bounded helpers (shared by the decoders) -------------------------------

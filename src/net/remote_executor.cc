@@ -261,7 +261,10 @@ void RemoteExecutorSet::MonitorLoop() {
       bool dead = false;
       if (pid > 0 && ::waitpid(pid, nullptr, WNOHANG) == pid) {
         std::lock_guard<std::mutex> lock(handle.mu);
+        // Retire pid and alive together: observers must never see a live
+        // worker with no pid (the loss handler hasn't respawned yet).
         handle.pid = -1;  // already reaped
+        handle.alive.store(false);
         dead = true;
       }
       if (!dead && !HeartbeatOnce(slot)) {

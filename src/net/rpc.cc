@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 
 #include "src/common/logging.h"
@@ -10,30 +11,38 @@
 namespace blaze::net {
 
 bool RpcServer::Start(std::string* error) {
-  listen_fd_ = ListenLocal(requested_port_, &bound_port_, /*attempts=*/10, error);
-  if (listen_fd_ < 0) {
+  const int fd = ListenLocal(requested_port_, &bound_port_, /*attempts=*/10, error);
+  if (fd < 0) {
     return false;
   }
+  listen_fd_.store(fd);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return true;
 }
 
 void RpcServer::Stop() {
-  if (listen_fd_ < 0) {
+  // exchange() makes Stop idempotent: the second caller (typically the
+  // destructor after an explicit Stop) sees -1 and returns.
+  const int listen_fd = listen_fd_.exchange(-1);
+  if (listen_fd < 0) {
     return;
   }
   stopping_.store(true);
-  // shutdown() wakes the blocked accept(); close alone is not reliable when
-  // another thread is parked in it.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  // shutdown() wakes the blocked accept(); the close waits until the accept
+  // thread is joined so its fd number can't be recycled out from under it.
+  ::shutdown(listen_fd, SHUT_RDWR);
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
+  ::close(listen_fd);
   std::vector<std::thread> conns;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
+    // Wake every serving thread parked in ReadFrame on an idle connection;
+    // the thread owns the close (shutdown alone leaves the fd valid).
+    for (const int fd : live_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
     conns.swap(conn_threads_);
   }
   for (auto& t : conns) {
@@ -45,7 +54,11 @@ void RpcServer::Stop() {
 
 void RpcServer::AcceptLoop() {
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) {
+      return;
+    }
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (stopping_.load()) {
         return;
@@ -61,6 +74,7 @@ void RpcServer::AcceptLoop() {
       ::close(fd);
       return;
     }
+    live_fds_.push_back(fd);
     conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
   }
 }
@@ -93,6 +107,10 @@ void RpcServer::ServeConnection(int fd) {
       break;
     }
   }
+  // Deregister before close so a racing accept() can't recycle the fd number
+  // into live_fds_ while this entry is still present.
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), fd), live_fds_.end());
   ::close(fd);
 }
 

@@ -54,12 +54,16 @@ class RpcServer {
 
   const uint16_t requested_port_;
   Handler handler_;
-  int listen_fd_ = -1;
+  // Atomic: Stop() retires it to -1 while AcceptLoop is parked in accept().
+  std::atomic<int> listen_fd_{-1};
   uint16_t bound_port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::mutex conn_mu_;
   std::vector<std::thread> conn_threads_;
+  // Open connection fds, so Stop() can shutdown() them and wake serving
+  // threads parked in ReadFrame instead of waiting out the socket timeout.
+  std::vector<int> live_fds_;
 };
 
 class RpcClient {

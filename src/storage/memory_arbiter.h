@@ -30,8 +30,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 namespace blaze {
+
+// Sentinel tenant for blocks/jobs outside the multi-tenant ledger (the
+// single-tenant default). Untenanted bytes are charged to no share and are
+// never protected by a tenant's eviction floor.
+inline constexpr uint32_t kNoTenant = 0xFFFFFFFFu;
 
 class MemoryArbiter {
  public:
@@ -85,6 +91,43 @@ class MemoryArbiter {
     return execution_overflow_events_.load(std::memory_order_relaxed);
   }
 
+  // --- per-tenant shares (multi-tenant mode) ---------------------------------------
+  // Soft shares over this executor's capacity, indexed by tenant id. A share
+  // is a *floor*, not a cap: a tenant may borrow unused capacity beyond its
+  // share (work-conserving), but eviction on behalf of another tenant may
+  // only reclaim the borrowed portion — the within-share bytes are
+  // untouchable. Configured once while the engine is quiesced (construction).
+  void ConfigureTenantShares(const std::vector<uint64_t>& share_bytes) {
+    tenant_shares_ = share_bytes;
+    tenant_used_ = std::vector<std::atomic<uint64_t>>(share_bytes.size());
+  }
+  size_t num_tenant_shares() const { return tenant_shares_.size(); }
+
+  // MemoryStore mirrors per-entry reservation deltas here (tagged puts and
+  // the matching removes), exactly like OnCacheDelta for the global ledger.
+  void OnTenantCacheDelta(uint32_t tenant, int64_t delta_bytes) {
+    if (tenant < tenant_used_.size()) {
+      tenant_used_[tenant].fetch_add(static_cast<uint64_t>(delta_bytes),
+                                     std::memory_order_relaxed);
+    }
+  }
+
+  uint64_t TenantShareBytes(uint32_t tenant) const {
+    return tenant < tenant_shares_.size() ? tenant_shares_[tenant] : 0;
+  }
+  uint64_t TenantCacheUsed(uint32_t tenant) const {
+    return tenant < tenant_used_.size()
+               ? tenant_used_[tenant].load(std::memory_order_relaxed)
+               : 0;
+  }
+  // Bytes the tenant holds beyond its share right now — what a victim scan on
+  // another tenant's behalf may reclaim from it (0 when within the share).
+  uint64_t TenantBorrowedBytes(uint32_t tenant) const {
+    const uint64_t used = TenantCacheUsed(tenant);
+    const uint64_t share = TenantShareBytes(tenant);
+    return used > share ? used - share : 0;
+  }
+
  private:
   uint64_t capacity_;
   uint64_t execution_cap_;
@@ -92,6 +135,10 @@ class MemoryArbiter {
   std::atomic<uint64_t> execution_used_{0};
   std::atomic<uint64_t> execution_peak_{0};
   std::atomic<uint64_t> execution_overflow_events_{0};
+  // Tenant ledger: shares are immutable after ConfigureTenantShares; usage
+  // counters are relaxed atomics like the rest of the ledger.
+  std::vector<uint64_t> tenant_shares_;
+  std::vector<std::atomic<uint64_t>> tenant_used_;
 };
 
 }  // namespace blaze

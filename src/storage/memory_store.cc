@@ -40,19 +40,23 @@ bool MemoryStore::Reserve(const BlockId& id, uint64_t add_bytes, uint64_t remove
   return true;
 }
 
-void MemoryStore::ReleaseBytes(uint64_t bytes) {
+void MemoryStore::ReleaseBytes(uint64_t bytes, uint32_t tenant) {
   used_.fetch_sub(bytes, std::memory_order_relaxed);
   if (arbiter_ != nullptr) {
     arbiter_->OnCacheDelta(-static_cast<int64_t>(bytes));
+    if (tenant != kNoTenant) {
+      arbiter_->OnTenantCacheDelta(tenant, -static_cast<int64_t>(bytes));
+    }
   }
 }
 
 bool MemoryStore::PutInternal(const BlockId& id, BlockPtr data, uint64_t size_bytes,
-                              bool fatal) {
+                              bool fatal, uint32_t tenant) {
   Shard& shard = ShardFor(id);
   std::lock_guard<SpinLock> lock(shard.mu);
   auto it = shard.blocks.find(id);
   const uint64_t old_size = it != shard.blocks.end() ? it->second.size_bytes : 0;
+  const uint32_t old_tenant = it != shard.blocks.end() ? it->second.tenant : kNoTenant;
   // Holding the shard lock makes find-then-reserve atomic for this key; the
   // reservation itself re-checks the bound against concurrent shards' puts.
   int64_t applied_delta = 0;
@@ -66,6 +70,21 @@ bool MemoryStore::PutInternal(const BlockId& id, BlockPtr data, uint64_t size_by
                  static_cast<int64_t>(size_bytes) - static_cast<int64_t>(old_size))
       << "replace reservation for " << id.ToString() << " applied wrong delta (old "
       << old_size << " B, new " << size_bytes << " B)";
+  // Tenant ledger mirror: a replacement may move the charge between tenants
+  // (full release + full charge); same-tenant replacements apply the delta.
+  if (arbiter_ != nullptr && (tenant != kNoTenant || old_tenant != kNoTenant)) {
+    if (old_tenant == tenant) {
+      arbiter_->OnTenantCacheDelta(tenant, static_cast<int64_t>(size_bytes) -
+                                               static_cast<int64_t>(old_size));
+    } else {
+      if (old_tenant != kNoTenant) {
+        arbiter_->OnTenantCacheDelta(old_tenant, -static_cast<int64_t>(old_size));
+      }
+      if (tenant != kNoTenant) {
+        arbiter_->OnTenantCacheDelta(tenant, static_cast<int64_t>(size_bytes));
+      }
+    }
+  }
   const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (it != shard.blocks.end()) {
     // Replacement: new payload and insertion recency, preserved access stats
@@ -75,6 +94,7 @@ bool MemoryStore::PutInternal(const BlockId& id, BlockPtr data, uint64_t size_by
     entry.size_bytes = size_bytes;
     entry.insert_seq = seq;
     entry.last_access_seq = seq;
+    entry.tenant = tenant;
     return true;
   }
   MemoryEntry entry;
@@ -83,27 +103,30 @@ bool MemoryStore::PutInternal(const BlockId& id, BlockPtr data, uint64_t size_by
   entry.size_bytes = size_bytes;
   entry.insert_seq = seq;
   entry.last_access_seq = seq;
+  entry.tenant = tenant;
   shard.blocks.emplace(id, std::move(entry));
   return true;
 }
 
-void MemoryStore::Put(const BlockId& id, BlockPtr data, uint64_t size_bytes) {
+void MemoryStore::Put(const BlockId& id, BlockPtr data, uint64_t size_bytes,
+                      uint32_t tenant) {
   // Offload (blocking RPC in distributed mode) happens before any shard lock.
   if (offload_) {
     if (BlockPtr stub = offload_(id, data, size_bytes)) {
       data = std::move(stub);
     }
   }
-  PutInternal(id, std::move(data), size_bytes, /*fatal=*/true);
+  PutInternal(id, std::move(data), size_bytes, /*fatal=*/true, tenant);
 }
 
-bool MemoryStore::TryPut(const BlockId& id, BlockPtr data, uint64_t size_bytes) {
+bool MemoryStore::TryPut(const BlockId& id, BlockPtr data, uint64_t size_bytes,
+                         uint32_t tenant) {
   if (offload_) {
     if (BlockPtr stub = offload_(id, data, size_bytes)) {
       data = std::move(stub);
     }
   }
-  return PutInternal(id, std::move(data), size_bytes, /*fatal=*/false);
+  return PutInternal(id, std::move(data), size_bytes, /*fatal=*/false, tenant);
 }
 
 std::optional<BlockPtr> MemoryStore::Get(const BlockId& id) {
@@ -184,8 +207,9 @@ uint64_t MemoryStore::Remove(const BlockId& id) {
     return 0;
   }
   const uint64_t size = it->second.size_bytes;
+  const uint32_t tenant = it->second.tenant;
   shard.blocks.erase(it);
-  ReleaseBytes(size);
+  ReleaseBytes(size, tenant);
   return size;
 }
 
@@ -197,8 +221,9 @@ uint64_t MemoryStore::RemoveIfUnpinned(const BlockId& id) {
     return 0;
   }
   const uint64_t size = it->second.size_bytes;
+  const uint32_t tenant = it->second.tenant;
   shard.blocks.erase(it);
-  ReleaseBytes(size);
+  ReleaseBytes(size, tenant);
   return size;
 }
 

@@ -48,6 +48,9 @@ struct MemoryEntry {
   uint64_t last_access_seq = 0;  // updated on Get
   uint64_t access_count = 0;
   int pins = 0;                  // executing tasks holding this block
+  // Owning tenant (charged against its arbiter share); kNoTenant outside
+  // multi-tenant mode. Victim scans read this for the eviction floor.
+  uint32_t tenant = kNoTenant;
 };
 
 class MemoryStore {
@@ -70,14 +73,18 @@ class MemoryStore {
   // Inserts (or replaces) a block. The caller must have made room: inserting
   // beyond the capacity bound is a checked error — the coordinator owns
   // eviction. Replacing an existing block keeps its access statistics
-  // (access_count): re-materialization is not a loss of history.
-  void Put(const BlockId& id, BlockPtr data, uint64_t size_bytes);
+  // (access_count): re-materialization is not a loss of history. `tenant`
+  // tags the entry and charges the bytes to that tenant's arbiter share
+  // (kNoTenant = untagged, the single-tenant default).
+  void Put(const BlockId& id, BlockPtr data, uint64_t size_bytes,
+           uint32_t tenant = kNoTenant);
 
   // Like Put, but returns false instead of dying when the block does not fit
   // under the current bound. Coordinators use this: with the arbiter's bound
   // moving under shuffle pressure, an admission decided a moment ago can
   // legitimately lose its headroom before the insert lands.
-  bool TryPut(const BlockId& id, BlockPtr data, uint64_t size_bytes);
+  bool TryPut(const BlockId& id, BlockPtr data, uint64_t size_bytes,
+              uint32_t tenant = kNoTenant);
 
   // Returns the block and bumps its access recency, or nullopt.
   std::optional<BlockPtr> Get(const BlockId& id);
@@ -160,9 +167,10 @@ class MemoryStore {
                int64_t* applied_delta = nullptr);
 
   // Shared Put body; returns false when (fatal=false) the reservation fails.
-  bool PutInternal(const BlockId& id, BlockPtr data, uint64_t size_bytes, bool fatal);
+  bool PutInternal(const BlockId& id, BlockPtr data, uint64_t size_bytes, bool fatal,
+                   uint32_t tenant);
 
-  void ReleaseBytes(uint64_t bytes);
+  void ReleaseBytes(uint64_t bytes, uint32_t tenant);
 
   uint64_t capacity_;
   MemoryArbiter* arbiter_;

@@ -71,7 +71,8 @@ int Usage() {
                "                    [--scale F] [--iterations N] [--partitions N]\n"
                "                    [--executors N] [--threads N] [--capacity-kib N]\n"
                "                    [--disk-mbps N] [--format table|json]\n"
-               "       blazectl top [--port N] [--interval-ms N] [--once] [--validate]\n";
+               "       blazectl top [--port N] [--interval-ms N] [--once] [--validate]\n"
+               "       blazectl tenants [--port N]\n";
   return 2;
 }
 
@@ -299,6 +300,49 @@ double StatHistField(const json::Value& snap, const char* name, const char* fiel
   return v != nullptr && v->is_number() ? v->as_number() : 0.0;
 }
 
+// Multi-tenant mode only: one row per tenant from the tenant.<name>.* gauges
+// and the tenant.<name>.{hits,misses} counters. Returns false when the engine
+// has no registered tenants (single-tenant mode publishes none of these).
+bool RenderTenants(const json::Value& snap) {
+  const json::Value* gauges = snap.Find("gauges");
+  std::set<std::string> names;
+  if (gauges != nullptr && gauges->is_object()) {
+    for (const auto& [key, value] : gauges->as_object()) {
+      char name[64] = {0};
+      if (std::sscanf(key.c_str(), "tenant.%63[^.].", name) == 1) {
+        names.insert(name);
+      }
+    }
+  }
+  if (names.empty()) {
+    return false;
+  }
+  TextTable tenants;
+  tenants.AddRow({"tenant", "share", "used", "borrowed", "hit%", "running", "queued",
+                  "completed", "rejected"});
+  for (const std::string& name : names) {
+    const std::string prefix = "tenant." + name + ".";
+    const auto gauge = [&](const char* field) {
+      return StatCounter(snap, "gauges", (prefix + field).c_str());
+    };
+    const uint64_t hits = StatCounter(snap, "counters", (prefix + "hits").c_str());
+    const uint64_t misses = StatCounter(snap, "counters", (prefix + "misses").c_str());
+    const uint64_t lookups = hits + misses;
+    tenants.AddRow(
+        {name, FormatBytes(gauge("share_bytes")), FormatBytes(gauge("used_bytes")),
+         FormatBytes(gauge("borrowed_bytes")),
+         lookups == 0
+             ? "-"
+             : Fmt(100.0 * static_cast<double>(hits) / static_cast<double>(lookups), 1) +
+                   "%",
+         std::to_string(gauge("jobs_running")), std::to_string(gauge("jobs_queued")),
+         std::to_string(gauge("jobs_completed")),
+         std::to_string(gauge("jobs_rejected"))});
+  }
+  std::cout << tenants.Render("tenants");
+  return true;
+}
+
 void RenderTop(const json::Value& snap, int port) {
   const json::Value* ts = snap.Find("ts_us");
   const double up_s = ts != nullptr && ts->is_number() ? ts->as_number() / 1e6 : 0.0;
@@ -365,6 +409,8 @@ void RenderTop(const json::Value& snap, int port) {
               FormatBytes(StatCounter(snap, "gauges", "shuffle.bytes_in_flight")),
               FormatBytes(StatCounter(snap, "gauges", "arena.live_bytes"))});
   std::cout << mem.Render("memory");
+
+  RenderTenants(snap);
 
   // Distributed mode only: one row per worker process, fed by heartbeat acks
   // (worker.<slot>.* gauges exist only when the engine runs with workers).
@@ -511,6 +557,27 @@ int TopCommand(const CliOptions& options) {
   }
 }
 
+// One-shot per-tenant view (the `tenants` table from top, nothing else).
+int TenantsCommand(const CliOptions& options) {
+  std::string error;
+  const auto stats = HttpGetLocal(static_cast<uint16_t>(options.port), "/stats", &error);
+  if (!stats.has_value()) {
+    std::cerr << "blazectl tenants: " << error
+              << "\n(start the engine with BLAZE_TELEMETRY_PORT=" << options.port << ")\n";
+    return 1;
+  }
+  const auto parsed = json::Parse(*stats, &error);
+  if (!parsed.has_value()) {
+    std::cerr << "blazectl tenants: /stats unparseable: " << error << "\n";
+    return 1;
+  }
+  if (!RenderTenants(*parsed)) {
+    std::cerr << "blazectl tenants: engine is not multi-tenant (no tenant.* gauges)\n";
+    return 1;
+  }
+  return 0;
+}
+
 int ListCommand() {
   std::cout << "workloads:";
   for (const auto& name : AllWorkloadNames()) {
@@ -540,6 +607,9 @@ int main(int argc, char** argv) {
   }
   if (options.command == "top") {
     return blaze::TopCommand(options);
+  }
+  if (options.command == "tenants") {
+    return blaze::TenantsCommand(options);
   }
   return blaze::Usage();
 }

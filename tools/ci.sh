@@ -155,6 +155,18 @@ traffic_slo_smoke() {
     ./build/bench/bench_traffic_slo
 }
 
+tenant_smoke() {
+  # Noisy-neighbor isolation smoke: two tenants with equal soft shares on one
+  # engine — a churning tenant floods the cache while a quiet tenant re-reads
+  # a hot set held inside its share. The binary asserts the quiet tenant's
+  # hit-rate floor (95%) and per-job p99 bound (100 ms), that it recomputed
+  # nothing, and that the churn really forced evictions. $1 names the build
+  # tree so the TSan config can reuse it (the two drivers race by design).
+  local build_dir="${1:-build}"
+  echo "=== [$build_dir] tenant noisy-neighbor smoke ==="
+  "./$build_dir/tools/tenant_smoke"
+}
+
 dist_smoke() {
   # Distributed-mode smoke: coordinator + 2 worker processes over the real
   # wire protocol must produce results byte-identical to in-process mode,
@@ -203,6 +215,7 @@ if [[ "$mode" == "plain" || "$mode" == "all" ]]; then
   micro_pipeline_smoke
   micro_trace_smoke
   traffic_slo_smoke
+  tenant_smoke build
   dist_smoke
   perf_smoke
 fi
@@ -215,6 +228,12 @@ if [[ "$mode" == "tsan" || "$mode" == "all" ]]; then
   # The same spill-pressure run under TSan: continuous eviction + the spill
   # worker + pinned readers is exactly where a lifetime race would hide.
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" spill_smoke build-tsan
+  # The noisy-neighbor scenario under TSan: concurrent tenant drivers hammer
+  # the admission gate, arbiter ledgers, and victim scans simultaneously.
+  # TSan slows execution ~5-15x, so only the race-freedom and isolation
+  # invariants are meaningful — relax the latency bound accordingly.
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    BLAZE_TENANT_SMOKE_MAX_P99_MS=2000 tenant_smoke build-tsan
 fi
 
 if [[ "$mode" == "asan" || "$mode" == "all" ]]; then

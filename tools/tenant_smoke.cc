@@ -1,0 +1,173 @@
+// Noisy-neighbor isolation smoke (tools/ci.sh tenant_smoke).
+//
+// One engine, two tenants with equal soft shares: "quiet" caches a hot
+// dataset comfortably inside its share and keeps re-reading it; "noisy"
+// concurrently churns a stream of fresh cached datasets several times the
+// size of the whole store. The multi-tenant eviction floor says the churn may
+// consume all idle capacity and its own share but can never evict the quiet
+// tenant's within-share blocks — so after the storm:
+//
+//   * quiet must have recomputed nothing (its generator ran exactly once per
+//     partition),
+//   * quiet's steady-state hit rate must hold a floor (default 95%),
+//   * quiet's per-job p99 must stay under a bound (default 100 ms — cached
+//     reads of a ~50 KiB dataset; generous for a loaded 1-vCPU CI box),
+//   * and the engine must have actually evicted (otherwise the scenario
+//     proved nothing).
+//
+// Env knobs: BLAZE_TENANT_SMOKE_MIN_HIT_PCT, BLAZE_TENANT_SMOKE_MAX_P99_MS,
+// BLAZE_TENANT_SMOKE_ROUNDS. Exit 0 on success, 1 on any violated bound.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cache/policies.h"
+#include "src/cache/policy_coordinator.h"
+#include "src/common/stopwatch.h"
+#include "src/common/units.h"
+#include "src/dataflow/rdd.h"
+#include "src/dataflow/tenant.h"
+
+namespace blaze {
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atof(v) : fallback;
+}
+
+size_t CountAs(EngineContext& engine, TenantId tenant,
+               const std::shared_ptr<RddBase>& target) {
+  size_t rows = 0;
+  for (std::any& result : engine.RunJobAs(
+           tenant, target,
+           [](const BlockPtr& block) -> std::any { return block->NumRows(); },
+           /*raw_blocks=*/true)) {
+    rows += std::any_cast<size_t>(result);
+  }
+  return rows;
+}
+
+int Run() {
+  const double min_hit_pct = EnvDouble("BLAZE_TENANT_SMOKE_MIN_HIT_PCT", 95.0);
+  const double max_p99_ms = EnvDouble("BLAZE_TENANT_SMOKE_MAX_P99_MS", 100.0);
+  const int rounds = static_cast<int>(EnvDouble("BLAZE_TENANT_SMOKE_ROUNDS", 24));
+
+  EngineConfig config;
+  config.num_executors = 1;
+  config.threads_per_executor = 2;
+  config.memory_capacity_per_executor = KiB(128);
+  config.multi_tenant = true;
+  TenantSpec quiet_spec;
+  quiet_spec.name = "quiet";
+  quiet_spec.memory_share = 0.5;
+  TenantSpec noisy_spec;
+  noisy_spec.name = "noisy";
+  noisy_spec.memory_share = 0.5;
+  config.tenants = {quiet_spec, noisy_spec};
+  EngineContext engine(config);
+  engine.SetCoordinator(std::make_unique<PolicyCoordinator>(&engine, MakePolicy("lru"),
+                                                            EvictionMode::kMemOnly));
+  const TenantId quiet = *engine.tenants()->FindByName("quiet");
+  const TenantId noisy = *engine.tenants()->FindByName("noisy");
+
+  // ~50 KiB hot set: 6 partitions x 2000 ints, inside quiet's 64 KiB share.
+  std::atomic<int> quiet_generations{0};
+  auto hot = Generate<int>(&engine, "quiet_hot", 6, [&quiet_generations](uint32_t p) {
+    quiet_generations.fetch_add(1);
+    return std::vector<int>(2000, static_cast<int>(p));
+  });
+  hot->Cache();
+  if (CountAs(engine, quiet, hot) != 6u * 2000u) {
+    std::fprintf(stderr, "tenant_smoke: quiet warmup failed\n");
+    return 1;
+  }
+  const int warm_generations = quiet_generations.load();
+
+  // The storm: both drivers run concurrently; noisy builds a fresh ~66 KiB
+  // cached dataset every round (~12x the store across the run).
+  std::vector<double> quiet_lat;
+  quiet_lat.reserve(rounds);
+  std::atomic<bool> failed{false};
+  std::thread quiet_driver([&] {
+    for (int r = 0; r < rounds; ++r) {
+      Stopwatch watch;
+      if (CountAs(engine, quiet, hot) != 6u * 2000u) {
+        failed.store(true);
+        return;
+      }
+      quiet_lat.push_back(watch.ElapsedMillis());
+    }
+  });
+  std::thread noisy_driver([&] {
+    for (int r = 0; r < rounds; ++r) {
+      auto churn = Generate<int>(&engine, "noisy_" + std::to_string(r), 8,
+                                 [](uint32_t p) {
+                                   return std::vector<int>(2000, static_cast<int>(p));
+                                 });
+      churn->Cache();
+      if (CountAs(engine, noisy, churn) != 8u * 2000u) {
+        failed.store(true);
+        return;
+      }
+    }
+  });
+  quiet_driver.join();
+  noisy_driver.join();
+  if (failed.load()) {
+    std::fprintf(stderr, "tenant_smoke: a driver lost rows\n");
+    return 1;
+  }
+
+  const TenantRegistry::TenantStats quiet_stats = engine.tenants()->Stats(quiet);
+  const uint64_t lookups = quiet_stats.cache_hits + quiet_stats.cache_misses;
+  const double hit_pct =
+      lookups == 0 ? 0.0
+                   : 100.0 * static_cast<double>(quiet_stats.cache_hits) /
+                         static_cast<double>(lookups);
+  std::sort(quiet_lat.begin(), quiet_lat.end());
+  const size_t rank = static_cast<size_t>(
+      std::ceil(0.99 * static_cast<double>(quiet_lat.size())));
+  const double p99 = quiet_lat.empty() ? 0.0 : quiet_lat[rank == 0 ? 0 : rank - 1];
+  const auto metrics = engine.metrics().Snapshot();
+  const uint64_t evictions = metrics.evictions_discard + metrics.evictions_to_disk;
+
+  std::printf("tenant_smoke: rounds=%d quiet hit%%=%.1f (floor %.1f) p99=%.2fms "
+              "(bound %.2fms) recomputes=%d evictions=%llu\n",
+              rounds, hit_pct, min_hit_pct, p99, max_p99_ms,
+              quiet_generations.load() - warm_generations,
+              static_cast<unsigned long long>(evictions));
+
+  int rc = 0;
+  if (quiet_generations.load() != warm_generations) {
+    std::fprintf(stderr,
+                 "FAIL: quiet tenant recomputed %d partitions — the eviction floor "
+                 "let the noisy tenant in\n",
+                 quiet_generations.load() - warm_generations);
+    rc = 1;
+  }
+  if (hit_pct < min_hit_pct) {
+    std::fprintf(stderr, "FAIL: quiet hit rate %.1f%% under floor %.1f%%\n", hit_pct,
+                 min_hit_pct);
+    rc = 1;
+  }
+  if (p99 > max_p99_ms) {
+    std::fprintf(stderr, "FAIL: quiet p99 %.2fms over bound %.2fms\n", p99, max_p99_ms);
+    rc = 1;
+  }
+  if (evictions == 0) {
+    std::fprintf(stderr, "FAIL: no evictions — the churn never pressured the store\n");
+    rc = 1;
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace blaze
+
+int main() { return blaze::Run(); }
